@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark wraps one experiment runner from :mod:`fairexp.experiments`,
+records its headline numbers in ``benchmark.extra_info`` (so they appear in
+the pytest-benchmark output next to the timings), and asserts the qualitative
+*shape* claims listed in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, results: dict) -> dict:
+    """Attach experiment results (minus long renders) to the benchmark record."""
+    for key, value in results.items():
+        if key == "rendered":
+            continue
+        benchmark.extra_info[key] = value
+    return results

@@ -1,0 +1,21 @@
+"""E1 / E2: burden [72] and NAWB [73] expose recourse-cost disparity."""
+
+from conftest import record
+
+from fairexp.experiments import run_e1_e2_burden_nawb
+
+
+def test_burden_and_nawb_gaps(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e1_e2_burden_nawb, kwargs={"n_samples": 600, "audit_size": 80},
+        rounds=1, iterations=1,
+    ))
+    # Shape claims: the biased model imposes a clearly higher burden on the
+    # protected group; on unbiased data the gap is much smaller.  NAWB also
+    # reflects the higher false-negative rate of the protected group.
+    assert results["burden_gap_biased"] > 0.5
+    assert results["burden_ratio_biased"] > 1.5
+    assert abs(results["burden_gap_fair"]) < results["burden_gap_biased"] / 2
+    assert results["nawb_gap_biased"] > 0.05
+    assert results["fnr_gap_biased"] > 0.2
+    assert abs(results["nawb_gap_fair"]) < results["nawb_gap_biased"] / 2

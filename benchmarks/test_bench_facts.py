@@ -1,0 +1,20 @@
+"""E4: FACTS [77] detects recourse bias between protected subgroups."""
+
+from conftest import record
+
+from fairexp.experiments import run_e4_facts
+
+
+def test_facts_recourse_bias_detection(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e4_facts, kwargs={"n_samples": 700}, rounds=1, iterations=1,
+    ))
+    # Equal Effectiveness is violated: the reference group achieves recourse
+    # through the candidate actions more often than the protected group.
+    assert results["global_effectiveness_gap"] > 0.05
+    # Equal Choice of Recourse is violated too (fewer sufficiently effective actions).
+    assert results["global_choice_gap"] >= 0
+    # At least one subgroup shows a larger violation than the population audit.
+    assert results["max_subgroup_effectiveness_gap"] >= results["global_effectiveness_gap"]
+    assert results["n_subgroups_audited"] >= 5
+    assert results["is_fair"] is False

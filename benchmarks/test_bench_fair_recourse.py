@@ -1,0 +1,22 @@
+"""E7: equalizing recourse across groups [79] and fair causal recourse [80]."""
+
+from conftest import record
+
+from fairexp.experiments import run_e7_fair_recourse
+
+
+def test_recourse_equalization_and_causal_recourse_fairness(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e7_fair_recourse, kwargs={"n_samples": 600}, rounds=1, iterations=1,
+    ))
+    # The unconstrained model leaves the protected group further from the
+    # boundary; the recourse-regularized classifier shrinks that gap at a
+    # bounded accuracy cost.
+    assert results["recourse_gap_base"] > 0.2
+    assert abs(results["recourse_gap_regularized"]) < results["recourse_gap_base"]
+    assert results["accuracy_regularized"] > results["accuracy_base"] - 0.2
+    # Fair causal recourse: flipping the sensitive attribute (with causal
+    # propagation) would change the recourse cost for most audited individuals,
+    # i.e. recourse is individually unfair under the biased model.
+    assert results["causal_recourse_unfairness"] > 0.0
+    assert results["causal_fraction_disadvantaged"] > 0.5

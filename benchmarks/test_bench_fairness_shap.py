@@ -1,0 +1,25 @@
+"""E8: fairness-Shapley decomposition [81] and causal path decomposition [82]."""
+
+from conftest import record
+
+from fairexp.experiments import run_e8_fairness_shap
+
+
+def test_fairness_shapley_and_causal_paths(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e8_fairness_shap, kwargs={"n_samples": 600, "audit_size": 120},
+        rounds=1, iterations=1,
+    ))
+    # Efficiency: the feature attributions sum exactly to the parity gap.
+    assert abs(results["shap_efficiency_gap"]) < 1e-6
+    assert abs(results["shap_attribution_sum"] - results["parity_gap"]) < 1e-6
+    # The directly-biased sensitive feature receives the largest (most negative) share.
+    assert results["shap_sensitive_share"] < 0
+    assert abs(results["shap_sensitive_share"]) > abs(results["parity_gap"]) * 0.25
+    # Ablation: Monte-Carlo sampling stays close to the exact decomposition.
+    assert results["shap_sampling_max_error"] < 0.15
+    # Causal path decomposition fully accounts for the disparity and routes the
+    # largest share through the group -> income mechanism.
+    assert abs(results["path_explained_fraction"] - 1.0) < 1e-6
+    assert results["path_top"].startswith("group ->")
+    assert results["path_top_contribution"] < 0

@@ -1,0 +1,23 @@
+"""E12: explaining GNN unfairness (structural edge sets [89], node influence [90],
+GNNUERS [91])."""
+
+from conftest import record
+
+from fairexp.experiments import run_e12_graphs
+
+
+def test_graph_bias_explanations(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e12_graphs, kwargs={"n_nodes": 90}, rounds=1, iterations=1,
+    ))
+    # The homophilous biased graph yields a strongly disparate GCN.
+    assert results["gcn_statistical_parity"] < -0.2
+    assert results["base_soft_bias"] > 0.1
+    # Removing the explained bias edges reduces (soft) disparity and beats
+    # removing the same number of random edges.
+    assert results["bias_after_explained_edges"] <= results["base_soft_bias"] + 1e-12
+    assert bool(results["explained_beats_random"]) is True
+    # Some training nodes measurably induce bias.
+    assert results["top_node_influence"] > 0.0
+    # GNNUERS never increases the consumer-side quality gap.
+    assert results["gnnuers_final_gap"] <= results["gnnuers_base_gap"] + 1e-12

@@ -1,0 +1,32 @@
+"""E5: group counterfactual summaries (GLOBE-CE [75], CF trees [76], AReS [74])
+plus the counterfactual-search ablation."""
+
+from conftest import record
+
+from fairexp.experiments import run_e5_group_counterfactuals
+
+
+def test_group_counterfactual_summaries(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e5_group_counterfactuals, kwargs={"n_samples": 600}, rounds=1, iterations=1,
+    ))
+    # GLOBE-CE: travelling along the shared direction costs the protected group more.
+    assert results["globe_cost_gap"] > 0.2
+    # Counterfactual explanation tree: a handful of leaves explains most of the
+    # rejected population, and the shared actions work less well (or cost more)
+    # for the protected group.
+    assert 1 <= results["cftree_n_leaves"] <= 8
+    assert results["cftree_validity"] > 0.3
+    assert results["cftree_validity_gap"] > -0.05
+    # Two-level recourse set: compact rule set with meaningful coverage and a
+    # coverage gap against the protected group.
+    assert results["recourse_set_n_rules"] <= 4
+    assert results["recourse_set_coverage"] > 0.3
+    assert results["recourse_set_coverage_gap"] > -0.05
+
+    # Ablation: every search strategy reaches (almost) full coverage; growing
+    # spheres finds counterfactuals at least as close as random search, and the
+    # gradient search trades distance for speed on gradient-access models.
+    for strategy in ("random", "spheres", "gradient"):
+        assert results[f"cf_{strategy}_coverage"] > 0.9
+    assert results["cf_spheres_mean_distance"] <= results["cf_random_mean_distance"] * 1.2

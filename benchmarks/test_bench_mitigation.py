@@ -1,0 +1,19 @@
+"""E14: mitigation at the three pipeline stages of the fairness taxonomy."""
+
+from conftest import record
+
+from fairexp.experiments import run_e14_mitigation
+
+
+def test_mitigation_stages_reduce_parity_gap(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e14_mitigation, kwargs={"n_samples": 700}, rounds=1, iterations=1,
+    ))
+    baseline = abs(results["spd_baseline"])
+    assert baseline > 0.05
+    # Every stage (pre / in / post) reduces the statistical parity gap...
+    for stage in ("preprocessing", "inprocessing", "postprocessing"):
+        assert abs(results[f"spd_{stage}"]) < baseline
+    # ...at a bounded accuracy cost.
+    for stage in ("preprocessing", "inprocessing", "postprocessing"):
+        assert results[f"accuracy_{stage}"] > results["accuracy_baseline"] - 0.1

@@ -1,0 +1,19 @@
+"""E11: Dexer [88] detects and explains biased representation in rankings."""
+
+from conftest import record
+
+from fairexp.experiments import run_e11_ranking
+
+
+def test_dexer_detection_and_explanation(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e11_ranking, kwargs={"n_candidates": 200}, rounds=1, iterations=1,
+    ))
+    # The protected group is significantly under-represented in the biased top-k.
+    assert results["representation_gap"] < -0.1
+    assert results["detection_p_value"] < 0.05
+    # The Shapley evidence singles out the penalized attribute.
+    assert results["top_attribute"] == "assessment"
+    assert results["top_attribute_shap_gap"] > 0.0
+    # An unbiased ranking of the same size is not flagged.
+    assert results["unbiased_p_value"] > 0.05

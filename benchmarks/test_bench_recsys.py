@@ -1,0 +1,22 @@
+"""E10: explaining exposure unfairness in recommendation (CEF [87], CFairER [86],
+edge-removal counterfactuals [84])."""
+
+from conftest import record
+
+from fairexp.experiments import run_e10_recsys
+
+
+def test_recommendation_fairness_explanations(benchmark):
+    results = record(benchmark, benchmark.pedantic(
+        run_e10_recsys, kwargs={"n_users": 60, "n_items": 35}, rounds=1, iterations=1,
+    ))
+    # The biased interactions produce clear exposure disparity against long-tail items.
+    assert results["base_exposure_disparity"] > 0.3
+    # CEF ranks the head-item marker feature as the top fairness explanation.
+    assert results["cef_top_feature"] == "feature_0"
+    assert results["cef_top_fairness_gain"] > 0.0
+    # CFairER finds a small attribute set whose neutralization improves fairness.
+    assert results["cfairer_improvement"] > 0.0
+    assert results["cfairer_n_attributes"] <= 2
+    # The best edge removal reduces exposure disparity (negative change).
+    assert results["edge_best_exposure_change"] < 0.0

@@ -1,0 +1,23 @@
+"""FIG1 / FIG2: regenerate the fairness and explanation taxonomies."""
+
+from conftest import record
+
+from fairexp.experiments import run_fig1_taxonomy, run_fig2_taxonomy
+
+
+def test_figure1_fairness_taxonomy(benchmark):
+    results = record(benchmark, benchmark(run_fig1_taxonomy))
+    # Figure 1 dimensions: level, criteria, stage, task, modality (+ fairness in explanations).
+    assert results["n_nodes"] >= 25
+    assert "Level of fairness" in results["dimensions"]
+    assert "Stage of mitigation" in results["dimensions"]
+    assert "Fairness" in results["rendered"].splitlines()[0]
+
+
+def test_figure2_explanation_taxonomy(benchmark):
+    results = record(benchmark, benchmark(run_fig2_taxonomy))
+    assert results["n_nodes"] >= 25
+    assert "Stage" in results["dimensions"]
+    assert "Task-specific explanations" in results["dimensions"]
+    assert "Counterfactual explanations" in results["rendered"]
+    assert "Shapley values (SHAP)" in results["rendered"]

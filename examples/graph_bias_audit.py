@@ -1,0 +1,57 @@
+"""Auditing and explaining bias in graph node classification.
+
+Generates a homophilous two-block graph whose topology transmits group
+disadvantage, trains a GCN, and explains the resulting disparity with the
+structural-bias edge sets of Dong et al. [89] and the training-node influence
+estimates of Dong et al. [90]; finally verifies that removing the explained
+edges reduces the bias more than removing random edges.
+
+Run with:  python examples/graph_bias_audit.py
+"""
+
+import numpy as np
+
+from fairexp.core import NodeInfluenceExplainer, StructuralBiasExplainer
+from fairexp.graphs import GCNClassifier, make_biased_sbm
+
+
+def main() -> None:
+    graph = make_biased_sbm(160, p_within=0.08, p_between=0.01, label_bias=1.0, random_state=0)
+    print(f"graph: {graph.n_nodes} nodes, {len(graph.edges())} edges, "
+          f"homophily {graph.homophily():.2f}")
+
+    gcn = GCNClassifier(n_epochs=200, random_state=0).fit(graph)
+    print(f"GCN accuracy {gcn.accuracy(graph):.3f}, "
+          f"statistical parity {gcn.statistical_parity(graph):+.3f}, "
+          f"soft parity {gcn.soft_statistical_parity(graph):+.3f}\n")
+
+    print("== Structural bias edge sets (per-node explanation)")
+    explainer = StructuralBiasExplainer(gcn, graph, max_edges=15, top_k=4)
+    node = int(np.flatnonzero(graph.groups == 1)[0])
+    explanation = explainer.explain_node(node)
+    print(f"   node {node}: {len(explanation.bias_edges)} bias edges, "
+          f"{len(explanation.fair_edges)} fair edges")
+    print(f"   |soft parity| {explanation.base_bias:.4f} -> "
+          f"{explanation.bias_after_removal:.4f} after removing the bias edges\n")
+
+    print("== Global debiasing edge set vs random edges")
+    bias_edges = explainer.explain_global(n_nodes=8, random_state=0)
+    rng = np.random.default_rng(0)
+    random_edges = [graph.edges()[i] for i in
+                    rng.choice(len(graph.edges()), size=max(len(bias_edges), 1), replace=False)]
+    explained = abs(gcn.soft_statistical_parity(graph.remove_edges(bias_edges)))
+    random_removal = abs(gcn.soft_statistical_parity(graph.remove_edges(random_edges)))
+    base = abs(gcn.soft_statistical_parity(graph))
+    print(f"   base {base:.4f} | explained edges removed {explained:.4f} | "
+          f"random edges removed {random_removal:.4f}\n")
+
+    print("== Training-node influence on bias")
+    influence = NodeInfluenceExplainer(lambda: GCNClassifier(n_epochs=80, random_state=0),
+                                       graph).explain(max_nodes=10, random_state=0)
+    for node_id, value in influence.most_bias_inducing(3):
+        print(f"   node {node_id:3d} influence on |bias|: {value:+.4f} "
+              f"(group={graph.groups[node_id]}, label={graph.labels[node_id]})")
+
+
+if __name__ == "__main__":
+    main()

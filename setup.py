@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable wheels cannot be built.  This file enables the legacy
+``setup.py develop`` editable-install path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""fairexp — a library for explaining (un)fairness.
+
+Reproduction of "On Explaining Unfairness: An Overview" (Fragkathoulas,
+Papanikou, Pla Karidi, Pitoura — ICDE 2024).  The package is organized as:
+
+* :mod:`fairexp.datasets` — dataset containers, synthetic benchmark
+  generators, controlled bias injection;
+* :mod:`fairexp.models` — from-scratch numpy classifiers and ML utilities;
+* :mod:`fairexp.fairness` — group / individual / ranking fairness metrics and
+  pre- / in- / post-processing mitigation;
+* :mod:`fairexp.explanations` — the general XAI substrate (Shapley, LIME-style
+  surrogates, counterfactuals, anchors, influence functions, ...);
+* :mod:`fairexp.causal` — structural causal models and contrastive scores;
+* :mod:`fairexp.recsys`, :mod:`fairexp.ranking`, :mod:`fairexp.graphs` — the
+  recommendation, ranking and graph substrates;
+* :mod:`fairexp.core` — explanations *for* fairness: one module per surveyed
+  approach, the taxonomies, and the end-to-end :class:`FairnessAuditor`.
+"""
+
+from . import causal, core, datasets, explanations, fairness, graphs, models, ranking, recsys
+from .core.report import FairnessAuditor, FairnessAuditReport
+from .exceptions import (
+    ConvergenceError,
+    FairexpError,
+    InfeasibleRecourseError,
+    NotFittedError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "datasets",
+    "models",
+    "fairness",
+    "explanations",
+    "causal",
+    "recsys",
+    "ranking",
+    "graphs",
+    "core",
+    "FairnessAuditor",
+    "FairnessAuditReport",
+    "FairexpError",
+    "NotFittedError",
+    "ValidationError",
+    "ConvergenceError",
+    "InfeasibleRecourseError",
+    "__version__",
+]

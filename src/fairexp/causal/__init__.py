@@ -1,0 +1,25 @@
+"""Causal modelling substrate: SCMs, causal graphs and contrastive scores."""
+
+from .graphs import CausalGraph, all_causal_paths, fit_linear_scm_weights, path_effect
+from .probabilistic import (
+    ContrastiveScores,
+    contrastive_scores,
+    probability_of_necessity,
+    probability_of_necessity_and_sufficiency,
+    probability_of_sufficiency,
+)
+from .scm import StructuralCausalModel, StructuralEquation
+
+__all__ = [
+    "StructuralCausalModel",
+    "StructuralEquation",
+    "CausalGraph",
+    "all_causal_paths",
+    "fit_linear_scm_weights",
+    "path_effect",
+    "ContrastiveScores",
+    "contrastive_scores",
+    "probability_of_necessity",
+    "probability_of_sufficiency",
+    "probability_of_necessity_and_sufficiency",
+]

@@ -1,0 +1,88 @@
+"""Probabilistic contrastive counterfactual scores.
+
+Implements the probability-of-necessity / probability-of-sufficiency style
+quantities used by probabilistic contrastive counterfactual explanations
+(Galhotra, Pradhan, Salimi [10]).  Unlike interventions on a fully specified
+SCM, these quantities are *estimated from historical data* under standard
+identifiability assumptions (monotonicity + exogeneity), which is precisely
+the distinction the paper highlights for this family of approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils import safe_divide
+
+__all__ = [
+    "ContrastiveScores",
+    "probability_of_necessity",
+    "probability_of_sufficiency",
+    "probability_of_necessity_and_sufficiency",
+    "contrastive_scores",
+]
+
+
+@dataclass(frozen=True)
+class ContrastiveScores:
+    """Necessity / sufficiency scores of a binary factor for a binary outcome.
+
+    Attributes
+    ----------
+    necessity:
+        P(outcome would be 0 had the factor been 0 | factor = 1, outcome = 1).
+    sufficiency:
+        P(outcome would be 1 had the factor been 1 | factor = 0, outcome = 0).
+    necessity_and_sufficiency:
+        P(outcome responds to the factor in both directions).
+    """
+
+    necessity: float
+    sufficiency: float
+    necessity_and_sufficiency: float
+
+
+def _validate(factor: np.ndarray, outcome: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    factor = np.asarray(factor, dtype=int)
+    outcome = np.asarray(outcome, dtype=int)
+    if factor.shape != outcome.shape:
+        raise ValidationError("factor and outcome must have the same shape")
+    if set(np.unique(factor)) - {0, 1} or set(np.unique(outcome)) - {0, 1}:
+        raise ValidationError("factor and outcome must be binary 0/1")
+    return factor, outcome
+
+
+def probability_of_necessity(factor, outcome) -> float:
+    """PN under monotonicity: ``(P(y=1|t=1) - P(y=1|t=0)) / P(y=1|t=1)``."""
+    factor, outcome = _validate(factor, outcome)
+    p_y1_t1 = outcome[factor == 1].mean() if np.any(factor == 1) else 0.0
+    p_y1_t0 = outcome[factor == 0].mean() if np.any(factor == 0) else 0.0
+    return float(np.clip(safe_divide(p_y1_t1 - p_y1_t0, p_y1_t1), 0.0, 1.0))
+
+
+def probability_of_sufficiency(factor, outcome) -> float:
+    """PS under monotonicity: ``(P(y=1|t=1) - P(y=1|t=0)) / (1 - P(y=1|t=0))``."""
+    factor, outcome = _validate(factor, outcome)
+    p_y1_t1 = outcome[factor == 1].mean() if np.any(factor == 1) else 0.0
+    p_y1_t0 = outcome[factor == 0].mean() if np.any(factor == 0) else 0.0
+    return float(np.clip(safe_divide(p_y1_t1 - p_y1_t0, 1.0 - p_y1_t0), 0.0, 1.0))
+
+
+def probability_of_necessity_and_sufficiency(factor, outcome) -> float:
+    """PNS under monotonicity: ``P(y=1|t=1) - P(y=1|t=0)`` (clipped at 0)."""
+    factor, outcome = _validate(factor, outcome)
+    p_y1_t1 = outcome[factor == 1].mean() if np.any(factor == 1) else 0.0
+    p_y1_t0 = outcome[factor == 0].mean() if np.any(factor == 0) else 0.0
+    return float(np.clip(p_y1_t1 - p_y1_t0, 0.0, 1.0))
+
+
+def contrastive_scores(factor, outcome) -> ContrastiveScores:
+    """Bundle PN, PS and PNS for a binary factor / outcome pair."""
+    return ContrastiveScores(
+        necessity=probability_of_necessity(factor, outcome),
+        sufficiency=probability_of_sufficiency(factor, outcome),
+        necessity_and_sufficiency=probability_of_necessity_and_sufficiency(factor, outcome),
+    )

@@ -1,0 +1,96 @@
+"""Explanations *for* fairness — the paper's Section IV, one module per surveyed approach.
+
+The three goals the survey identifies are covered as follows:
+
+* **E — enhance fairness metrics**: burden [72], NAWB [73], FACTS criteria
+  [77], recourse gaps [79, 80].
+* **U — understand the causes of (un)fairness**: PreCoF [71], group
+  counterfactuals [74, 75, 76], fairness Shapley values [81], causal path
+  decomposition [82], probabilistic contrastive counterfactuals [10],
+  data-based explanations [63, 83], Dexer [88], graph explainers [89-91].
+* **M — design mitigation**: actionable recourse [65], recourse-regularized
+  training (via :mod:`fairexp.fairness.mitigation`), data cleaning guided by
+  Gopher patterns, CFairER / CEF / GNNUERS interventions, fairness-aware KG
+  re-ranking [44].
+"""
+
+from .actionable_recourse import CausalRecourseExplainer, Flipset, RecourseResult
+from .burden import BurdenExplainer, BurdenResult, GroupBurden
+from .causal_paths import CausalPathDecomposition, CausalPathExplainer, PathContribution
+from .cf_trees import CFTreeResult, CounterfactualExplanationTree
+from .data_explanations import DataExplanationResult, GopherExplainer, PatternExplanation
+from .facts import Action, FACTSExplainer, FACTSResult, SubgroupAudit
+from .fair_recourse import (
+    CausalRecourseFairnessResult,
+    RecourseGapReport,
+    causal_flip_rate,
+    causal_recourse_fairness,
+    recourse_gap_report,
+)
+from .fairness_shap import FairnessShapExplainer
+from .globe_ce import GlobeCEExplainer, GlobeCEResult
+from .graph_explanations import (
+    EdgeSetExplanation,
+    GNNUERSExplainer,
+    GNNUERSResult,
+    NodeInfluenceExplainer,
+    NodeInfluenceResult,
+    PathRecommendation,
+    StructuralBiasExplainer,
+    fairness_aware_path_rerank,
+)
+from .nawb import NAWBExplainer, NAWBResult
+from .precof import PreCoFExplainer, PreCoFResult
+from .probabilistic_contrastive import (
+    AttributeContrastiveResult,
+    ProbabilisticContrastiveExplainer,
+)
+from .ranking_explanations import DexerExplainer, DexerResult, GroupDetection
+from .rec_explanations import (
+    CEFExplainer,
+    CEFResult,
+    CFairERExplainer,
+    CFairERResult,
+    EdgeRemovalExplainer,
+    EdgeRemovalExplanation,
+)
+from .recourse_sets import RecourseSetExplainer, TwoLevelRecourseSet
+from .report import FairnessAuditor, FairnessAuditReport
+from .taxonomy import (
+    TABLE_I,
+    ApproachEntry,
+    TaxonomyNode,
+    explanation_taxonomy,
+    fairness_taxonomy,
+    implemented_class,
+    render_table_i,
+    render_taxonomy,
+)
+
+__all__ = [
+    "BurdenExplainer", "BurdenResult", "GroupBurden",
+    "NAWBExplainer", "NAWBResult",
+    "PreCoFExplainer", "PreCoFResult",
+    "FACTSExplainer", "FACTSResult", "SubgroupAudit", "Action",
+    "GlobeCEExplainer", "GlobeCEResult",
+    "CounterfactualExplanationTree", "CFTreeResult",
+    "RecourseSetExplainer", "TwoLevelRecourseSet",
+    "CausalRecourseExplainer", "Flipset", "RecourseResult",
+    "RecourseGapReport", "recourse_gap_report",
+    "CausalRecourseFairnessResult", "causal_recourse_fairness", "causal_flip_rate",
+    "FairnessShapExplainer",
+    "CausalPathExplainer", "CausalPathDecomposition", "PathContribution",
+    "GopherExplainer", "DataExplanationResult", "PatternExplanation",
+    "ProbabilisticContrastiveExplainer", "AttributeContrastiveResult",
+    "EdgeRemovalExplainer", "EdgeRemovalExplanation",
+    "CFairERExplainer", "CFairERResult",
+    "CEFExplainer", "CEFResult",
+    "DexerExplainer", "DexerResult", "GroupDetection",
+    "StructuralBiasExplainer", "EdgeSetExplanation",
+    "NodeInfluenceExplainer", "NodeInfluenceResult",
+    "GNNUERSExplainer", "GNNUERSResult",
+    "PathRecommendation", "fairness_aware_path_rerank",
+    "FairnessAuditor", "FairnessAuditReport",
+    "TaxonomyNode", "fairness_taxonomy", "explanation_taxonomy", "render_taxonomy",
+    "ApproachEntry", "TABLE_I", "render_table_i", "implemented_class",
+]

@@ -1,0 +1,227 @@
+"""Actionable recourse as interventions on a structural causal model.
+
+Implements the causal-recourse view of Karimi et al. [65]: instead of
+interpreting recourse as independent feature manipulations, an action is a
+set of structural interventions ``A = do({X_i := a_i})``; applying ``A`` to an
+individual yields the *structural counterfactual*
+``x' = F_A(F^{-1}(x))`` (abduction–action–prediction), so downstream features
+update according to their causal mechanisms.  The recourse problem is
+
+    A* = argmin cost(A; x)  s.t.  f(x') != f(x),  x' plausible, A feasible.
+
+The module also distinguishes *contrastive explanations* (what would need to
+be different) from *consequential recommendations* (what to do), following
+Karimi et al.'s survey [13]: the former is the independent-manipulation
+counterfactual, the latter the SCM-intervention flipset computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..causal.scm import StructuralCausalModel
+from ..exceptions import InfeasibleRecourseError, ValidationError
+from ..explanations.base import ExplainerInfo
+
+__all__ = ["Flipset", "RecourseResult", "CausalRecourseExplainer"]
+
+
+@dataclass
+class Flipset:
+    """A minimal-cost set of interventions flipping the model's decision.
+
+    Attributes
+    ----------
+    interventions:
+        Mapping ``variable -> intervened value``.
+    cost:
+        Total cost of the interventions under the explainer's cost function.
+    counterfactual:
+        The resulting structural counterfactual (all variables, post-intervention).
+    prediction:
+        Model prediction at the structural counterfactual.
+    """
+
+    interventions: dict[str, float]
+    cost: float
+    counterfactual: dict[str, float]
+    prediction: int
+
+    def describe(self) -> str:
+        changes = ", ".join(f"do({k} := {v:.4g})" for k, v in self.interventions.items())
+        return f"{changes} (cost={self.cost:.3f})"
+
+
+@dataclass
+class RecourseResult:
+    """Recourse for one individual: the best flipset plus runner-up candidates."""
+
+    best: Flipset
+    candidates: list[Flipset] = field(default_factory=list, repr=False)
+
+
+class CausalRecourseExplainer:
+    """Search for minimal-cost intervention sets (flipsets) over an SCM.
+
+    Parameters
+    ----------
+    model:
+        Classifier taking the SCM variables (in ``variable_order``) as features.
+    scm:
+        The structural causal model describing downstream effects of
+        interventions.
+    variable_order:
+        Order in which the SCM variables map to the model's feature columns.
+    actionable:
+        Variables the individual can intervene on (immutable ones excluded).
+    costs:
+        Optional per-variable cost weight (default 1); the cost of an
+        intervention is ``weight * |new - old| / scale``.
+    scales:
+        Per-variable normalization (e.g. population standard deviation).
+    grid_size:
+        Number of candidate values per intervened variable.
+    max_intervention_size:
+        Maximum number of simultaneously intervened variables.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="local",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(
+        self,
+        model,
+        scm: StructuralCausalModel,
+        variable_order: Sequence[str],
+        *,
+        actionable: Sequence[str],
+        costs: Mapping[str, float] | None = None,
+        scales: Mapping[str, float] | None = None,
+        value_ranges: Mapping[str, tuple[float, float]] | None = None,
+        grid_size: int = 7,
+        max_intervention_size: int = 2,
+        target_class: int = 1,
+    ) -> None:
+        self.model = model
+        self.scm = scm
+        self.variable_order = list(variable_order)
+        unknown = set(self.variable_order) - set(scm.variables)
+        if unknown:
+            raise ValidationError(f"variables not in the SCM: {sorted(unknown)}")
+        self.actionable = [v for v in actionable if v in self.variable_order]
+        if not self.actionable:
+            raise ValidationError("at least one actionable variable is required")
+        self.costs = dict(costs or {})
+        self.scales = dict(scales or {})
+        self.value_ranges = dict(value_ranges or {})
+        self.grid_size = grid_size
+        self.max_intervention_size = max_intervention_size
+        self.target_class = target_class
+
+    # ------------------------------------------------------------- helpers
+    def _predict_observation(self, observation: Mapping[str, float]) -> int:
+        row = np.asarray([[observation[v] for v in self.variable_order]])
+        return int(np.asarray(self.model.predict(row))[0])
+
+    def _candidate_values(self, variable: str, current: float) -> np.ndarray:
+        low, high = self.value_ranges.get(variable, (current - 3 * self._scale(variable),
+                                                     current + 3 * self._scale(variable)))
+        return np.linspace(low, high, self.grid_size)
+
+    def _scale(self, variable: str) -> float:
+        return float(self.scales.get(variable, 1.0)) or 1.0
+
+    def _cost(self, variable: str, old: float, new: float) -> float:
+        weight = float(self.costs.get(variable, 1.0))
+        return weight * abs(new - old) / self._scale(variable)
+
+    def observation_from_row(self, x: np.ndarray) -> dict[str, float]:
+        """Convert a feature row (in ``variable_order``) into an SCM observation."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape[0] != len(self.variable_order):
+            raise ValidationError("row length does not match variable_order")
+        return {v: float(x[i]) for i, v in enumerate(self.variable_order)}
+
+    # ---------------------------------------------------------------- main
+    def explain(self, x: np.ndarray, *, top_k: int = 3) -> RecourseResult:
+        """Return the minimal-cost flipset for one individual (feature row)."""
+        observation = self.observation_from_row(x)
+        if self._predict_observation(observation) == self.target_class:
+            raise ValidationError("the individual already receives the favourable outcome")
+
+        candidates: list[Flipset] = []
+        for size in range(1, self.max_intervention_size + 1):
+            for variables in combinations(self.actionable, size):
+                grids = [self._candidate_values(v, observation[v]) for v in variables]
+                for values in _cartesian(grids):
+                    interventions = dict(zip(variables, (float(v) for v in values)))
+                    counterfactual = self.scm.counterfactual(observation, interventions)
+                    prediction = self._predict_observation(counterfactual)
+                    if prediction != self.target_class:
+                        continue
+                    cost = sum(
+                        self._cost(v, observation[v], interventions[v]) for v in variables
+                    )
+                    candidates.append(
+                        Flipset(
+                            interventions=interventions,
+                            cost=float(cost),
+                            counterfactual=counterfactual,
+                            prediction=prediction,
+                        )
+                    )
+        if not candidates:
+            raise InfeasibleRecourseError("no intervention set flips the prediction")
+        candidates.sort(key=lambda f: f.cost)
+        return RecourseResult(best=candidates[0], candidates=candidates[:top_k])
+
+    def recourse_cost(self, x: np.ndarray) -> float:
+        """Cost of the cheapest flipset for ``x`` (inf if infeasible)."""
+        try:
+            return self.explain(x).best.cost
+        except InfeasibleRecourseError:
+            return float("inf")
+
+    def independent_manipulation_cost(self, x: np.ndarray) -> float:
+        """Cost of recourse when actions are treated as independent feature changes.
+
+        Downstream causal effects are ignored: intervened values are written
+        into the feature row directly without propagating through the SCM.
+        This is the "contrastive explanation" baseline that the causal flipset
+        is compared against (E6 in DESIGN.md).
+        """
+        observation = self.observation_from_row(x)
+        best_cost = float("inf")
+        for size in range(1, self.max_intervention_size + 1):
+            for variables in combinations(self.actionable, size):
+                grids = [self._candidate_values(v, observation[v]) for v in variables]
+                for values in _cartesian(grids):
+                    modified = dict(observation)
+                    cost = 0.0
+                    for variable, value in zip(variables, values):
+                        modified[variable] = float(value)
+                        cost += self._cost(variable, observation[variable], float(value))
+                    if self._predict_observation(modified) == self.target_class:
+                        best_cost = min(best_cost, cost)
+        return best_cost
+
+
+def _cartesian(grids: list[np.ndarray]):
+    """Iterate over the cartesian product of several value grids."""
+    if not grids:
+        yield ()
+        return
+    head, *tail = grids
+    for value in head:
+        for rest in _cartesian(tail):
+            yield (value, *rest)

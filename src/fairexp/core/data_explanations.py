@@ -1,0 +1,215 @@
+"""Data-based explanations for fairness debugging (Gopher; Salimi et al. [63], Zhu et al. [83]).
+
+Instead of explaining the model, these explanations point at the *training
+data*: they search for patterns — conjunctions of predicates over the feature
+values — such that removing (or relabeling) the training instances covered by
+the pattern most reduces the model's unfairness.  The returned top-k patterns
+are both causal-understanding artifacts ("this slice of the data drives the
+disparity") and mitigation recipes ("clean or rebalance this slice").
+
+Two influence estimators are available:
+
+* ``"retrain"`` — exact: retrain the model without the pattern's rows;
+* ``"influence"`` — first-order influence-function approximation (only for
+  :class:`fairexp.models.LogisticRegression`), far cheaper on large data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..explanations.base import ExplainerInfo
+from ..explanations.influence import influence_functions_logistic
+from ..explanations.rules import Predicate, discretize_features, frequent_predicate_sets
+from ..fairness.group_metrics import statistical_parity_difference
+from ..models.logistic import LogisticRegression
+from ..utils import sigmoid
+
+__all__ = ["PatternExplanation", "DataExplanationResult", "GopherExplainer"]
+
+
+@dataclass
+class PatternExplanation:
+    """One data pattern and its estimated effect on the fairness metric."""
+
+    predicates: tuple[Predicate, ...]
+    support: float
+    n_rows: int
+    unfairness_reduction: float
+    new_unfairness: float
+    interestingness: float
+
+    def describe(self) -> str:
+        clauses = " AND ".join(str(p) for p in self.predicates) or "TRUE"
+        return (
+            f"[{clauses}] support={self.support:.2f} "
+            f"reduces |unfairness| by {self.unfairness_reduction:+.4f} "
+            f"(new value {self.new_unfairness:+.4f})"
+        )
+
+
+@dataclass
+class DataExplanationResult:
+    """Top-k patterns plus the baseline unfairness they are measured against."""
+
+    baseline_unfairness: float
+    patterns: list[PatternExplanation]
+    estimator: str
+    meta: dict = field(default_factory=dict)
+
+    def top(self, k: int = 3) -> list[PatternExplanation]:
+        return self.patterns[:k]
+
+
+class GopherExplainer:
+    """Search for training-data patterns responsible for model unfairness.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable returning an unfitted model (used by the retraining
+        estimator and for the final verification).
+    metric:
+        Group fairness metric ``metric(y_pred, sensitive) -> float``;
+        the magnitude |metric| is what removal should reduce.
+    n_bins, min_support, max_pattern_length:
+        Pattern-mining granularity.
+    estimator:
+        ``"retrain"`` (exact) or ``"influence"`` (first-order approximation,
+        LogisticRegression only).
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="white-box",
+        agnostic=False,
+        coverage="global",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        *,
+        metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        feature_names: Sequence[str] | None = None,
+        n_bins: int = 3,
+        min_support: float = 0.05,
+        max_pattern_length: int = 2,
+        estimator: str = "retrain",
+        top_k: int = 5,
+    ) -> None:
+        if estimator not in ("retrain", "influence"):
+            raise ValidationError(f"unknown estimator {estimator!r}")
+        self.model_factory = model_factory
+        self.metric = metric or statistical_parity_difference
+        self.feature_names = feature_names
+        self.n_bins = n_bins
+        self.min_support = min_support
+        self.max_pattern_length = max_pattern_length
+        self.estimator = estimator
+        self.top_k = top_k
+
+    # ------------------------------------------------------------- helpers
+    def _unfairness(self, model, X_eval, sensitive_eval) -> float:
+        predictions = np.asarray(model.predict(X_eval))
+        return float(self.metric(predictions, sensitive_eval))
+
+    def _retrain_without(self, X, y, mask_remove, X_eval, sensitive_eval) -> float:
+        keep = ~mask_remove
+        if keep.sum() < 10 or len(np.unique(y[keep])) < 2:
+            return np.nan
+        model = self.model_factory()
+        model.fit(X[keep], y[keep])
+        return self._unfairness(model, X_eval, sensitive_eval)
+
+    def _influence_estimate(
+        self, model: LogisticRegression, X, y, mask_remove, X_eval, sensitive_eval
+    ) -> float:
+        """First-order estimate of the unfairness after removing the pattern's rows."""
+        baseline = self._unfairness(model, X_eval, sensitive_eval)
+        # Gradient of the (smoothed) parity metric w.r.t. [coef, intercept]:
+        # use probabilities instead of hard predictions for differentiability.
+        X_eval = np.asarray(X_eval, dtype=float)
+        sensitive_eval = np.asarray(sensitive_eval)
+        protected = sensitive_eval == 1
+        probabilities = sigmoid(X_eval @ model.coef_ + model.intercept_)
+        local_grad = probabilities * (1 - probabilities)
+        design = np.hstack([X_eval, np.ones((X_eval.shape[0], 1))])
+        grad_protected = (local_grad[protected][:, None] * design[protected]).mean(axis=0)
+        grad_reference = (local_grad[~protected][:, None] * design[~protected]).mean(axis=0)
+        metric_gradient = grad_protected - grad_reference
+
+        influences = influence_functions_logistic(model, X, y, metric_gradient)
+        # Removing a group of points ~ -sum of their upweighting influences.
+        delta = -float(influences[mask_remove].sum()) / X.shape[0]
+        return baseline + delta
+
+    # ---------------------------------------------------------------- main
+    def explain(
+        self, X, y, sensitive, *, X_eval=None, sensitive_eval=None
+    ) -> DataExplanationResult:
+        """Return the top-k patterns whose removal most reduces |unfairness|."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        sensitive = np.asarray(sensitive)
+        X_eval = X if X_eval is None else np.asarray(X_eval, dtype=float)
+        sensitive_eval = sensitive if sensitive_eval is None else np.asarray(sensitive_eval)
+
+        base_model = self.model_factory()
+        base_model.fit(X, y)
+        baseline = self._unfairness(base_model, X_eval, sensitive_eval)
+
+        if self.estimator == "influence" and not isinstance(base_model, LogisticRegression):
+            raise ValidationError("the influence estimator requires LogisticRegression")
+
+        predicates = discretize_features(X, feature_names=self.feature_names, n_bins=self.n_bins)
+        itemsets = frequent_predicate_sets(
+            X, predicates, min_support=self.min_support, max_length=self.max_pattern_length
+        )
+
+        patterns: list[PatternExplanation] = []
+        for itemset, mask in itemsets:
+            if self.estimator == "retrain":
+                new_value = self._retrain_without(X, y, mask, X_eval, sensitive_eval)
+            else:
+                new_value = self._influence_estimate(
+                    base_model, X, y, mask, X_eval, sensitive_eval
+                )
+            if not np.isfinite(new_value):
+                continue
+            reduction = abs(baseline) - abs(new_value)
+            support = float(mask.mean())
+            # Interestingness favours large reductions achieved by small patterns.
+            interestingness = reduction / max(support, 1e-9)
+            patterns.append(
+                PatternExplanation(
+                    predicates=tuple(itemset),
+                    support=support,
+                    n_rows=int(mask.sum()),
+                    unfairness_reduction=float(reduction),
+                    new_unfairness=float(new_value),
+                    interestingness=float(interestingness),
+                )
+            )
+
+        patterns.sort(key=lambda p: -p.unfairness_reduction)
+        return DataExplanationResult(
+            baseline_unfairness=baseline,
+            patterns=patterns[: self.top_k],
+            estimator=self.estimator,
+            meta={"n_candidate_patterns": len(itemsets)},
+        )
+
+    def verify_pattern(self, X, y, sensitive, pattern: PatternExplanation) -> float:
+        """Retrain without the pattern's rows and return the achieved unfairness (exact check)."""
+        X = np.asarray(X, dtype=float)
+        mask = np.ones(X.shape[0], dtype=bool)
+        for predicate in pattern.predicates:
+            mask &= predicate.mask(X)
+        return self._retrain_without(X, np.asarray(y), mask, X, np.asarray(sensitive))

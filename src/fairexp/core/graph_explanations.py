@@ -1,0 +1,359 @@
+"""Explanations of unfairness in graph machine learning.
+
+Implements, against the :mod:`fairexp.graphs` GCN substrate and the
+:mod:`fairexp.recsys` bipartite graphs, the four surveyed graph approaches:
+
+* :class:`StructuralBiasExplainer` (Dong et al. [89]) — for each node, find
+  the edge sets in its computational graph that maximally account for the
+  exhibited bias and those that maximally contribute to fairness.
+* :class:`NodeInfluenceExplainer` (Dong et al. [90]) — estimate the influence
+  of each *training node* on the model's bias by leave-one-out retraining
+  (exact) so the most bias-inducing nodes can be down-weighted.
+* :class:`GNNUERSExplainer` (Medda et al. [91]) — perturb the bipartite
+  user–item interaction graph of a graph-based recommender to identify the
+  interactions that lead to consumer-side (user-group) unfairness.
+* :func:`fairness_aware_path_rerank` (Fu et al. [44]) — re-rank explainable
+  KG-path recommendations under a group-exposure constraint, mitigating the
+  bias arising from different user activity levels while keeping path-based
+  explanations diverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..explanations.base import ExplainerInfo
+from ..graphs.generators import AttributedGraph
+from ..graphs.gnn import GCNClassifier
+from ..recsys.metrics import ndcg_at_k, user_group_quality_gap
+from ..recsys.models import BaseRecommender, RecWalkRecommender
+from ..utils import check_random_state, safe_divide
+
+__all__ = [
+    "EdgeSetExplanation",
+    "StructuralBiasExplainer",
+    "NodeInfluenceResult",
+    "NodeInfluenceExplainer",
+    "GNNUERSResult",
+    "GNNUERSExplainer",
+    "PathRecommendation",
+    "fairness_aware_path_rerank",
+]
+
+
+# --------------------------------------------------------------------------
+# Structural bias edge sets [89]
+# --------------------------------------------------------------------------
+@dataclass
+class EdgeSetExplanation:
+    """Edge sets explaining one node's bias.
+
+    ``bias_edges`` maximally account for the node's contribution to group
+    disparity (removing them reduces bias the most); ``fair_edges`` maximally
+    contribute to fairness (removing them increases bias the most).
+    """
+
+    node: int
+    bias_edges: list[tuple[int, int]]
+    fair_edges: list[tuple[int, int]]
+    base_bias: float
+    bias_after_removal: float
+    edge_effects: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+
+    @property
+    def bias_reduction(self) -> float:
+        return self.base_bias - self.bias_after_removal
+
+
+class StructuralBiasExplainer:
+    """Explain a GCN's bias through edge sets in each node's computational graph.
+
+    The node-level bias proxy is the signed difference between the node's
+    predicted favourable probability and the mean predicted probability of the
+    other group (a local statistical-parity contribution).  Each incident /
+    two-hop edge is removed in turn and the change in the model's global
+    statistical parity is recorded; the edges whose removal most reduces
+    (resp. increases) disparity form the bias (resp. fair) edge set.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="local",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(self, model: GCNClassifier, graph: AttributedGraph, *, max_edges: int = 20,
+                 top_k: int = 5) -> None:
+        self.model = model
+        self.graph = graph
+        self.max_edges = max_edges
+        self.top_k = top_k
+
+    def _computational_edges(self, node: int) -> list[tuple[int, int]]:
+        """Edges within two hops of the node (its 2-layer GCN receptive field)."""
+        adjacency = self.graph.adjacency
+        one_hop = set(np.flatnonzero(adjacency[node] > 0).tolist())
+        nodes = {node} | one_hop
+        for neighbor in list(one_hop):
+            nodes |= set(np.flatnonzero(adjacency[neighbor] > 0).tolist())
+        edges = []
+        for i, j in self.graph.edges():
+            if i in nodes and j in nodes:
+                edges.append((i, j))
+        return edges[: self.max_edges]
+
+    def explain_node(self, node: int) -> EdgeSetExplanation:
+        """Return the bias / fair edge sets for one node."""
+        base_bias = abs(self.model.soft_statistical_parity(self.graph))
+        effects: dict[tuple[int, int], float] = {}
+        for edge in self._computational_edges(node):
+            perturbed = self.graph.remove_edges([edge])
+            new_bias = abs(self.model.soft_statistical_parity(perturbed))
+            effects[edge] = new_bias - base_bias  # negative => removing reduces bias
+
+        ranked = sorted(effects.items(), key=lambda item: item[1])
+        bias_edges = [edge for edge, effect in ranked[: self.top_k] if effect < 0]
+        fair_edges = [edge for edge, effect in ranked[::-1][: self.top_k] if effect > 0]
+        after = abs(
+            self.model.soft_statistical_parity(self.graph.remove_edges(bias_edges))
+        ) if bias_edges else base_bias
+        return EdgeSetExplanation(
+            node=node,
+            bias_edges=bias_edges,
+            fair_edges=fair_edges,
+            base_bias=base_bias,
+            bias_after_removal=after,
+            edge_effects=effects,
+        )
+
+    def explain_global(self, *, n_nodes: int = 10, random_state=None) -> list[tuple[int, int]]:
+        """Union of the bias edges of a sample of nodes (a global debiasing edge set)."""
+        rng = check_random_state(random_state)
+        nodes = rng.choice(self.graph.n_nodes, size=min(n_nodes, self.graph.n_nodes),
+                           replace=False)
+        edges: list[tuple[int, int]] = []
+        for node in nodes:
+            explanation = self.explain_node(int(node))
+            edges.extend(explanation.bias_edges)
+        # Deduplicate, preserving order.
+        seen, unique = set(), []
+        for edge in edges:
+            if edge in seen:
+                continue
+            seen.add(edge)
+            unique.append(edge)
+        return unique
+
+
+# --------------------------------------------------------------------------
+# Training-node influence on bias [90]
+# --------------------------------------------------------------------------
+@dataclass
+class NodeInfluenceResult:
+    """Influence of training nodes on the model's bias."""
+
+    node_ids: np.ndarray
+    influences: np.ndarray
+    base_bias: float
+
+    def most_bias_inducing(self, k: int = 5) -> list[tuple[int, float]]:
+        """Nodes whose removal from training most reduces |bias| (largest positive influence)."""
+        order = np.argsort(-self.influences)[:k]
+        return [(int(self.node_ids[i]), float(self.influences[i])) for i in order]
+
+
+class NodeInfluenceExplainer:
+    """Estimate each training node's influence on the GCN's statistical parity.
+
+    The influence of node ``v`` is ``|bias(trained on all)| - |bias(trained
+    without v)|``: positive influence means the node *induces* bias.  The
+    estimator retrains the (small) GCN per node, which is exact; a sample of
+    candidate nodes keeps the cost bounded.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="white-box",
+        agnostic=False,
+        coverage="global",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(self, model_factory, graph: AttributedGraph, *, n_epochs: int = 80) -> None:
+        self.model_factory = model_factory
+        self.graph = graph
+        self.n_epochs = n_epochs
+
+    def explain(self, *, candidate_nodes=None, max_nodes: int = 15,
+                random_state=None) -> NodeInfluenceResult:
+        """Return per-node bias influences for a sample of training nodes."""
+        rng = check_random_state(random_state)
+        full_model = self.model_factory()
+        full_model.fit(self.graph)
+        base_bias = abs(full_model.soft_statistical_parity(self.graph))
+
+        if candidate_nodes is None:
+            candidate_nodes = np.arange(self.graph.n_nodes)
+        candidate_nodes = np.asarray(candidate_nodes)
+        if candidate_nodes.shape[0] > max_nodes:
+            candidate_nodes = rng.choice(candidate_nodes, size=max_nodes, replace=False)
+
+        influences = np.zeros(candidate_nodes.shape[0])
+        for position, node in enumerate(candidate_nodes):
+            train_mask = np.ones(self.graph.n_nodes, dtype=bool)
+            train_mask[int(node)] = False
+            model = self.model_factory()
+            model.fit(self.graph, train_mask=train_mask)
+            influences[position] = base_bias - abs(model.soft_statistical_parity(self.graph))
+        return NodeInfluenceResult(
+            node_ids=candidate_nodes, influences=influences, base_bias=base_bias
+        )
+
+
+# --------------------------------------------------------------------------
+# GNNUERS: bipartite perturbation for recommender unfairness [91]
+# --------------------------------------------------------------------------
+@dataclass
+class GNNUERSResult:
+    """Interactions whose removal most reduces the user-group quality gap."""
+
+    removed_edges: list[tuple[int, int]]
+    base_gap: float
+    final_gap: float
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def gap_reduction(self) -> float:
+        return self.base_gap - self.final_gap
+
+
+class GNNUERSExplainer:
+    """Explain consumer-side unfairness of a graph recommender by edge perturbation.
+
+    The unfairness measure is the NDCG gap between the reference and protected
+    *user* groups.  Candidate interactions (edges of the bipartite graph) are
+    removed greedily while the gap keeps shrinking; the removed set is the
+    counterfactual explanation of the unfairness.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="global",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(self, recommender: RecWalkRecommender, holdout: np.ndarray, *, k: int = 10,
+                 max_removals: int = 5, candidate_edges: int = 30, random_state=None) -> None:
+        self.recommender = recommender
+        self.holdout = np.asarray(holdout, dtype=float)
+        self.k = k
+        self.max_removals = max_removals
+        self.candidate_edges = candidate_edges
+        self.random_state = random_state
+
+    def _gap(self, recommender: BaseRecommender, protected_value) -> float:
+        recs = recommender.recommend_all(self.k)
+        user_groups = recommender.interactions_.user_groups
+        return abs(
+            user_group_quality_gap(recs, self.holdout, user_groups,
+                                   protected_value=protected_value)
+        )
+
+    def explain(self, *, protected_value=1) -> GNNUERSResult:
+        """Greedily remove the interactions that most reduce the user-group NDCG gap."""
+        rng = check_random_state(self.random_state)
+        interactions = self.recommender.interactions_
+        base_gap = self._gap(self.recommender, protected_value)
+
+        edges = interactions.to_bipartite_edges()
+        if len(edges) > self.candidate_edges:
+            idx = rng.choice(len(edges), size=self.candidate_edges, replace=False)
+            edges = [edges[i] for i in idx]
+
+        removed: list[tuple[int, int]] = []
+        current_recommender = self.recommender
+        current_gap = base_gap
+        history = [{"removed": [], "gap": base_gap}]
+        for _ in range(self.max_removals):
+            best_edge, best_gap, best_recommender = None, current_gap, None
+            for edge in edges:
+                if edge in removed:
+                    continue
+                candidate = current_recommender.refit_without(*edge)
+                gap = self._gap(candidate, protected_value)
+                if gap < best_gap - 1e-12:
+                    best_edge, best_gap, best_recommender = edge, gap, candidate
+            if best_edge is None:
+                break
+            removed.append(best_edge)
+            current_recommender = best_recommender
+            current_gap = best_gap
+            history.append({"removed": list(removed), "gap": current_gap})
+
+        return GNNUERSResult(
+            removed_edges=removed, base_gap=base_gap, final_gap=current_gap, history=history
+        )
+
+
+# --------------------------------------------------------------------------
+# Fairness-aware KG path re-ranking [44]
+# --------------------------------------------------------------------------
+@dataclass
+class PathRecommendation:
+    """A recommended item together with its explanation path through the KG."""
+
+    user: int
+    item: int
+    score: float
+    path: tuple[str, ...]
+    item_group: int
+
+
+def fairness_aware_path_rerank(
+    recommendations: list[PathRecommendation],
+    *,
+    k: int,
+    min_protected_share: float = 0.3,
+    diversity_weight: float = 0.1,
+    protected_value: int = 1,
+) -> list[PathRecommendation]:
+    """Re-rank path-explained recommendations under a group-exposure constraint.
+
+    Items are greedily selected by score, discounted for explanation-path
+    pattern repetition (``diversity_weight``), while guaranteeing at least
+    ``min_protected_share`` of every prefix comes from the protected item
+    group — the fairness constraint of the KG re-ranking approach.
+    """
+    remaining = sorted(recommendations, key=lambda r: -r.score)
+    result: list[PathRecommendation] = []
+    used_patterns: dict[tuple[str, ...], int] = {}
+    n_protected = 0
+    while remaining and len(result) < k:
+        required = int(np.ceil(min_protected_share * (len(result) + 1)))
+        pool = remaining
+        if n_protected < required:
+            protected_pool = [r for r in remaining if r.item_group == protected_value]
+            if protected_pool:
+                pool = protected_pool
+
+        def adjusted(rec: PathRecommendation) -> float:
+            pattern = rec.path[:2] if len(rec.path) >= 2 else rec.path
+            return rec.score - diversity_weight * used_patterns.get(pattern, 0)
+
+        best = max(pool, key=adjusted)
+        result.append(best)
+        remaining.remove(best)
+        pattern = best.path[:2] if len(best.path) >= 2 else best.path
+        used_patterns[pattern] = used_patterns.get(pattern, 0) + 1
+        if best.item_group == protected_value:
+            n_protected += 1
+    return result

@@ -1,0 +1,364 @@
+"""Explanations of unfairness in recommendation systems.
+
+Three surveyed approaches are implemented against the recommenders in
+:mod:`fairexp.recsys`:
+
+* :class:`EdgeRemovalExplainer` — counterfactual explanations for
+  recommendation bias via interaction (edge) removals on a random-walk
+  recommender (Zafeiriou [84] over RecWalk [85]): which past interactions, if
+  removed, most change a user's/item group's estimated scores and exposure.
+* :class:`CFairERExplainer` — attribute-level counterfactual explanations for
+  exposure unfairness (Wang et al. [86]): a minimal set of item attributes
+  whose neutralization most improves group exposure fairness.  The original
+  uses off-policy RL over a heterogeneous information network; here the same
+  search space is explored with a greedy forward selection (see DESIGN.md
+  substitution table).
+* :class:`CEFExplainer` — explainable fairness (Ge et al. [87]): learn the
+  minimal perturbation of input (user–feature / item–feature) relevance that
+  moves the recommendations to a target fairness level, and rank features by
+  an explainability score based on the fairness–utility trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..explanations.base import ExplainerInfo
+from ..recsys.interactions import InteractionMatrix
+from ..recsys.metrics import exposure_disparity, item_group_exposure, ndcg_at_k
+from ..recsys.models import BaseRecommender, RecWalkRecommender
+from ..utils import check_random_state, safe_divide
+
+__all__ = [
+    "EdgeRemovalExplanation",
+    "EdgeRemovalExplainer",
+    "CFairERResult",
+    "CFairERExplainer",
+    "CEFResult",
+    "CEFExplainer",
+]
+
+
+# --------------------------------------------------------------------------
+# Edge-removal counterfactuals on RecWalk [84]
+# --------------------------------------------------------------------------
+@dataclass
+class EdgeRemovalExplanation:
+    """Effect of removing one user–item interaction on scores / exposure."""
+
+    user: int
+    item: int
+    score_change: float
+    exposure_change: float
+
+    def describe(self) -> str:
+        return (
+            f"remove (user={self.user}, item={self.item}): "
+            f"Δscore={self.score_change:+.4f}, Δexposure_disparity={self.exposure_change:+.4f}"
+        )
+
+
+class EdgeRemovalExplainer:
+    """Counterfactual edge removals explaining recommendation bias.
+
+    For a target user (or the whole protected item group), every candidate
+    interaction edge is removed in turn, the random-walk recommender is
+    re-fitted, and the change in the target quantity (item score or
+    group exposure disparity) is recorded.  The edges with the largest effect
+    constitute the explanation.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="both",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(self, recommender: RecWalkRecommender, *, k: int = 10,
+                 max_edges: int = 40, random_state=None) -> None:
+        self.recommender = recommender
+        self.k = k
+        self.max_edges = max_edges
+        self.random_state = random_state
+
+    def _candidate_edges(self, interactions: InteractionMatrix) -> list[tuple[int, int]]:
+        edges = interactions.to_bipartite_edges()
+        rng = check_random_state(self.random_state)
+        if len(edges) > self.max_edges:
+            idx = rng.choice(len(edges), size=self.max_edges, replace=False)
+            edges = [edges[i] for i in idx]
+        return edges
+
+    def explain_item_score(self, user: int, item: int) -> list[EdgeRemovalExplanation]:
+        """Rank the user's own interactions by their influence on the score of ``item``."""
+        interactions = self.recommender.interactions_
+        base_score = float(self.recommender.score(user)[item])
+        explanations = []
+        user_items = np.flatnonzero(interactions.matrix[user] > 0)
+        for removed_item in user_items:
+            refitted = self.recommender.refit_without(user, int(removed_item))
+            new_score = float(refitted.score(user)[item])
+            explanations.append(
+                EdgeRemovalExplanation(
+                    user=user,
+                    item=int(removed_item),
+                    score_change=new_score - base_score,
+                    exposure_change=0.0,
+                )
+            )
+        explanations.sort(key=lambda e: e.score_change)
+        return explanations
+
+    def explain_group_exposure(self, *, protected_value=1) -> list[EdgeRemovalExplanation]:
+        """Rank interactions by how much their removal reduces exposure disparity."""
+        interactions = self.recommender.interactions_
+        base_recs = self.recommender.recommend_all(self.k)
+        base_disparity = exposure_disparity(
+            base_recs, interactions.item_groups, protected_value=protected_value
+        )
+        explanations = []
+        for user, item in self._candidate_edges(interactions):
+            refitted = self.recommender.refit_without(user, item)
+            new_recs = refitted.recommend_all(self.k)
+            new_disparity = exposure_disparity(
+                new_recs, interactions.item_groups, protected_value=protected_value
+            )
+            explanations.append(
+                EdgeRemovalExplanation(
+                    user=user,
+                    item=item,
+                    score_change=0.0,
+                    exposure_change=new_disparity - base_disparity,
+                )
+            )
+        explanations.sort(key=lambda e: e.exposure_change)
+        return explanations
+
+
+# --------------------------------------------------------------------------
+# CFairER: attribute-level counterfactual explanations [86]
+# --------------------------------------------------------------------------
+@dataclass
+class CFairERResult:
+    """Minimal attribute set improving exposure fairness, with the achieved metrics."""
+
+    selected_attributes: list[int]
+    attribute_names: list[str]
+    base_disparity: float
+    final_disparity: float
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        return self.base_disparity - self.final_disparity
+
+    def describe(self) -> list[str]:
+        return [self.attribute_names[a] for a in self.selected_attributes]
+
+
+class CFairERExplainer:
+    """Greedy attribute-level counterfactual explanation of exposure unfairness.
+
+    Item attributes (a binary item-attribute matrix, the HIN's attribute side)
+    are candidate explanation units.  Neutralizing an attribute removes its
+    contribution from the item scores; attributes are greedily added to the
+    explanation while the exposure disparity of the top-k recommendations
+    keeps improving.  Attentive action pruning is approximated by restricting
+    candidates to attributes correlated with the protected item group.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="global",
+        explanation_type="example",
+        multiplicity="single",
+    )
+
+    def __init__(
+        self,
+        recommender: BaseRecommender,
+        item_attributes: np.ndarray,
+        *,
+        attribute_names: list[str] | None = None,
+        k: int = 10,
+        max_attributes: int = 3,
+        attribute_effect: float = 0.5,
+        prune_correlation: float = 0.05,
+    ) -> None:
+        self.recommender = recommender
+        self.item_attributes = np.asarray(item_attributes, dtype=float)
+        self.attribute_names = attribute_names or [
+            f"attr_{j}" for j in range(self.item_attributes.shape[1])
+        ]
+        self.k = k
+        self.max_attributes = max_attributes
+        self.attribute_effect = attribute_effect
+        self.prune_correlation = prune_correlation
+
+    def _scores_with_neutralized(self, neutralized: list[int]) -> np.ndarray:
+        scores = self.recommender.score_matrix().copy()
+        if neutralized:
+            # Remove the score boost carried by the neutralized attributes.
+            penalty = self.item_attributes[:, neutralized].sum(axis=1)
+            scores = scores - self.attribute_effect * penalty[None, :] * scores.std()
+        return scores
+
+    def _disparity_of_scores(self, scores: np.ndarray, item_groups, protected_value) -> float:
+        seen = self.recommender.interactions_.matrix > 0
+        masked = np.where(seen, -np.inf, scores)
+        recs = np.argsort(-masked, axis=1)[:, : self.k]
+        return exposure_disparity(recs, item_groups, protected_value=protected_value)
+
+    def _pruned_candidates(self, item_groups, protected_value) -> list[int]:
+        protected = (np.asarray(item_groups) == protected_value).astype(float)
+        candidates = []
+        for j in range(self.item_attributes.shape[1]):
+            attribute = self.item_attributes[:, j]
+            if attribute.std() == 0 or protected.std() == 0:
+                continue
+            correlation = abs(float(np.corrcoef(attribute, protected)[0, 1]))
+            if correlation >= self.prune_correlation:
+                candidates.append(j)
+        return candidates or list(range(self.item_attributes.shape[1]))
+
+    def explain(self, *, protected_value=1) -> CFairERResult:
+        """Greedily select the minimal attribute set whose neutralization improves fairness."""
+        item_groups = self.recommender.interactions_.item_groups
+        base_scores = self._scores_with_neutralized([])
+        base_disparity = self._disparity_of_scores(base_scores, item_groups, protected_value)
+
+        selected: list[int] = []
+        history = [{"selected": [], "disparity": base_disparity}]
+        current = base_disparity
+        candidates = self._pruned_candidates(item_groups, protected_value)
+        while len(selected) < self.max_attributes:
+            best_attribute, best_disparity = None, current
+            for j in candidates:
+                if j in selected:
+                    continue
+                disparity = self._disparity_of_scores(
+                    self._scores_with_neutralized(selected + [j]), item_groups, protected_value
+                )
+                if disparity < best_disparity - 1e-12:
+                    best_attribute, best_disparity = j, disparity
+            if best_attribute is None:
+                break
+            selected.append(best_attribute)
+            current = best_disparity
+            history.append({"selected": list(selected), "disparity": current})
+
+        return CFairERResult(
+            selected_attributes=selected,
+            attribute_names=self.attribute_names,
+            base_disparity=base_disparity,
+            final_disparity=current,
+            history=history,
+        )
+
+
+# --------------------------------------------------------------------------
+# CEF: explainable fairness via feature perturbation [87]
+# --------------------------------------------------------------------------
+@dataclass
+class CEFResult:
+    """Per-feature explainability scores for exposure unfairness."""
+
+    feature_names: list[str]
+    fairness_gain: np.ndarray
+    utility_loss: np.ndarray
+    explainability_score: np.ndarray
+    base_disparity: float
+    base_ndcg: float
+
+    def ranked(self) -> list[tuple[str, float]]:
+        order = np.argsort(-self.explainability_score)
+        return [(self.feature_names[j], float(self.explainability_score[j])) for j in order]
+
+
+class CEFExplainer:
+    """Explainable fairness in recommendation via minimal feature perturbations.
+
+    Each item feature is perturbed (its contribution to the scores is damped),
+    the change in exposure disparity (fairness gain) and in recommendation
+    quality (utility loss, NDCG against held-out interactions) is measured,
+    and features are ranked by the explainability score
+    ``fairness_gain - beta * utility_loss``.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="global",
+        explanation_type="example",
+        multiplicity="single",
+    )
+
+    def __init__(
+        self,
+        recommender: BaseRecommender,
+        item_features: np.ndarray,
+        holdout: np.ndarray,
+        *,
+        feature_names: list[str] | None = None,
+        k: int = 10,
+        perturbation: float = 0.5,
+        beta: float = 0.5,
+    ) -> None:
+        self.recommender = recommender
+        self.item_features = np.asarray(item_features, dtype=float)
+        self.holdout = np.asarray(holdout, dtype=float)
+        self.feature_names = feature_names or [
+            f"feature_{j}" for j in range(self.item_features.shape[1])
+        ]
+        self.k = k
+        self.perturbation = perturbation
+        self.beta = beta
+
+    def _topk_from_scores(self, scores: np.ndarray) -> np.ndarray:
+        seen = self.recommender.interactions_.matrix > 0
+        masked = np.where(seen, -np.inf, scores)
+        return np.argsort(-masked, axis=1)[:, : self.k]
+
+    def explain(self, *, protected_value=1) -> CEFResult:
+        """Score every item feature by its fairness-utility trade-off."""
+        item_groups = self.recommender.interactions_.item_groups
+        base_scores = self.recommender.score_matrix()
+        base_recs = self._topk_from_scores(base_scores)
+        base_disparity = exposure_disparity(base_recs, item_groups,
+                                            protected_value=protected_value)
+        base_ndcg = ndcg_at_k(base_recs, self.holdout)
+
+        n_features = self.item_features.shape[1]
+        fairness_gain = np.zeros(n_features)
+        utility_loss = np.zeros(n_features)
+        scale = base_scores.std() or 1.0
+        for j in range(n_features):
+            feature = self.item_features[:, j]
+            if feature.std() > 0:
+                centered = (feature - feature.mean()) / feature.std()
+            else:
+                centered = np.zeros_like(feature)
+            perturbed_scores = base_scores - self.perturbation * scale * centered[None, :]
+            recs = self._topk_from_scores(perturbed_scores)
+            disparity = exposure_disparity(recs, item_groups, protected_value=protected_value)
+            ndcg = ndcg_at_k(recs, self.holdout)
+            fairness_gain[j] = base_disparity - disparity
+            utility_loss[j] = base_ndcg - ndcg
+
+        explainability = fairness_gain - self.beta * utility_loss
+        return CEFResult(
+            feature_names=list(self.feature_names),
+            fairness_gain=fairness_gain,
+            utility_loss=utility_loss,
+            explainability_score=explainability,
+            base_disparity=base_disparity,
+            base_ndcg=base_ndcg,
+        )

@@ -1,0 +1,198 @@
+"""Two-level recourse sets (AReS-style, Rawal & Lakkaraju [74]).
+
+AReS produces *interpretable and interactive summaries of actionable
+recourses*: a two-level structure where an outer "subgroup descriptor"
+predicate selects a subpopulation and an inner rule prescribes the action
+(feature changes) its members should take.  The summary is optimized for a
+weighted combination of correctness (the action flips the prediction),
+coverage (how many affected individuals are covered) and cost, subject to a
+budget on the number of rules — making recourse differences between
+subgroups directly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..explanations.base import ExplainerInfo
+from ..explanations.rules import Predicate, discretize_features
+from ..fairness.groups import group_masks
+from .facts import Action
+
+__all__ = ["RecourseRule", "TwoLevelRecourseSet", "RecourseSetExplainer"]
+
+
+@dataclass
+class RecourseRule:
+    """One two-level rule: IF descriptor THEN apply action."""
+
+    descriptor: tuple[Predicate, ...]
+    action: Action
+    coverage: float
+    correctness: float
+    mean_cost: float
+
+    def describe(self, feature_names: Sequence[str]) -> str:
+        premise = " AND ".join(str(p) for p in self.descriptor) or "TRUE"
+        return (
+            f"IF {premise} THEN {self.action.describe(feature_names)} "
+            f"(coverage={self.coverage:.2f}, correctness={self.correctness:.2f}, "
+            f"cost={self.mean_cost:.2f})"
+        )
+
+
+@dataclass
+class TwoLevelRecourseSet:
+    """The selected set of recourse rules plus per-group aggregate statistics."""
+
+    rules: list[RecourseRule]
+    total_coverage: float
+    coverage_protected: float
+    coverage_reference: float
+    correctness_protected: float
+    correctness_reference: float
+    feature_names: list[str] = field(default_factory=list)
+
+    @property
+    def coverage_gap(self) -> float:
+        """coverage(reference) - coverage(protected)."""
+        return self.coverage_reference - self.coverage_protected
+
+    def describe(self) -> list[str]:
+        return [rule.describe(self.feature_names) for rule in self.rules]
+
+
+class RecourseSetExplainer:
+    """Greedy construction of a two-level recourse set.
+
+    Rules are built by pairing frequent subgroup descriptors (mined on the
+    affected population) with candidate actions, scoring each pair by
+    ``correctness * coverage - cost_weight * cost``, and greedily selecting
+    rules with marginal coverage gain until ``max_rules`` is reached.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="both",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(
+        self,
+        model,
+        candidate_actions: Sequence[Action],
+        *,
+        feature_names: Sequence[str],
+        sensitive_index: int | None = None,
+        max_rules: int = 4,
+        n_bins: int = 3,
+        min_descriptor_support: float = 0.15,
+        cost_weight: float = 0.02,
+    ) -> None:
+        self.model = model
+        self.candidate_actions = list(candidate_actions)
+        self.feature_names = list(feature_names)
+        self.sensitive_index = sensitive_index
+        self.max_rules = max_rules
+        self.n_bins = n_bins
+        self.min_descriptor_support = min_descriptor_support
+        self.cost_weight = cost_weight
+
+    def _descriptors(self, X_affected: np.ndarray) -> list[tuple[Predicate, ...]]:
+        feature_indices = [
+            j for j in range(X_affected.shape[1]) if j != self.sensitive_index
+        ]
+        predicates = discretize_features(
+            X_affected, feature_names=self.feature_names, n_bins=self.n_bins,
+            feature_indices=feature_indices,
+        )
+        descriptors: list[tuple[Predicate, ...]] = [()]
+        for predicate in predicates:
+            if predicate.mask(X_affected).mean() >= self.min_descriptor_support:
+                descriptors.append((predicate,))
+        return descriptors
+
+    def explain(self, X, sensitive, *, protected_value=1) -> TwoLevelRecourseSet:
+        """Build the recourse-set summary on the negatively classified population."""
+        X = np.asarray(X, dtype=float)
+        sensitive = np.asarray(sensitive)
+        predictions = np.asarray(self.model.predict(X))
+        affected_mask = predictions == 0
+        X_affected = X[affected_mask]
+        sensitive_affected = sensitive[affected_mask]
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+
+        candidate_rules: list[tuple[RecourseRule, np.ndarray]] = []
+        for descriptor in self._descriptors(X_affected):
+            descriptor_mask = np.ones(X_affected.shape[0], dtype=bool)
+            for predicate in descriptor:
+                descriptor_mask &= predicate.mask(X_affected)
+            if not descriptor_mask.any():
+                continue
+            rows = X_affected[descriptor_mask]
+            for action in self.candidate_actions:
+                modified = action.apply(rows)
+                flipped = np.asarray(self.model.predict(modified)) == 1
+                correctness = float(flipped.mean())
+                cost = float(action.cost(rows, scale).mean())
+                coverage = float(descriptor_mask.mean())
+                rule = RecourseRule(
+                    descriptor=descriptor, action=action,
+                    coverage=coverage, correctness=correctness, mean_cost=cost,
+                )
+                # Per-row success mask in the affected population's indexing.
+                success_mask = np.zeros(X_affected.shape[0], dtype=bool)
+                success_mask[np.flatnonzero(descriptor_mask)[flipped]] = True
+                candidate_rules.append((rule, success_mask))
+
+        # Greedy selection by marginal covered-and-corrected individuals.
+        selected: list[RecourseRule] = []
+        covered = np.zeros(X_affected.shape[0], dtype=bool)
+        for _ in range(self.max_rules):
+            best_rule, best_gain, best_mask = None, 0.0, None
+            for rule, success_mask in candidate_rules:
+                marginal = float((success_mask & ~covered).mean())
+                gain = marginal - self.cost_weight * rule.mean_cost
+                if gain > best_gain + 1e-12:
+                    best_rule, best_gain, best_mask = rule, gain, success_mask
+            if best_rule is None:
+                break
+            selected.append(best_rule)
+            covered |= best_mask
+
+        masks = group_masks(sensitive_affected, protected_value=protected_value) if (
+            np.unique(sensitive_affected).shape[0] > 1
+        ) else None
+
+        def side_coverage(group_mask: np.ndarray) -> tuple[float, float]:
+            if group_mask.sum() == 0:
+                return 0.0, 0.0
+            coverage = float(covered[group_mask].mean())
+            # correctness among covered members of the group
+            covered_members = covered & group_mask
+            correctness = float(covered_members.sum() / max(group_mask.sum(), 1))
+            return coverage, correctness
+
+        if masks is not None:
+            coverage_protected, correctness_protected = side_coverage(masks.protected)
+            coverage_reference, correctness_reference = side_coverage(masks.reference)
+        else:
+            coverage_protected = coverage_reference = float(covered.mean())
+            correctness_protected = correctness_reference = float(covered.mean())
+
+        return TwoLevelRecourseSet(
+            rules=selected,
+            total_coverage=float(covered.mean()),
+            coverage_protected=coverage_protected,
+            coverage_reference=coverage_reference,
+            correctness_protected=correctness_protected,
+            correctness_reference=correctness_reference,
+            feature_names=self.feature_names,
+        )

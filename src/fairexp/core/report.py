@@ -1,0 +1,184 @@
+"""End-to-end fairness audit report combining metrics and explanations.
+
+:class:`FairnessAuditor` is the library's highest-level entry point: given a
+trained classifier and a :class:`~fairexp.datasets.Dataset`, it produces a
+:class:`FairnessAuditReport` bundling the group-fairness metric battery, the
+counterfactual burden / NAWB audit, a fairness-Shapley attribution, and
+(optionally) a FACTS subgroup audit — the three explanation goals (E, U, M)
+the paper identifies, in one object suitable for dashboards or CI checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.schema import Dataset
+from ..explanations.base import FeatureAttribution
+from ..explanations.counterfactual import (
+    ActionabilityConstraints,
+    GrowingSpheresCounterfactual,
+)
+from ..fairness.group_metrics import GroupFairnessReport, group_fairness_report
+from .burden import BurdenExplainer, BurdenResult
+from .facts import FACTSExplainer, FACTSResult
+from .fairness_shap import FairnessShapExplainer
+from .nawb import NAWBExplainer, NAWBResult
+
+__all__ = ["FairnessAuditReport", "FairnessAuditor"]
+
+
+@dataclass
+class FairnessAuditReport:
+    """Everything the auditor computed, with a text renderer."""
+
+    dataset_name: str
+    model_name: str
+    metrics: GroupFairnessReport
+    burden: BurdenResult | None = None
+    nawb: NAWBResult | None = None
+    fairness_attribution: FeatureAttribution | None = None
+    facts: FACTSResult | None = None
+    meta: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the audit."""
+        lines = [
+            f"Fairness audit — model {self.model_name!r} on dataset {self.dataset_name!r}",
+            "",
+            "Group fairness metrics (protected minus reference):",
+        ]
+        for name, value in self.metrics.as_dict().items():
+            lines.append(f"  {name:35s} {value:+.4f}")
+        worst, deviation = self.metrics.worst_violation()
+        lines.append(f"  worst violation: {worst} (|dev| = {deviation:.4f})")
+        if self.burden is not None:
+            lines.append("")
+            lines.append("Counterfactual burden [72]:")
+            for name, value in self.burden.as_dict().items():
+                lines.append(f"  {name:35s} {value:+.4f}")
+        if self.nawb is not None:
+            lines.append("")
+            lines.append("Normalized accuracy-weighted burden [73]:")
+            for name, value in self.nawb.as_dict().items():
+                lines.append(f"  {name:35s} {value:+.4f}")
+        if self.fairness_attribution is not None:
+            lines.append("")
+            lines.append("Fairness-Shapley attribution of the parity gap [81]:")
+            for name, value in self.fairness_attribution.top(5):
+                lines.append(f"  {name:35s} {value:+.4f}")
+        if self.facts is not None:
+            lines.append("")
+            lines.append("FACTS most recourse-biased subgroups [77]:")
+            for audit in self.facts.top_biased(3):
+                lines.append(f"  {audit.describe()}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """Flat dictionary of the headline numbers (for logging / benchmarking)."""
+        result = {"dataset": self.dataset_name, "model": self.model_name}
+        result.update(self.metrics.as_dict())
+        if self.burden is not None:
+            result.update(self.burden.as_dict())
+        if self.nawb is not None:
+            result.update(self.nawb.as_dict())
+        if self.fairness_attribution is not None:
+            result["fairness_attribution"] = self.fairness_attribution.as_dict()
+        return result
+
+
+class FairnessAuditor:
+    """One-call fairness audit of a classifier on a dataset.
+
+    Parameters
+    ----------
+    include:
+        Which optional explanation components to run; any subset of
+        ``{"burden", "nawb", "shap", "facts"}``.  The metric battery always runs.
+    max_explained:
+        Cap on the number of individuals counterfactuals are generated for
+        (keeps the audit fast on large test sets).
+    """
+
+    def __init__(
+        self,
+        *,
+        include: tuple[str, ...] = ("burden", "nawb", "shap"),
+        max_explained: int = 40,
+        random_state=None,
+    ) -> None:
+        self.include = tuple(include)
+        self.max_explained = max_explained
+        self.random_state = random_state
+
+    def audit(self, model, dataset: Dataset, *, train_dataset: Dataset | None = None
+              ) -> FairnessAuditReport:
+        """Run the audit of ``model`` on ``dataset`` (test split).
+
+        ``train_dataset`` provides the background sample for Shapley and
+        counterfactual search; it defaults to the audited dataset.
+        """
+        background_dataset = train_dataset or dataset
+        rng = np.random.default_rng(self.random_state)
+
+        predictions = np.asarray(model.predict(dataset.X))
+        proba = None
+        if hasattr(model, "predict_proba"):
+            proba = np.asarray(model.predict_proba(dataset.X))[:, 1]
+        metrics = group_fairness_report(
+            dataset.y, predictions, dataset.sensitive_values, y_proba=proba
+        )
+
+        # Subsample the audited rows for the counterfactual-based components.
+        if dataset.n_samples > self.max_explained * 4:
+            idx = rng.choice(dataset.n_samples, size=self.max_explained * 4, replace=False)
+            audit_subset = dataset.subset(idx)
+        else:
+            audit_subset = dataset
+
+        constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
+        generator = GrowingSpheresCounterfactual(
+            model, background_dataset.X, constraints=constraints, random_state=self.random_state
+        )
+
+        burden = None
+        if "burden" in self.include:
+            burden = BurdenExplainer(generator).explain(
+                audit_subset.X, audit_subset.sensitive_values
+            )
+        nawb = None
+        if "nawb" in self.include:
+            nawb = NAWBExplainer(generator).explain(
+                audit_subset.X, audit_subset.y, audit_subset.sensitive_values
+            )
+        attribution = None
+        if "shap" in self.include:
+            explainer = FairnessShapExplainer(
+                model,
+                background_dataset.X,
+                feature_names=dataset.feature_names,
+                method="exact" if dataset.n_features <= 8 else "sampling",
+                random_state=self.random_state,
+            )
+            attribution = explainer.explain(audit_subset.X, audit_subset.sensitive_values)
+        facts = None
+        if "facts" in self.include:
+            facts_explainer = FACTSExplainer(
+                model,
+                dataset.feature_names,
+                dataset.sensitive_index,
+                random_state=self.random_state,
+            )
+            facts = facts_explainer.explain(dataset.X, dataset.sensitive_values)
+
+        return FairnessAuditReport(
+            dataset_name=dataset.name,
+            model_name=type(model).__name__,
+            metrics=metrics,
+            burden=burden,
+            nawb=nawb,
+            fairness_attribution=attribution,
+            facts=facts,
+            meta={"n_samples_audited": audit_subset.n_samples},
+        )

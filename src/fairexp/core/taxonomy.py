@@ -1,0 +1,296 @@
+"""Machine-readable taxonomies (Figures 1-2) and the Table I approach registry.
+
+The paper's display items are two taxonomy figures and one comparison table.
+This module encodes them as data structures and provides text renderers, so
+the benchmarks can regenerate every figure and table directly from the
+library — and cross-check the Table I rows against the classes that actually
+implement each surveyed approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TaxonomyNode",
+    "fairness_taxonomy",
+    "explanation_taxonomy",
+    "render_taxonomy",
+    "ApproachEntry",
+    "TABLE_I",
+    "render_table_i",
+    "implemented_class",
+]
+
+
+@dataclass
+class TaxonomyNode:
+    """A node of a taxonomy tree."""
+
+    name: str
+    children: list["TaxonomyNode"] = field(default_factory=list)
+
+    def add(self, *names: str) -> "TaxonomyNode":
+        for name in names:
+            self.children.append(TaxonomyNode(name))
+        return self
+
+    def find(self, name: str) -> "TaxonomyNode | None":
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def leaves(self) -> list[str]:
+        if not self.children:
+            return [self.name]
+        result = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+
+def fairness_taxonomy() -> TaxonomyNode:
+    """Figure 1: taxonomy of fairness approaches."""
+    root = TaxonomyNode("Fairness")
+
+    level = TaxonomyNode("Level of fairness")
+    individual = TaxonomyNode("Individual")
+    individual.add("Distance-based (fairness through awareness)", "Counterfactual fairness")
+    group = TaxonomyNode("Group")
+    group.add(
+        "Base rates (statistical parity / disparate impact)",
+        "Accuracy-based (equal opportunity / equalized odds)",
+        "Calibration-based",
+    )
+    level.children = [individual, group]
+
+    criteria = TaxonomyNode("Fairness criteria")
+    criteria.add("Observational", "Causal")
+
+    stage = TaxonomyNode("Stage of mitigation")
+    stage.add("Pre-processing", "In-processing", "Post-processing")
+
+    tasks = TaxonomyNode("Task")
+    classification = TaxonomyNode("Classification")
+    ranking = TaxonomyNode("Ranking / recommendation")
+    ranking.add(
+        "Consumer-side vs producer-side",
+        "Exposure-based",
+        "Probability-based",
+    )
+    graphs = TaxonomyNode("Graphs")
+    graphs.add(
+        "Representation learning",
+        "Node classification",
+        "Link prediction",
+        "Graph clustering",
+        "Recommendation over graphs",
+    )
+    clustering = TaxonomyNode("Clustering")
+    tasks.children = [classification, ranking, graphs, clustering]
+
+    modality = TaxonomyNode("Data modality")
+    modality.add("Tabular", "Text", "Image", "Video", "Graphs / KGs")
+
+    extra = TaxonomyNode("Fairness in explanations")
+    extra.add(
+        "Explanation-quality parity (fidelity / stability / sparsity)",
+        "Diversity of explanations",
+    )
+
+    root.children = [level, criteria, stage, tasks, modality, extra]
+    return root
+
+
+def explanation_taxonomy() -> TaxonomyNode:
+    """Figure 2: taxonomy of explanation approaches."""
+    root = TaxonomyNode("Explanations")
+
+    stage = TaxonomyNode("Stage")
+    stage.add("Intrinsic", "Pre-process / data-based")
+    post_hoc = TaxonomyNode("Post-hoc")
+
+    access = TaxonomyNode("Model access")
+    access.add("White-box (complete access)", "Gradient access", "Black-box")
+
+    agnosticism = TaxonomyNode("Model agnosticism")
+    agnosticism.add("Model-agnostic", "Model-specific")
+
+    coverage = TaxonomyNode("Coverage")
+    coverage.add("Global", "Local")
+
+    multiplicity = TaxonomyNode("Multiplicity")
+    multiplicity.add("Single explanation", "Multiple explanations")
+
+    explanation_type = TaxonomyNode("Explanation type")
+    feature = TaxonomyNode("Feature-based")
+    feature.add("Feature importance", "Partial dependence plots", "Shapley values (SHAP)")
+    example = TaxonomyNode("Example-based")
+    example.add(
+        "Counterfactual explanations",
+        "Actionable recourse",
+        "Prototypes",
+        "Nearest neighbours",
+        "Influence-based",
+        "Contrastive",
+    )
+    approximation = TaxonomyNode("Approximation-based")
+    approximation.add("Surrogate models (local / global)", "Rule-based")
+    explanation_type.children = [feature, example, approximation]
+
+    post_hoc.children = [access, agnosticism, coverage, multiplicity, explanation_type]
+    stage.children.append(post_hoc)
+
+    task = TaxonomyNode("Task-specific explanations")
+    task.add("Classification", "Recommendation", "Ranking", "Graphs / GNNs / KGs")
+
+    root.children = [stage, task]
+    return root
+
+
+def render_taxonomy(node: TaxonomyNode, *, indent: str = "") -> str:
+    """Render a taxonomy tree as an indented text outline."""
+    lines = [f"{indent}{node.name}"]
+    for child in node.children:
+        lines.append(render_taxonomy(child, indent=indent + "  "))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Table I registry
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ApproachEntry:
+    """One row of Table I: a surveyed approach for explaining (un)fairness.
+
+    ``implementation`` names the fairexp class (module-qualified, relative to
+    ``fairexp``) that reproduces the approach, so the table can be verified
+    against the code.
+    """
+
+    reference: str
+    name: str
+    stage: str            # Post / Intrinsic / Data
+    access: str           # B (black-box) / G (gradient) / W (white-box)
+    agnostic: str         # A / S
+    coverage: str         # G / L / Both
+    explanation_type: str
+    output: str
+    fairness_level: str   # Group / Individual / Both
+    fairness_type: str
+    task: str             # Clf / Recs / Rank
+    goal: str             # E / U / M combinations
+    implementation: str
+
+
+TABLE_I: list[ApproachEntry] = [
+    ApproachEntry("[10]", "Probabilistic contrastive counterfactuals", "Post", "B", "A", "Both",
+                  "Contrastive CFEs", "Probabilistic contrastive actionable recourses", "Both",
+                  "Fairness of recourse", "Clf", "U",
+                  "core.probabilistic_contrastive.ProbabilisticContrastiveExplainer"),
+    ApproachEntry("[63]", "Gopher (data-based explanations)", "Post", "G", "S", "G",
+                  "Influence-based", "Predicate-based causal", "Group",
+                  "Base-Rates/Accuracy-Based", "Clf", "U, M",
+                  "core.data_explanations.GopherExplainer"),
+    ApproachEntry("[71]", "PreCoF", "Post", "B", "A", "L", "CFE",
+                  "Most significant feature change", "Group", "Implicit/Explicit bias", "Clf", "U",
+                  "core.precof.PreCoFExplainer"),
+    ApproachEntry("[72]", "CERTIFAI burden", "Post", "B", "A", "L", "CFE", "CFEs", "Both",
+                  "Burden", "Clf", "E, U", "core.burden.BurdenExplainer"),
+    ApproachEntry("[73]", "NAWB", "Post", "B", "A", "G", "CFE", "Burden", "Both", "Burden",
+                  "Clf", "E, U", "core.nawb.NAWBExplainer"),
+    ApproachEntry("[74]", "Two-level recourse sets (AReS)", "Post", "B", "A", "Both", "Recourse",
+                  "Two level Recourse Sets", "Both", "User study", "Clf", "U",
+                  "core.recourse_sets.RecourseSetExplainer"),
+    ApproachEntry("[75]", "GLOBE-CE", "Post", "B", "A", "G", "CFE", "CFEs", "Group",
+                  "Fairness of recourse", "Clf", "U", "core.globe_ce.GlobeCEExplainer"),
+    ApproachEntry("[77]", "FACTS", "Post", "B", "A", "G", "CFE", "CFEs", "Group",
+                  "Fairness of recourse", "Clf", "E, U", "core.facts.FACTSExplainer"),
+    ApproachEntry("[82]", "Causal path decomposition", "Post", "B", "A", "G", "Recourse",
+                  "Causal path", "Group", "Base-Rates", "Clf", "U, M",
+                  "core.causal_paths.CausalPathExplainer"),
+    ApproachEntry("[79]", "Equalizing recourse", "Post", "B", "A", "G", "Recourse", "Recourses",
+                  "Group", "Fairness of recourse", "Clf", "E, M",
+                  "core.fair_recourse.recourse_gap_report"),
+    ApproachEntry("[80]", "Fair causal recourse", "Post", "B", "A", "Both", "Recourse",
+                  "Recourses", "Both", "Fairness of recourse", "Clf", "E, M",
+                  "core.fair_recourse.causal_recourse_fairness"),
+    ApproachEntry("[89]", "Structural bias edge sets", "Post", "B", "A", "L", "CFE", "Edge-Set",
+                  "Both", "Dist/on Distance-Based Base-Rates/Accuracy-Based", "Clf", "E, U, M",
+                  "core.graph_explanations.StructuralBiasExplainer"),
+    ApproachEntry("[81]", "Fairness Shapley values", "Post", "B", "A", "Both", "Shapley",
+                  "Shapley based visualization", "Group", "Base-Rates", "Clf", "U, M",
+                  "core.fairness_shap.FairnessShapExplainer"),
+    ApproachEntry("[84]", "Edge-removal CFEs for recommendation bias", "Post", "B", "A", "Both",
+                  "CFE", "CFEs", "Both", "Base-Rates", "Recs", "U",
+                  "core.rec_explanations.EdgeRemovalExplainer"),
+    ApproachEntry("[86]", "CFairER", "Post", "B", "A", "G", "CFE", "CFEs", "Group", "Exposure",
+                  "Recs", "U, M", "core.rec_explanations.CFairERExplainer"),
+    ApproachEntry("[87]", "CEF (explainable fairness)", "Post", "B", "A", "G", "CFE", "CFEs",
+                  "Group", "Exposure", "Recs", "U, M", "core.rec_explanations.CEFExplainer"),
+    ApproachEntry("[88]", "Dexer", "Post", "B", "A", "G", "Shapley",
+                  "Attribute Shapley value distribution visualization", "Group", "Exposure",
+                  "Rank", "U", "core.ranking_explanations.DexerExplainer"),
+    ApproachEntry("[90]", "Training-node influence on bias", "Post", "G", "S", "G",
+                  "Influence-based", "Node influence", "Group", "Base-Rates/Accuracy-Based",
+                  "Clf", "E, U, M", "core.graph_explanations.NodeInfluenceExplainer"),
+    ApproachEntry("[83]", "Gopher top-k data subsets", "Post", "B", "A", "G", "Contrastive",
+                  "Top-k data subsets", "Group", "Base-Rates/Accuracy-Based", "Clf", "U, M",
+                  "core.data_explanations.GopherExplainer"),
+    ApproachEntry("[91]", "GNNUERS", "Post", "B", "A", "G", "CFE", "CFE", "Group", "Exposure",
+                  "Recs", "U, M", "core.graph_explanations.GNNUERSExplainer"),
+    ApproachEntry("[44]", "Fairness-aware KG path re-ranking", "Post", "B", "A", "Both",
+                  "Example-based", "Top-k KG-path", "Both", "Constraints", "Recs", "E, U, M",
+                  "core.graph_explanations.fairness_aware_path_rerank"),
+    ApproachEntry("[65]", "Actionable recourse (SCM interventions)", "Post", "B", "A", "L",
+                  "Recourse", "Flipsets / structural interventions", "Both",
+                  "Fairness of recourse", "Clf", "U, M",
+                  "core.actionable_recourse.CausalRecourseExplainer"),
+]
+
+
+def implemented_class(entry: ApproachEntry):
+    """Resolve a Table I row to the object implementing it (raises if missing)."""
+    import importlib
+
+    module_name, _, attribute = entry.implementation.rpartition(".")
+    module = importlib.import_module(f"fairexp.{module_name}")
+    return getattr(module, attribute)
+
+
+def render_table_i(entries: list[ApproachEntry] | None = None) -> str:
+    """Render the Table I comparison as fixed-width text."""
+    entries = entries if entries is not None else TABLE_I
+    header = (
+        "Appr.", "Stage", "Access", "Agn.", "Coverage", "Type", "Level", "Task", "Goal"
+    )
+    rows = [header]
+    for entry in entries:
+        rows.append(
+            (
+                entry.reference,
+                entry.stage,
+                entry.access,
+                entry.agnostic,
+                entry.coverage,
+                entry.explanation_type,
+                entry.fairness_level,
+                entry.task,
+                entry.goal,
+            )
+        )
+    widths = [max(len(str(row[i])) for row in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        line = "  ".join(str(value).ljust(widths[i]) for i, value in enumerate(row))
+        lines.append(line)
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

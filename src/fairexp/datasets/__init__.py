@@ -1,0 +1,38 @@
+"""Dataset containers, synthetic benchmark generators and bias injection."""
+
+from .bias import (
+    inject_label_bias,
+    inject_measurement_bias,
+    inject_proxy_feature,
+    inject_selection_bias,
+    proxy_correlation,
+)
+from .io import load_csv, save_csv
+from .schema import Dataset, FeatureSpec, make_feature_specs
+from .synthetic import (
+    make_adult_like,
+    make_compas_like,
+    make_german_credit_like,
+    make_hiring_dataset,
+    make_loan_dataset,
+    make_scm_loan_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "FeatureSpec",
+    "make_feature_specs",
+    "make_adult_like",
+    "make_german_credit_like",
+    "make_compas_like",
+    "make_loan_dataset",
+    "make_hiring_dataset",
+    "make_scm_loan_dataset",
+    "inject_label_bias",
+    "inject_selection_bias",
+    "inject_proxy_feature",
+    "inject_measurement_bias",
+    "proxy_correlation",
+    "save_csv",
+    "load_csv",
+]

@@ -1,0 +1,94 @@
+"""CSV persistence for :class:`fairexp.datasets.Dataset`.
+
+The format is a plain CSV with a small JSON sidecar holding the feature
+metadata, so datasets can be exchanged with external tools and reloaded
+without losing actionability / immutability information.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .schema import Dataset, FeatureSpec
+
+__all__ = ["save_csv", "load_csv"]
+
+_LABEL_COLUMN = "__label__"
+
+
+def save_csv(dataset: Dataset, path) -> Path:
+    """Write the dataset to ``path`` (CSV) plus ``path.meta.json`` (metadata).
+
+    Returns the CSV path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(dataset.feature_names + [_LABEL_COLUMN])
+        for row, label in zip(dataset.X, dataset.y):
+            writer.writerow([repr(float(v)) for v in row] + [int(label)])
+
+    metadata = {
+        "name": dataset.name,
+        "sensitive": dataset.sensitive,
+        "features": [
+            {
+                "name": spec.name,
+                "kind": spec.kind,
+                "actionable": spec.actionable,
+                "immutable": spec.immutable,
+                "monotone": spec.monotone,
+                "lower": spec.lower,
+                "upper": spec.upper,
+                "categories": list(spec.categories),
+            }
+            for spec in dataset.features
+        ],
+    }
+    meta_path = path.with_suffix(path.suffix + ".meta.json")
+    meta_path.write_text(json.dumps(metadata, indent=2))
+    return path
+
+
+def load_csv(path) -> Dataset:
+    """Load a dataset written by :func:`save_csv`."""
+    path = Path(path)
+    meta_path = path.with_suffix(path.suffix + ".meta.json")
+    if not path.exists():
+        raise ValidationError(f"no such file: {path}")
+    if not meta_path.exists():
+        raise ValidationError(f"missing metadata sidecar: {meta_path}")
+    metadata = json.loads(meta_path.read_text())
+
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [row for row in reader if row]
+
+    if header[-1] != _LABEL_COLUMN:
+        raise ValidationError("CSV is missing the label column")
+    data = np.asarray([[float(v) for v in row] for row in rows])
+    X, y = data[:, :-1], data[:, -1].astype(int)
+
+    features = [
+        FeatureSpec(
+            name=spec["name"],
+            kind=spec["kind"],
+            actionable=spec["actionable"],
+            immutable=spec["immutable"],
+            monotone=spec["monotone"],
+            lower=spec["lower"],
+            upper=spec["upper"],
+            categories=tuple(spec["categories"]),
+        )
+        for spec in metadata["features"]
+    ]
+    return Dataset(
+        X=X, y=y, features=features, sensitive=metadata["sensitive"], name=metadata["name"]
+    )

@@ -1,0 +1,351 @@
+"""Synthetic dataset generators.
+
+The generators reproduce the *schema and bias structure* of the public
+benchmark datasets the explaining-unfairness literature uses (Adult income,
+German credit, COMPAS recidivism, loan approval, hiring), without requiring
+network access.  Every generator exposes explicit knobs for the amount of
+direct bias (the sensitive attribute shifts the label), proxy bias (a
+non-sensitive attribute correlates with the sensitive one and shifts the
+label), and label noise, so experiments can sweep bias strength.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import check_random_state, sigmoid
+from .schema import Dataset, FeatureSpec
+
+__all__ = [
+    "make_adult_like",
+    "make_german_credit_like",
+    "make_compas_like",
+    "make_loan_dataset",
+    "make_hiring_dataset",
+    "make_scm_loan_dataset",
+]
+
+
+def _bernoulli(rng: np.random.Generator, p) -> np.ndarray:
+    return (rng.random(np.shape(p)) < p).astype(float)
+
+
+def make_adult_like(
+    n_samples: int = 2000,
+    *,
+    direct_bias: float = 1.0,
+    proxy_bias: float = 0.8,
+    label_noise: float = 0.05,
+    random_state=None,
+) -> Dataset:
+    """Adult-census-like income prediction dataset.
+
+    Features: ``sex`` (sensitive, 1 = protected/female), ``age``,
+    ``education_years``, ``hours_per_week``, ``capital_gain``,
+    ``occupation_score`` (a proxy correlated with sex), ``marital_status``.
+    Label: 1 = income above threshold (favourable).
+
+    ``direct_bias`` lowers the favourable-label log-odds for the protected
+    group; ``proxy_bias`` routes part of the disadvantage through
+    ``occupation_score`` instead of the sensitive attribute itself.
+    """
+    rng = check_random_state(random_state)
+    sex = _bernoulli(rng, np.full(n_samples, 0.48))
+    age = np.clip(rng.normal(38, 12, n_samples), 18, 80)
+    education = np.clip(rng.normal(12 - 0.4 * sex, 2.5, n_samples), 4, 20)
+    hours = np.clip(rng.normal(40 - 4.0 * sex, 9, n_samples), 5, 90)
+    capital_gain = np.clip(rng.exponential(1200, n_samples) * (1 - 0.3 * sex), 0, 50000)
+    # occupation_score is a proxy: its distribution depends on sex.
+    occupation = np.clip(rng.normal(5.0 - proxy_bias * 2.0 * sex, 1.5, n_samples), 0, 10)
+    marital = _bernoulli(rng, np.full(n_samples, 0.55))
+
+    logits = (
+        -6.0
+        + 0.045 * age
+        + 0.28 * education
+        + 0.05 * hours
+        + 0.0004 * capital_gain
+        + 0.35 * occupation
+        + 0.4 * marital
+        - direct_bias * sex
+    )
+    probability = sigmoid(logits)
+    y = _bernoulli(rng, probability)
+    flip = _bernoulli(rng, np.full(n_samples, label_noise)).astype(bool)
+    y[flip] = 1 - y[flip]
+
+    X = np.column_stack([sex, age, education, hours, capital_gain, occupation, marital])
+    features = [
+        FeatureSpec("sex", kind="binary", immutable=True),
+        FeatureSpec("age", kind="numeric", actionable=False, lower=18, upper=80),
+        FeatureSpec("education_years", kind="numeric", monotone=1, lower=4, upper=20),
+        FeatureSpec("hours_per_week", kind="numeric", lower=5, upper=90),
+        FeatureSpec("capital_gain", kind="numeric", lower=0, upper=50000),
+        FeatureSpec("occupation_score", kind="numeric", lower=0, upper=10),
+        FeatureSpec("marital_status", kind="binary"),
+    ]
+    return Dataset(X=X, y=y.astype(int), features=features, sensitive="sex", name="adult_like")
+
+
+def make_german_credit_like(
+    n_samples: int = 1500,
+    *,
+    direct_bias: float = 0.8,
+    proxy_bias: float = 0.5,
+    label_noise: float = 0.05,
+    random_state=None,
+) -> Dataset:
+    """German-credit-like credit-risk dataset.
+
+    Features: ``age_group`` (sensitive, 1 = protected/young), ``credit_amount``,
+    ``duration_months``, ``savings``, ``employment_years``,
+    ``existing_credits``, ``housing_owned`` (proxy).  Label: 1 = good credit.
+    """
+    rng = check_random_state(random_state)
+    young = _bernoulli(rng, np.full(n_samples, 0.35))
+    credit_amount = np.clip(rng.lognormal(8.0, 0.7, n_samples), 250, 20000)
+    duration = np.clip(rng.normal(21, 11, n_samples), 4, 72)
+    savings = np.clip(rng.exponential(2000, n_samples) * (1 - 0.3 * young), 0, 20000)
+    employment = np.clip(rng.normal(6 - 3.0 * young, 3, n_samples), 0, 40)
+    existing_credits = np.clip(rng.poisson(1.4, n_samples), 0, 6).astype(float)
+    housing = _bernoulli(rng, 0.6 - proxy_bias * 0.35 * young)
+
+    logits = (
+        1.2
+        - 0.00008 * credit_amount
+        - 0.03 * duration
+        + 0.0002 * savings
+        + 0.06 * employment
+        - 0.2 * existing_credits
+        + 0.5 * housing
+        - direct_bias * young
+    )
+    y = _bernoulli(rng, sigmoid(logits))
+    flip = _bernoulli(rng, np.full(n_samples, label_noise)).astype(bool)
+    y[flip] = 1 - y[flip]
+
+    X = np.column_stack(
+        [young, credit_amount, duration, savings, employment, existing_credits, housing]
+    )
+    features = [
+        FeatureSpec("age_group", kind="binary", immutable=True),
+        FeatureSpec("credit_amount", kind="numeric", lower=250, upper=20000),
+        FeatureSpec("duration_months", kind="numeric", lower=4, upper=72),
+        FeatureSpec("savings", kind="numeric", monotone=1, lower=0, upper=20000),
+        FeatureSpec("employment_years", kind="numeric", monotone=1, lower=0, upper=40),
+        FeatureSpec("existing_credits", kind="numeric", lower=0, upper=6),
+        FeatureSpec("housing_owned", kind="binary"),
+    ]
+    return Dataset(
+        X=X, y=y.astype(int), features=features, sensitive="age_group",
+        name="german_credit_like",
+    )
+
+
+def make_compas_like(
+    n_samples: int = 2000,
+    *,
+    direct_bias: float = 0.9,
+    label_noise: float = 0.08,
+    random_state=None,
+) -> Dataset:
+    """COMPAS-like recidivism dataset.
+
+    Features: ``race`` (sensitive, 1 = protected), ``age``, ``priors_count``,
+    ``charge_degree`` (1 = felony), ``juvenile_offenses``, ``employment``.
+    Label: 1 = *no* recidivism (favourable outcome), so base-rate and
+    error-based disparities have the usual sign convention.
+    """
+    rng = check_random_state(random_state)
+    race = _bernoulli(rng, np.full(n_samples, 0.45))
+    age = np.clip(rng.normal(32, 10, n_samples), 18, 70)
+    priors = np.clip(rng.poisson(2.0 + 1.2 * race, n_samples), 0, 25).astype(float)
+    charge_degree = _bernoulli(rng, 0.35 + 0.1 * race)
+    juvenile = np.clip(rng.poisson(0.4 + 0.3 * race, n_samples), 0, 8).astype(float)
+    employment = _bernoulli(rng, 0.6 - 0.15 * race)
+
+    logits = (
+        1.0
+        + 0.03 * (age - 30)
+        - 0.35 * priors
+        - 0.5 * charge_degree
+        - 0.4 * juvenile
+        + 0.6 * employment
+        - direct_bias * race
+    )
+    y = _bernoulli(rng, sigmoid(logits))
+    flip = _bernoulli(rng, np.full(n_samples, label_noise)).astype(bool)
+    y[flip] = 1 - y[flip]
+
+    X = np.column_stack([race, age, priors, charge_degree, juvenile, employment])
+    features = [
+        FeatureSpec("race", kind="binary", immutable=True),
+        FeatureSpec("age", kind="numeric", actionable=False, lower=18, upper=70),
+        FeatureSpec("priors_count", kind="numeric", actionable=False, lower=0, upper=25),
+        FeatureSpec("charge_degree", kind="binary", actionable=False),
+        FeatureSpec("juvenile_offenses", kind="numeric", actionable=False, lower=0, upper=8),
+        FeatureSpec("employment", kind="binary"),
+    ]
+    return Dataset(X=X, y=y.astype(int), features=features, sensitive="race", name="compas_like")
+
+
+def make_loan_dataset(
+    n_samples: int = 1500,
+    *,
+    direct_bias: float = 1.0,
+    recourse_gap: float = 0.0,
+    label_noise: float = 0.03,
+    random_state=None,
+) -> Dataset:
+    """Loan-approval dataset designed for recourse experiments.
+
+    Features: ``group`` (sensitive), ``income``, ``credit_score``, ``debt``,
+    ``employment_years``, ``has_collateral``.  Label: 1 = loan approved.
+
+    ``recourse_gap`` > 0 places negatively-classified protected individuals
+    further from the favourable region (lower income and credit score), so
+    the *cost of recourse* differs between groups even when base rates are
+    similar — the setting that burden / NAWB / FACTS / recourse-equalization
+    experiments need.
+    """
+    rng = check_random_state(random_state)
+    group = _bernoulli(rng, np.full(n_samples, 0.5))
+    income = np.clip(
+        rng.normal(55 - 10 * recourse_gap * group, 15, n_samples), 10, 150
+    )
+    credit_score = np.clip(
+        rng.normal(650 - 60 * recourse_gap * group, 80, n_samples), 300, 850
+    )
+    debt = np.clip(rng.normal(20 + 4 * group, 8, n_samples), 0, 80)
+    employment = np.clip(rng.normal(8, 5, n_samples), 0, 40)
+    collateral = _bernoulli(rng, np.full(n_samples, 0.4))
+
+    logits = (
+        -9.0
+        + 0.05 * income
+        + 0.012 * credit_score
+        - 0.06 * debt
+        + 0.05 * employment
+        + 0.8 * collateral
+        - direct_bias * group
+    )
+    y = _bernoulli(rng, sigmoid(logits))
+    flip = _bernoulli(rng, np.full(n_samples, label_noise)).astype(bool)
+    y[flip] = 1 - y[flip]
+
+    X = np.column_stack([group, income, credit_score, debt, employment, collateral])
+    features = [
+        FeatureSpec("group", kind="binary", immutable=True),
+        FeatureSpec("income", kind="numeric", monotone=1, lower=10, upper=150),
+        FeatureSpec("credit_score", kind="numeric", monotone=1, lower=300, upper=850),
+        FeatureSpec("debt", kind="numeric", monotone=-1, lower=0, upper=80),
+        FeatureSpec("employment_years", kind="numeric", monotone=1, lower=0, upper=40),
+        FeatureSpec("has_collateral", kind="binary"),
+    ]
+    return Dataset(X=X, y=y.astype(int), features=features, sensitive="group", name="loan")
+
+
+def make_hiring_dataset(
+    n_samples: int = 1200,
+    *,
+    direct_bias: float = 0.7,
+    proxy_bias: float = 0.9,
+    label_noise: float = 0.05,
+    random_state=None,
+) -> Dataset:
+    """Hiring dataset where a resume-keyword score acts as a gender proxy.
+
+    Features: ``gender`` (sensitive), ``experience_years``, ``skill_score``,
+    ``education_level``, ``keyword_score`` (proxy), ``referral``.
+    Label: 1 = interview offered.
+    """
+    rng = check_random_state(random_state)
+    gender = _bernoulli(rng, np.full(n_samples, 0.5))
+    experience = np.clip(rng.normal(7, 4, n_samples), 0, 35)
+    skill = np.clip(rng.normal(6, 1.8, n_samples), 0, 10)
+    education = np.clip(rng.integers(1, 5, n_samples).astype(float), 1, 4)
+    keyword = np.clip(rng.normal(5 - proxy_bias * 2.5 * gender, 1.5, n_samples), 0, 10)
+    referral = _bernoulli(rng, np.full(n_samples, 0.25))
+
+    logits = (
+        -5.5
+        + 0.12 * experience
+        + 0.45 * skill
+        + 0.3 * education
+        + 0.35 * keyword
+        + 0.9 * referral
+        - direct_bias * gender
+    )
+    y = _bernoulli(rng, sigmoid(logits))
+    flip = _bernoulli(rng, np.full(n_samples, label_noise)).astype(bool)
+    y[flip] = 1 - y[flip]
+
+    X = np.column_stack([gender, experience, skill, education, keyword, referral])
+    features = [
+        FeatureSpec("gender", kind="binary", immutable=True),
+        FeatureSpec("experience_years", kind="numeric", monotone=1, lower=0, upper=35),
+        FeatureSpec("skill_score", kind="numeric", monotone=1, lower=0, upper=10),
+        FeatureSpec("education_level", kind="numeric", monotone=1, lower=1, upper=4),
+        FeatureSpec("keyword_score", kind="numeric", lower=0, upper=10),
+        FeatureSpec("referral", kind="binary"),
+    ]
+    return Dataset(X=X, y=y.astype(int), features=features, sensitive="gender", name="hiring")
+
+
+def make_scm_loan_dataset(n_samples: int = 1500, *, direct_bias: float = 0.8, random_state=None):
+    """Loan dataset generated from an explicit structural causal model.
+
+    Returns ``(dataset, scm)`` where the SCM has the graph
+    ``group -> education -> income -> approval`` and ``group -> income``,
+    so causal-recourse and causal-path-decomposition experiments can compare
+    against the ground-truth mechanism.
+    """
+    from ..causal.scm import StructuralCausalModel, StructuralEquation
+
+    rng = check_random_state(random_state)
+
+    scm = StructuralCausalModel(
+        equations=[
+            StructuralEquation("group", parents=(), func=lambda p, u: (u > 0.5).astype(float),
+                               noise=lambda r, n: r.random(n)),
+            StructuralEquation(
+                "education",
+                parents=("group",),
+                func=lambda p, u: np.clip(12 - 1.5 * p["group"] + u, 4, 20),
+                noise=lambda r, n: r.normal(0, 2, n),
+            ),
+            StructuralEquation(
+                "income",
+                parents=("group", "education"),
+                func=lambda p, u: np.clip(
+                    20 + 3.0 * p["education"] - 8.0 * p["group"] + u, 5, 200
+                ),
+                noise=lambda r, n: r.normal(0, 10, n),
+            ),
+            StructuralEquation(
+                "savings",
+                parents=("income",),
+                func=lambda p, u: np.clip(0.3 * p["income"] + u, 0, 100),
+                noise=lambda r, n: r.normal(0, 5, n),
+            ),
+        ],
+        random_state=rng,
+    )
+    sample = scm.sample(n_samples)
+    group = sample["group"]
+    education = sample["education"]
+    income = sample["income"]
+    savings = sample["savings"]
+
+    logits = -8.0 + 0.07 * income + 0.18 * education + 0.05 * savings - direct_bias * group
+    y = (rng.random(n_samples) < sigmoid(logits)).astype(int)
+
+    X = np.column_stack([group, education, income, savings])
+    features = [
+        FeatureSpec("group", kind="binary", immutable=True),
+        FeatureSpec("education", kind="numeric", monotone=1, lower=4, upper=20),
+        FeatureSpec("income", kind="numeric", monotone=1, lower=5, upper=200),
+        FeatureSpec("savings", kind="numeric", monotone=1, lower=0, upper=100),
+    ]
+    dataset = Dataset(X=X, y=y, features=features, sensitive="group", name="scm_loan")
+    return dataset, scm

@@ -1,0 +1,28 @@
+"""Exception hierarchy for fairexp.
+
+Every error raised intentionally by the library derives from
+:class:`FairexpError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class FairexpError(Exception):
+    """Base class for all errors raised by fairexp."""
+
+
+class NotFittedError(FairexpError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class ValidationError(FairexpError):
+    """Raised when user-supplied data or parameters are invalid."""
+
+
+class ConvergenceError(FairexpError):
+    """Raised when an iterative procedure fails to converge."""
+
+
+class InfeasibleRecourseError(FairexpError):
+    """Raised when no counterfactual / recourse satisfying the constraints exists."""

@@ -1,0 +1,95 @@
+"""General-purpose XAI substrate (the methods of the paper's Figure 2 taxonomy).
+
+Feature-based (Shapley, permutation importance, PDP/ICE), example-based
+(counterfactuals, prototypes, neighbours, influence, contrastive) and
+approximation-based (local surrogates, global surrogate trees, anchors)
+explanation methods, all operating on the from-scratch models in
+:mod:`fairexp.models` or on any object exposing ``predict``/``predict_proba``.
+"""
+
+from .base import (
+    Counterfactual,
+    ExampleExplanation,
+    ExplainerInfo,
+    FeatureAttribution,
+    RuleExplanation,
+)
+from .counterfactual import (
+    ActionabilityConstraints,
+    BaseCounterfactualGenerator,
+    GradientCounterfactual,
+    GrowingSpheresCounterfactual,
+    RandomSearchCounterfactual,
+    counterfactual_distance,
+)
+from .examples import (
+    ExampleBasedExplainer,
+    contrastive_example,
+    nearest_neighbor_explanation,
+    select_criticisms,
+    select_prototypes,
+)
+from .feature_importance import (
+    PermutationImportanceExplainer,
+    individual_conditional_expectation,
+    partial_dependence,
+    permutation_importance,
+)
+from .influence import (
+    InfluenceExplainer,
+    influence_functions_logistic,
+    leave_one_out_influence,
+    logistic_gradients,
+    logistic_hessian,
+)
+from .rules import (
+    AnchorExplainer,
+    Predicate,
+    discretize_features,
+    frequent_predicate_sets,
+)
+from .shapley import (
+    ShapleyExplainer,
+    exact_shapley_values,
+    sampled_shapley_values,
+    shapley_for_value_function,
+)
+from .surrogate import GlobalSurrogateTree, LocalSurrogateExplainer
+
+__all__ = [
+    "ExplainerInfo",
+    "FeatureAttribution",
+    "Counterfactual",
+    "RuleExplanation",
+    "ExampleExplanation",
+    "ShapleyExplainer",
+    "exact_shapley_values",
+    "sampled_shapley_values",
+    "shapley_for_value_function",
+    "permutation_importance",
+    "partial_dependence",
+    "individual_conditional_expectation",
+    "PermutationImportanceExplainer",
+    "LocalSurrogateExplainer",
+    "GlobalSurrogateTree",
+    "AnchorExplainer",
+    "Predicate",
+    "discretize_features",
+    "frequent_predicate_sets",
+    "ActionabilityConstraints",
+    "counterfactual_distance",
+    "BaseCounterfactualGenerator",
+    "RandomSearchCounterfactual",
+    "GrowingSpheresCounterfactual",
+    "GradientCounterfactual",
+    "select_prototypes",
+    "select_criticisms",
+    "nearest_neighbor_explanation",
+    "contrastive_example",
+    "ExampleBasedExplainer",
+    "InfluenceExplainer",
+    "influence_functions_logistic",
+    "leave_one_out_influence",
+    "logistic_gradients",
+    "logistic_hessian",
+]

@@ -1,0 +1,186 @@
+"""Common explanation containers and the explainer taxonomy metadata.
+
+Every explainer in :mod:`fairexp.explanations` and :mod:`fairexp.core`
+declares where it sits in the explanation taxonomy of the paper (Figure 2)
+through :class:`ExplainerInfo`; the Table I / Figure 2 regeneration benches
+read this metadata straight from the implemented classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ExplainerInfo",
+    "FeatureAttribution",
+    "Counterfactual",
+    "RuleExplanation",
+    "ExampleExplanation",
+]
+
+
+@dataclass(frozen=True)
+class ExplainerInfo:
+    """Position of an explanation method in the taxonomy of Figure 2.
+
+    Attributes
+    ----------
+    stage:
+        ``"intrinsic"``, ``"data"`` or ``"post-hoc"``.
+    access:
+        ``"black-box"``, ``"gradient"`` or ``"white-box"``.
+    agnostic:
+        Whether the method applies to any model (model-agnostic).
+    coverage:
+        ``"local"``, ``"global"`` or ``"both"``.
+    explanation_type:
+        ``"feature"``, ``"example"`` or ``"approximation"``.
+    multiplicity:
+        ``"single"`` or ``"multiple"``.
+    """
+
+    stage: str = "post-hoc"
+    access: str = "black-box"
+    agnostic: bool = True
+    coverage: str = "local"
+    explanation_type: str = "feature"
+    multiplicity: str = "single"
+
+
+@dataclass
+class FeatureAttribution:
+    """Per-feature importance scores for one prediction or for the whole model.
+
+    Attributes
+    ----------
+    feature_names:
+        Names aligned with :attr:`values`.
+    values:
+        Attribution value per feature (sign carries direction where defined).
+    baseline:
+        The value the attributions are measured against (e.g. expected model
+        output for Shapley values).
+    meta:
+        Free-form extra information (e.g. sampling error estimates).
+    """
+
+    feature_names: list[str]
+    values: np.ndarray
+    baseline: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: float(v) for name, v in zip(self.feature_names, self.values)}
+
+    def top(self, k: int = 3) -> list[tuple[str, float]]:
+        """Return the ``k`` features with the largest absolute attribution."""
+        order = np.argsort(-np.abs(self.values))[:k]
+        return [(self.feature_names[i], float(self.values[i])) for i in order]
+
+    def total(self) -> float:
+        return float(self.values.sum())
+
+
+@dataclass
+class Counterfactual:
+    """A counterfactual explanation ``x -> x'`` for a single instance.
+
+    Attributes
+    ----------
+    original:
+        The explainee data point.
+    counterfactual:
+        The modified data point achieving the target outcome.
+    original_prediction, counterfactual_prediction:
+        Model outputs before and after.
+    changed_features:
+        Indices of features whose value changed.
+    distance:
+        Distance between original and counterfactual under the generator's
+        cost metric.
+    feasible:
+        Whether the counterfactual respects actionability constraints.
+    """
+
+    original: np.ndarray
+    counterfactual: np.ndarray
+    original_prediction: int
+    counterfactual_prediction: int
+    changed_features: tuple[int, ...]
+    distance: float
+    feasible: bool = True
+    meta: dict = field(default_factory=dict)
+
+    def delta(self) -> np.ndarray:
+        """Feature-wise change vector ``x' - x``."""
+        return np.asarray(self.counterfactual, dtype=float) - np.asarray(self.original, dtype=float)
+
+    def sparsity(self) -> int:
+        """Number of features changed."""
+        return len(self.changed_features)
+
+    def describe(self, feature_names: Sequence[str] | None = None) -> list[str]:
+        """Human-readable list of the feature changes."""
+        original = np.asarray(self.original, dtype=float)
+        counterfactual = np.asarray(self.counterfactual, dtype=float)
+        lines = []
+        for j in self.changed_features:
+            name = feature_names[j] if feature_names is not None else f"x{j}"
+            lines.append(f"{name}: {original[j]:.4g} -> {counterfactual[j]:.4g}")
+        return lines
+
+
+@dataclass
+class RuleExplanation:
+    """A conjunctive rule (anchor / itemset-style explanation).
+
+    Attributes
+    ----------
+    conditions:
+        Mapping ``feature name -> (low, high)`` interval or set of values.
+    prediction:
+        The outcome the rule is associated with.
+    coverage:
+        Fraction of the reference population satisfying the rule.
+    precision:
+        Fraction of covered points for which the model output matches
+        ``prediction``.
+    """
+
+    conditions: Mapping[str, tuple]
+    prediction: int
+    coverage: float
+    precision: float
+    meta: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        clauses = []
+        for name, bounds in self.conditions.items():
+            low, high = bounds
+            if low is not None and high is not None:
+                clauses.append(f"{low:.4g} <= {name} <= {high:.4g}")
+            elif low is not None:
+                clauses.append(f"{name} >= {low:.4g}")
+            elif high is not None:
+                clauses.append(f"{name} <= {high:.4g}")
+        premise = " AND ".join(clauses) if clauses else "TRUE"
+        return (
+            f"IF {premise} THEN prediction={self.prediction} "
+            f"(coverage={self.coverage:.2f}, precision={self.precision:.2f})"
+        )
+
+
+@dataclass
+class ExampleExplanation:
+    """Example-based explanation: indices of reference instances and their roles."""
+
+    indices: tuple[int, ...]
+    role: str  # "prototype", "criticism", "neighbor", "influential"
+    scores: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)

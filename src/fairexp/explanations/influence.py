@@ -1,0 +1,144 @@
+"""Influence-based explanations: tracing predictions back to training instances.
+
+Two estimators are provided:
+
+* :func:`influence_functions_logistic` — closed-form influence functions for
+  L2-regularized logistic regression (Hessian-inverse-vector products), which
+  approximate the effect of up-weighting each training point on a test loss
+  or on any differentiable functional of the parameters.
+* :func:`leave_one_out_influence` — brute-force retraining influence, exact
+  but expensive; used as ground truth in tests and for small data.
+
+The Gopher-style data-based fairness explanations [63, 83] in
+:mod:`fairexp.core.data_explanations` reuse these estimators with the
+functional being a group-fairness metric instead of a test loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..models.logistic import LogisticRegression
+from ..utils import sigmoid
+from .base import ExampleExplanation, ExplainerInfo
+
+__all__ = [
+    "logistic_hessian",
+    "logistic_gradients",
+    "influence_functions_logistic",
+    "leave_one_out_influence",
+    "InfluenceExplainer",
+]
+
+
+def logistic_gradients(model: LogisticRegression, X, y) -> np.ndarray:
+    """Per-sample gradient of the log-loss w.r.t. ``[coef, intercept]``.
+
+    Returns an array of shape ``(n_samples, n_features + 1)``.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    probabilities = sigmoid(X @ model.coef_ + model.intercept_)
+    error = (probabilities - y)[:, None]
+    return np.hstack([error * X, error])
+
+
+def logistic_hessian(model: LogisticRegression, X, *, damping: float = 1e-3) -> np.ndarray:
+    """Hessian of the mean log-loss w.r.t. ``[coef, intercept]`` (plus damping)."""
+    X = np.asarray(X, dtype=float)
+    design = np.hstack([X, np.ones((X.shape[0], 1))])
+    probabilities = sigmoid(X @ model.coef_ + model.intercept_)
+    weights = probabilities * (1 - probabilities)
+    hessian = (design * weights[:, None]).T @ design / X.shape[0]
+    hessian += (model.l2 + damping) * np.eye(design.shape[1])
+    return hessian
+
+
+def influence_functions_logistic(
+    model: LogisticRegression,
+    X_train,
+    y_train,
+    functional_gradient: np.ndarray,
+    *,
+    damping: float = 1e-3,
+) -> np.ndarray:
+    """Influence of each training point on a functional of the parameters.
+
+    ``functional_gradient`` is the gradient of the functional of interest
+    (e.g. test loss, or a fairness metric) with respect to
+    ``[coef, intercept]``.  The influence of up-weighting training point ``i``
+    is ``-g_functional^T H^{-1} g_i``; a *negative* value means removing the
+    point would *increase* the functional.
+    """
+    functional_gradient = np.asarray(functional_gradient, dtype=float).ravel()
+    if functional_gradient.shape[0] != model.coef_.shape[0] + 1:
+        raise ValidationError("functional_gradient must have n_features + 1 entries")
+    hessian = logistic_hessian(model, X_train, damping=damping)
+    hinv_g = np.linalg.solve(hessian, functional_gradient)
+    train_gradients = logistic_gradients(model, X_train, y_train)
+    return -train_gradients @ hinv_g
+
+
+def leave_one_out_influence(
+    model_factory: Callable[[], LogisticRegression],
+    X_train,
+    y_train,
+    functional: Callable[[LogisticRegression], float],
+    *,
+    indices=None,
+) -> np.ndarray:
+    """Exact retraining influence: functional(full model) - functional(model without i)."""
+    X_train = np.asarray(X_train, dtype=float)
+    y_train = np.asarray(y_train)
+    full_model = model_factory().fit(X_train, y_train)
+    base_value = functional(full_model)
+    if indices is None:
+        indices = range(X_train.shape[0])
+    influences = np.zeros(len(list(indices)))
+    for position, i in enumerate(indices):
+        mask = np.ones(X_train.shape[0], dtype=bool)
+        mask[i] = False
+        reduced = model_factory().fit(X_train[mask], y_train[mask])
+        influences[position] = base_value - functional(reduced)
+    return influences
+
+
+class InfluenceExplainer:
+    """Explain a test prediction by the most influential training instances."""
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="gradient",
+        agnostic=False,
+        coverage="local",
+        explanation_type="example",
+        multiplicity="multiple",
+    )
+
+    def __init__(self, model: LogisticRegression, X_train, y_train, *, damping: float = 1e-3) -> None:
+        if not isinstance(model, LogisticRegression):
+            raise ValidationError("InfluenceExplainer currently supports LogisticRegression")
+        self.model = model
+        self.X_train = np.asarray(X_train, dtype=float)
+        self.y_train = np.asarray(y_train)
+        self.damping = damping
+
+    def explain(self, x_test, y_test, *, top_k: int = 5) -> ExampleExplanation:
+        """Return the training points with the largest influence on the test loss at ``x_test``."""
+        x_test = np.asarray(x_test, dtype=float).ravel()
+        test_gradient = logistic_gradients(
+            self.model, x_test[None, :], np.asarray([y_test], dtype=float)
+        )[0]
+        influences = influence_functions_logistic(
+            self.model, self.X_train, self.y_train, test_gradient, damping=self.damping
+        )
+        order = np.argsort(-np.abs(influences))[:top_k]
+        return ExampleExplanation(
+            indices=tuple(int(i) for i in order),
+            role="influential",
+            scores=influences[order],
+            meta={"estimator": "influence_function"},
+        )

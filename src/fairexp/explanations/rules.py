@@ -1,0 +1,251 @@
+"""Rule-based (anchor-style) explanations and frequent-itemset mining.
+
+Two pieces live here:
+
+* :class:`AnchorExplainer` — greedy construction of a conjunctive rule around
+  an instance that keeps the model prediction stable with high precision.
+* :func:`frequent_predicate_sets` — an Apriori-style miner over discretized
+  feature predicates.  It is the workhorse behind the FACTS subgroup
+  discovery [77] and the Gopher-style data-based explanations [63, 83] in
+  :mod:`fairexp.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils import check_random_state
+from .base import ExplainerInfo, RuleExplanation
+
+__all__ = ["Predicate", "discretize_features", "frequent_predicate_sets", "AnchorExplainer"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single condition ``low <= feature < high`` on one (binned) feature.
+
+    ``low``/``high`` may be ``None`` for open-ended intervals.  Predicates are
+    hashable so itemsets (frozensets of predicates) can be mined efficiently.
+    """
+
+    feature: int
+    name: str
+    low: float | None
+    high: float | None
+
+    def mask(self, X: np.ndarray) -> np.ndarray:
+        values = X[:, self.feature]
+        result = np.ones(X.shape[0], dtype=bool)
+        if self.low is not None:
+            result &= values >= self.low
+        if self.high is not None:
+            result &= values < self.high
+        return result
+
+    def __str__(self) -> str:
+        if self.low is not None and self.high is not None:
+            return f"{self.low:.4g} <= {self.name} < {self.high:.4g}"
+        if self.low is not None:
+            return f"{self.name} >= {self.low:.4g}"
+        return f"{self.name} < {self.high:.4g}"
+
+
+def discretize_features(
+    X: np.ndarray,
+    *,
+    feature_names: Sequence[str] | None = None,
+    n_bins: int = 3,
+    feature_indices: Sequence[int] | None = None,
+) -> list[Predicate]:
+    """Build candidate predicates by quantile-binning each feature.
+
+    Binary features produce two equality-style predicates; numeric features
+    produce ``n_bins`` interval predicates at quantile boundaries.
+    """
+    X = np.asarray(X, dtype=float)
+    if feature_names is None:
+        feature_names = [f"x{j}" for j in range(X.shape[1])]
+    if feature_indices is None:
+        feature_indices = range(X.shape[1])
+    predicates: list[Predicate] = []
+    for j in feature_indices:
+        values = X[:, j]
+        unique = np.unique(values)
+        if unique.shape[0] <= 1:
+            continue
+        if unique.shape[0] == 2:
+            midpoint = float(unique.mean())
+            predicates.append(Predicate(j, feature_names[j], None, midpoint))
+            predicates.append(Predicate(j, feature_names[j], midpoint, None))
+            continue
+        edges = np.quantile(values, np.linspace(0, 1, n_bins + 1))
+        edges = np.unique(edges)
+        for b in range(edges.shape[0] - 1):
+            low = None if b == 0 else float(edges[b])
+            high = None if b == edges.shape[0] - 2 else float(edges[b + 1])
+            predicates.append(Predicate(j, feature_names[j], low, high))
+    return predicates
+
+
+def frequent_predicate_sets(
+    X: np.ndarray,
+    predicates: Sequence[Predicate],
+    *,
+    min_support: float = 0.05,
+    max_length: int = 3,
+) -> list[tuple[frozenset[Predicate], np.ndarray]]:
+    """Apriori-style mining of frequent predicate conjunctions.
+
+    Returns ``(itemset, coverage_mask)`` pairs for every conjunction of at most
+    ``max_length`` predicates (at most one predicate per feature) covering at
+    least ``min_support`` of the rows.
+    """
+    X = np.asarray(X, dtype=float)
+    if not 0 < min_support <= 1:
+        raise ValidationError("min_support must be in (0, 1]")
+    n = X.shape[0]
+    masks = {frozenset([p]): p.mask(X) for p in predicates}
+    current = {k: v for k, v in masks.items() if v.mean() >= min_support}
+    results: list[tuple[frozenset[Predicate], np.ndarray]] = list(current.items())
+
+    for _length in range(2, max_length + 1):
+        next_level: dict[frozenset[Predicate], np.ndarray] = {}
+        keys = list(current.keys())
+        for a, b in combinations(keys, 2):
+            candidate = a | b
+            if len(candidate) != len(a) + 1:
+                continue
+            features_used = [p.feature for p in candidate]
+            if len(set(features_used)) != len(features_used):
+                continue
+            if candidate in next_level:
+                continue
+            mask = current[a] & masks_for(candidate - a, X, masks)
+            if mask.sum() / n >= min_support:
+                next_level[candidate] = mask
+        results.extend(next_level.items())
+        if not next_level:
+            break
+        current = next_level
+    return results
+
+
+def masks_for(predicates: frozenset[Predicate], X: np.ndarray, cache: dict) -> np.ndarray:
+    """AND together the masks of a set of predicates (with single-predicate caching)."""
+    result = np.ones(X.shape[0], dtype=bool)
+    for predicate in predicates:
+        key = frozenset([predicate])
+        if key not in cache:
+            cache[key] = predicate.mask(X)
+        result &= cache[key]
+    return result
+
+
+class AnchorExplainer:
+    """Greedy anchor-style rule explanation for a single prediction.
+
+    The rule starts empty and greedily adds the predicate (satisfied by the
+    explainee) that most increases precision — the fraction of perturbed
+    samples covered by the rule that keep the explainee's predicted class —
+    until the precision threshold is met.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="local",
+        explanation_type="approximation",
+        multiplicity="single",
+    )
+
+    def __init__(
+        self,
+        model,
+        background: np.ndarray,
+        *,
+        feature_names: Sequence[str] | None = None,
+        precision_threshold: float = 0.9,
+        n_bins: int = 4,
+        n_samples: int = 500,
+        max_conditions: int = 4,
+        random_state=None,
+    ) -> None:
+        self.model = model
+        self.background = np.asarray(background, dtype=float)
+        self.feature_names = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"x{j}" for j in range(self.background.shape[1])]
+        )
+        self.precision_threshold = precision_threshold
+        self.n_bins = n_bins
+        self.n_samples = n_samples
+        self.max_conditions = max_conditions
+        self.random_state = random_state
+
+    def _perturb(self, rng) -> np.ndarray:
+        idx = rng.integers(0, self.background.shape[0], self.n_samples)
+        return self.background[idx].copy()
+
+    def explain(self, x: np.ndarray) -> RuleExplanation:
+        x = np.asarray(x, dtype=float).ravel()
+        rng = check_random_state(self.random_state)
+        target = int(np.asarray(self.model.predict(x[None, :]))[0])
+        candidates = [
+            p for p in discretize_features(
+                self.background, feature_names=self.feature_names, n_bins=self.n_bins
+            )
+            if p.mask(x[None, :])[0]
+        ]
+        samples = self._perturb(rng)
+
+        chosen: list[Predicate] = []
+        chosen_features: set[int] = set()
+        current_mask = np.ones(samples.shape[0], dtype=bool)
+
+        def precision(mask: np.ndarray) -> float:
+            if not mask.any():
+                return 0.0
+            constrained = samples.copy()
+            for predicate in chosen:
+                constrained[:, predicate.feature] = x[predicate.feature]
+            predictions = np.asarray(self.model.predict(constrained[mask]))
+            return float(np.mean(predictions == target))
+
+        best_precision = precision(current_mask)
+        while best_precision < self.precision_threshold and len(chosen) < self.max_conditions:
+            best_candidate, best_candidate_precision, best_candidate_mask = None, -1.0, None
+            for predicate in candidates:
+                if predicate.feature in chosen_features:
+                    continue
+                mask = current_mask & predicate.mask(samples)
+                chosen.append(predicate)
+                value = precision(mask)
+                chosen.pop()
+                if value > best_candidate_precision:
+                    best_candidate, best_candidate_precision = predicate, value
+                    best_candidate_mask = mask
+            if best_candidate is None or best_candidate_precision <= best_precision:
+                break
+            chosen.append(best_candidate)
+            chosen_features.add(best_candidate.feature)
+            current_mask = best_candidate_mask
+            best_precision = best_candidate_precision
+
+        conditions = {
+            predicate.name: (predicate.low, predicate.high) for predicate in chosen
+        }
+        coverage = float(current_mask.mean())
+        return RuleExplanation(
+            conditions=conditions,
+            prediction=target,
+            coverage=coverage,
+            precision=float(best_precision),
+            meta={"n_conditions": len(chosen)},
+        )

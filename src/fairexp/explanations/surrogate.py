@@ -1,0 +1,137 @@
+"""Approximation-based explanations: local linear surrogates and global tree surrogates."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..models.tree import DecisionTreeClassifier
+from ..utils import check_random_state
+from .base import ExplainerInfo, FeatureAttribution
+
+__all__ = ["LocalSurrogateExplainer", "GlobalSurrogateTree"]
+
+
+class LocalSurrogateExplainer:
+    """LIME-style local surrogate: weighted ridge regression around the explainee.
+
+    Perturbations are drawn from a Gaussian around the explainee (scaled by
+    the background standard deviation), weighted by an RBF kernel on the
+    distance to the explainee, and a ridge-regularized linear model is fitted
+    to the model's positive-class probability.  The coefficients are the
+    local feature attributions.
+    """
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="local",
+        explanation_type="approximation",
+        multiplicity="single",
+    )
+
+    def __init__(
+        self,
+        model,
+        background: np.ndarray,
+        *,
+        n_samples: int = 500,
+        kernel_width: float | None = None,
+        ridge: float = 1e-3,
+        feature_names: Sequence[str] | None = None,
+        random_state=None,
+    ) -> None:
+        self.model = model
+        self.background = np.asarray(background, dtype=float)
+        self.n_samples = n_samples
+        self.kernel_width = kernel_width
+        self.ridge = ridge
+        self.feature_names = feature_names
+        self.random_state = random_state
+
+    def explain(self, x: np.ndarray) -> FeatureAttribution:
+        """Return local linear coefficients approximating the model around ``x``."""
+        x = np.asarray(x, dtype=float).ravel()
+        rng = check_random_state(self.random_state)
+        scale = self.background.std(axis=0)
+        scale[scale == 0] = 1.0
+
+        perturbations = x[None, :] + rng.normal(0.0, 1.0, (self.n_samples, x.shape[0])) * scale
+        predictions = np.asarray(self.model.predict_proba(perturbations))[:, 1]
+
+        standardized = (perturbations - x[None, :]) / scale
+        distances = np.linalg.norm(standardized, axis=1)
+        width = self.kernel_width or np.sqrt(x.shape[0]) * 0.75
+        weights = np.exp(-(distances**2) / (width**2))
+
+        design = np.column_stack([standardized, np.ones(self.n_samples)])
+        weighted_design = design * weights[:, None]
+        gram = design.T @ weighted_design + self.ridge * np.eye(design.shape[1])
+        moment = design.T @ (weights * predictions)
+        coefficients = np.linalg.solve(gram, moment)
+
+        names = (
+            list(self.feature_names)
+            if self.feature_names is not None
+            else [f"x{j}" for j in range(x.shape[0])]
+        )
+        local_prediction = float(np.asarray(self.model.predict_proba(x[None, :]))[:, 1][0])
+        return FeatureAttribution(
+            feature_names=names,
+            values=coefficients[:-1],
+            baseline=float(coefficients[-1]),
+            meta={"local_prediction": local_prediction, "kernel_width": width},
+        )
+
+
+class GlobalSurrogateTree:
+    """Fit an interpretable decision tree to mimic a black-box model globally."""
+
+    info = ExplainerInfo(
+        stage="post-hoc",
+        access="black-box",
+        agnostic=True,
+        coverage="global",
+        explanation_type="approximation",
+        multiplicity="multiple",
+    )
+
+    def __init__(self, model, *, max_depth: int = 4, feature_names=None, random_state=None) -> None:
+        self.model = model
+        self.max_depth = max_depth
+        self.feature_names = feature_names
+        self.random_state = random_state
+        self.tree_: DecisionTreeClassifier | None = None
+        self.fidelity_: float | None = None
+
+    def fit(self, X) -> "GlobalSurrogateTree":
+        """Train the surrogate on the model's own predictions over ``X``."""
+        X = np.asarray(X, dtype=float)
+        predictions = np.asarray(self.model.predict(X)).astype(int)
+        self.tree_ = DecisionTreeClassifier(max_depth=self.max_depth, random_state=self.random_state)
+        self.tree_.fit(X, predictions)
+        self.fidelity_ = float(np.mean(self.tree_.predict(X) == predictions))
+        return self
+
+    def rules(self) -> list[str]:
+        """Return the surrogate's decision rules (one per leaf)."""
+        if self.tree_ is None:
+            raise RuntimeError("call fit() before rules()")
+        return self.tree_.export_rules(self.feature_names)
+
+    def feature_importances(self) -> FeatureAttribution:
+        """Gini importance of the surrogate tree as a global approximation."""
+        if self.tree_ is None:
+            raise RuntimeError("call fit() before feature_importances()")
+        names = (
+            list(self.feature_names)
+            if self.feature_names is not None
+            else [f"x{j}" for j in range(self.tree_.n_features_)]
+        )
+        return FeatureAttribution(
+            feature_names=names,
+            values=self.tree_.feature_importances_,
+            meta={"fidelity": self.fidelity_},
+        )

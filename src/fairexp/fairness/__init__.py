@@ -1,0 +1,63 @@
+"""Fairness metrics (group, individual, ranking) and mitigation methods."""
+
+from . import mitigation
+from .group_metrics import (
+    GroupFairnessReport,
+    average_odds_difference,
+    between_group_generalized_entropy,
+    calibration_gap,
+    disparate_impact,
+    equal_opportunity_difference,
+    equalized_odds_difference,
+    false_negative_rate_difference,
+    false_positive_rate_difference,
+    generalized_entropy_index,
+    group_fairness_report,
+    predictive_parity_difference,
+    statistical_parity_difference,
+)
+from .groups import GroupMasks, group_masks, groupwise
+from .individual_metrics import (
+    consistency_score,
+    counterfactual_flip_rate,
+    lipschitz_violation,
+)
+from .ranking_metrics import (
+    exposure,
+    group_exposure_ratio,
+    ndcg_exposure_share,
+    position_weights,
+    ranking_binomial_pvalue,
+    representation_difference,
+    top_k_representation,
+)
+
+__all__ = [
+    "mitigation",
+    "GroupMasks",
+    "group_masks",
+    "groupwise",
+    "GroupFairnessReport",
+    "group_fairness_report",
+    "statistical_parity_difference",
+    "disparate_impact",
+    "equal_opportunity_difference",
+    "equalized_odds_difference",
+    "average_odds_difference",
+    "predictive_parity_difference",
+    "false_negative_rate_difference",
+    "false_positive_rate_difference",
+    "calibration_gap",
+    "generalized_entropy_index",
+    "between_group_generalized_entropy",
+    "consistency_score",
+    "lipschitz_violation",
+    "counterfactual_flip_rate",
+    "position_weights",
+    "exposure",
+    "group_exposure_ratio",
+    "top_k_representation",
+    "representation_difference",
+    "ranking_binomial_pvalue",
+    "ndcg_exposure_share",
+]

@@ -1,0 +1,71 @@
+"""Group handling utilities shared by all fairness metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["GroupMasks", "group_masks", "groupwise"]
+
+
+@dataclass(frozen=True)
+class GroupMasks:
+    """Boolean masks for the protected and non-protected groups.
+
+    By the paper's convention, ``protected`` corresponds to the group
+    ``G+`` (sensitive value 1) and ``reference`` to ``G-``.
+    """
+
+    protected: np.ndarray
+    reference: np.ndarray
+
+    @property
+    def n_protected(self) -> int:
+        return int(self.protected.sum())
+
+    @property
+    def n_reference(self) -> int:
+        return int(self.reference.sum())
+
+
+def group_masks(sensitive, *, protected_value=1) -> GroupMasks:
+    """Build :class:`GroupMasks` from a sensitive-attribute vector.
+
+    Parameters
+    ----------
+    sensitive:
+        Group-membership values, one per sample.
+    protected_value:
+        The value identifying the protected group; every other value is
+        treated as the reference group.
+    """
+    sensitive = np.asarray(sensitive)
+    if sensitive.ndim != 1:
+        raise ValidationError("sensitive must be 1-dimensional")
+    protected = sensitive == protected_value
+    if protected.all() or (~protected).all():
+        raise ValidationError(
+            "both a protected and a reference group are required "
+            f"(protected_value={protected_value!r} produced a single group)"
+        )
+    return GroupMasks(protected=protected, reference=~protected)
+
+
+def groupwise(values, sensitive, statistic=np.mean, *, protected_value=1) -> dict[str, float]:
+    """Apply ``statistic`` to ``values`` separately for each group.
+
+    Returns a dictionary with ``protected``, ``reference`` and ``difference``
+    (protected minus reference) entries.
+    """
+    values = np.asarray(values, dtype=float)
+    masks = group_masks(sensitive, protected_value=protected_value)
+    protected_value_ = float(statistic(values[masks.protected]))
+    reference_value = float(statistic(values[masks.reference]))
+    return {
+        "protected": protected_value_,
+        "reference": reference_value,
+        "difference": protected_value_ - reference_value,
+    }

@@ -1,0 +1,15 @@
+"""Unfairness mitigation at the three pipeline stages (pre / in / post)."""
+
+from .inprocessing import FairLogisticRegression, RecourseRegularizedClassifier
+from .postprocessing import GroupThresholdOptimizer, RejectOptionClassifier
+from .preprocessing import disparate_impact_repair, massage_labels, reweighing_weights
+
+__all__ = [
+    "reweighing_weights",
+    "massage_labels",
+    "disparate_impact_repair",
+    "FairLogisticRegression",
+    "RecourseRegularizedClassifier",
+    "GroupThresholdOptimizer",
+    "RejectOptionClassifier",
+]

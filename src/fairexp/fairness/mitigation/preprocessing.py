@@ -1,0 +1,128 @@
+"""Pre-processing mitigation: modify the training data before model fitting.
+
+Implements the three classic pre-processing strategies referenced by the
+paper's fairness taxonomy:
+
+* **Reweighing** (Kamiran & Calders) — assign each (group, label) cell a
+  weight so that group and label become statistically independent.
+* **Massaging / relabeling** — flip the labels of the most "promotable"
+  protected individuals and the most "demotable" reference individuals.
+* **Disparate impact repair** (Feldman et al.) — move each group's feature
+  distribution towards the pooled median distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.schema import Dataset
+from ...exceptions import ValidationError
+from ...models.base import BaseClassifier
+from ..groups import group_masks
+
+__all__ = ["reweighing_weights", "massage_labels", "disparate_impact_repair"]
+
+
+def reweighing_weights(y, sensitive, *, protected_value=1) -> np.ndarray:
+    """Return per-sample weights that decorrelate group membership and label.
+
+    The weight for cell ``(group=g, label=l)`` is
+    ``P(group=g) * P(label=l) / P(group=g, label=l)``.
+    """
+    y = np.asarray(y, dtype=int)
+    masks = group_masks(sensitive, protected_value=protected_value)
+    n = y.shape[0]
+    weights = np.ones(n, dtype=float)
+    for group_mask in (masks.protected, masks.reference):
+        p_group = group_mask.mean()
+        for label in (0, 1):
+            label_mask = y == label
+            p_label = label_mask.mean()
+            cell = group_mask & label_mask
+            p_cell = cell.mean()
+            if p_cell == 0:
+                continue
+            weights[cell] = (p_group * p_label) / p_cell
+    return weights
+
+
+def massage_labels(
+    dataset: Dataset,
+    ranker: BaseClassifier,
+    *,
+    protected_value=1,
+) -> Dataset:
+    """Relabel borderline samples to equalize base rates (Kamiran & Calders "massaging").
+
+    A ranker (any probabilistic classifier) is trained on the original data;
+    the protected negatives with the highest favourable-probability are
+    promoted to 1 and an equal number of reference positives with the lowest
+    probability are demoted to 0, until base rates match.
+    """
+    masks = group_masks(dataset.sensitive_values, protected_value=protected_value)
+    y = dataset.y.copy()
+
+    ranker = ranker.clone()
+    ranker.fit(dataset.X, y)
+    scores = ranker.predict_proba(dataset.X)[:, 1]
+
+    protected_rate = y[masks.protected].mean()
+    reference_rate = y[masks.reference].mean()
+    if protected_rate >= reference_rate:
+        return dataset.with_values(y=y)
+
+    # Number of promotions needed so the two base rates meet in the middle.
+    n_protected = masks.n_protected
+    n_reference = masks.n_reference
+    target = (y[masks.protected].sum() + y[masks.reference].sum()) / (n_protected + n_reference)
+    n_promote = int(round(target * n_protected - y[masks.protected].sum()))
+    n_demote = int(round(y[masks.reference].sum() - target * n_reference))
+    n_changes = max(0, min(n_promote, n_demote))
+    if n_changes == 0:
+        return dataset.with_values(y=y)
+
+    promote_candidates = np.flatnonzero(masks.protected & (y == 0))
+    demote_candidates = np.flatnonzero(masks.reference & (y == 1))
+    promote_order = promote_candidates[np.argsort(-scores[promote_candidates])]
+    demote_order = demote_candidates[np.argsort(scores[demote_candidates])]
+    y[promote_order[:n_changes]] = 1
+    y[demote_order[:n_changes]] = 0
+    return dataset.with_values(y=y)
+
+
+def disparate_impact_repair(
+    dataset: Dataset,
+    *,
+    repair_level: float = 1.0,
+    columns: list[str] | None = None,
+    protected_value=1,
+) -> Dataset:
+    """Move per-group feature quantiles towards the pooled distribution.
+
+    ``repair_level=1`` makes the repaired feature distribution identical
+    across groups (full repair); ``0`` returns the data unchanged.  The
+    sensitive column itself and binary columns are left untouched unless
+    explicitly listed.
+    """
+    if not 0.0 <= repair_level <= 1.0:
+        raise ValidationError("repair_level must be in [0, 1]")
+    X = dataset.X.copy()
+    masks = group_masks(dataset.sensitive_values, protected_value=protected_value)
+    if columns is None:
+        columns = [
+            spec.name
+            for spec in dataset.features
+            if spec.kind == "numeric" and spec.name != dataset.sensitive
+        ]
+    for name in columns:
+        j = dataset.index_of(name)
+        pooled_sorted = np.sort(X[:, j])
+        for mask in (masks.protected, masks.reference):
+            values = X[mask, j]
+            if values.size == 0:
+                continue
+            ranks = np.argsort(np.argsort(values))
+            quantiles = (ranks + 0.5) / values.size
+            pooled_values = np.quantile(pooled_sorted, quantiles)
+            X[mask, j] = (1 - repair_level) * values + repair_level * pooled_values
+    return dataset.with_values(X=X)

@@ -1,0 +1,6 @@
+"""Graph substrate: biased graph generators, a numpy GCN and graph fairness metrics."""
+
+from .generators import AttributedGraph, make_biased_sbm
+from .gnn import GCNClassifier, normalized_adjacency
+
+__all__ = ["AttributedGraph", "make_biased_sbm", "GCNClassifier", "normalized_adjacency"]

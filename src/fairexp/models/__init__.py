@@ -1,0 +1,80 @@
+"""From-scratch numpy models and ML utilities used as the modelling substrate.
+
+The fairness-explanation methods in :mod:`fairexp.core` treat these models as
+black boxes (``predict`` / ``predict_proba``), except where the explanation
+taxonomy calls for gradient access (``LogisticRegression.gradient_input``,
+``MLPClassifier.gradient_input``) or white-box access
+(``DecisionTreeClassifier.decision_path``).
+"""
+
+from .base import BaseClassifier, ProbabilisticClassifier
+from .calibration import CalibratedClassifier, PlattCalibrator, expected_calibration_error
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .logistic import LogisticRegression
+from .metrics import (
+    accuracy_score,
+    brier_score,
+    calibration_curve,
+    confusion_matrix,
+    f1_score,
+    false_negative_rate,
+    false_positive_rate,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+    selection_rate,
+    true_negative_rate,
+    true_positive_rate,
+)
+from .mlp import MLPClassifier
+from .model_selection import GridSearch, cross_val_score, k_fold_indices
+from .naive_bayes import GaussianNaiveBayes
+from .preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    train_test_split,
+)
+from .tree import DecisionTreeClassifier, TreeNode
+
+__all__ = [
+    "BaseClassifier",
+    "ProbabilisticClassifier",
+    "LogisticRegression",
+    "DecisionTreeClassifier",
+    "TreeNode",
+    "RandomForestClassifier",
+    "GaussianNaiveBayes",
+    "KNeighborsClassifier",
+    "MLPClassifier",
+    "CalibratedClassifier",
+    "PlattCalibrator",
+    "expected_calibration_error",
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "LabelEncoder",
+    "train_test_split",
+    "GridSearch",
+    "cross_val_score",
+    "k_fold_indices",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "roc_auc_score",
+    "roc_curve",
+    "log_loss",
+    "brier_score",
+    "calibration_curve",
+    "selection_rate",
+    "true_positive_rate",
+    "false_positive_rate",
+    "false_negative_rate",
+    "true_negative_rate",
+]

@@ -1,0 +1,170 @@
+"""Classification metrics used throughout fairexp.
+
+These are deliberately small, dependency-free implementations of the standard
+metrics so the fairness layer can decompose them per group without relying on
+external ML frameworks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils import check_consistent_length, safe_divide
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "true_positive_rate",
+    "false_positive_rate",
+    "false_negative_rate",
+    "true_negative_rate",
+    "selection_rate",
+    "roc_auc_score",
+    "roc_curve",
+    "log_loss",
+    "brier_score",
+    "calibration_curve",
+]
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Return the 2x2 confusion matrix ``[[tn, fp], [fn, tp]]`` for binary labels."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    check_consistent_length(y_true, y_pred)
+    matrix = np.zeros((2, 2), dtype=int)
+    for true_label in (0, 1):
+        for pred_label in (0, 1):
+            matrix[true_label, pred_label] = int(
+                np.sum((y_true == true_label) & (y_pred == pred_label))
+            )
+    return matrix
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of predictions matching the ground truth."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_consistent_length(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred) -> float:
+    """TP / (TP + FP); 0.0 when nothing is predicted positive."""
+    matrix = confusion_matrix(y_true, y_pred)
+    return safe_divide(matrix[1, 1], matrix[1, 1] + matrix[0, 1])
+
+
+def recall_score(y_true, y_pred) -> float:
+    """TP / (TP + FN); 0.0 when there are no positives."""
+    matrix = confusion_matrix(y_true, y_pred)
+    return safe_divide(matrix[1, 1], matrix[1, 1] + matrix[1, 0])
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    return safe_divide(2 * precision * recall, precision + recall)
+
+
+def true_positive_rate(y_true, y_pred) -> float:
+    """Alias for recall (sensitivity)."""
+    return recall_score(y_true, y_pred)
+
+
+def false_positive_rate(y_true, y_pred) -> float:
+    """FP / (FP + TN)."""
+    matrix = confusion_matrix(y_true, y_pred)
+    return safe_divide(matrix[0, 1], matrix[0, 1] + matrix[0, 0])
+
+
+def false_negative_rate(y_true, y_pred) -> float:
+    """FN / (FN + TP)."""
+    matrix = confusion_matrix(y_true, y_pred)
+    return safe_divide(matrix[1, 0], matrix[1, 0] + matrix[1, 1])
+
+
+def true_negative_rate(y_true, y_pred) -> float:
+    """TN / (TN + FP)."""
+    matrix = confusion_matrix(y_true, y_pred)
+    return safe_divide(matrix[0, 0], matrix[0, 0] + matrix[0, 1])
+
+
+def selection_rate(y_pred) -> float:
+    """Fraction of samples receiving the favourable (positive) prediction."""
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_pred.size == 0:
+        return 0.0
+    return float(np.mean(y_pred == 1))
+
+
+def roc_curve(y_true, y_score) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(fpr, tpr, thresholds)`` for a binary classification score."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_score = np.asarray(y_score, dtype=float)
+    check_consistent_length(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    y_true = y_true[order]
+    y_score = y_score[order]
+
+    distinct = np.flatnonzero(np.diff(y_score)) if y_score.size > 1 else np.array([], dtype=int)
+    threshold_idx = np.concatenate([distinct, [y_true.size - 1]])
+
+    tps = np.cumsum(y_true)[threshold_idx]
+    fps = 1 + threshold_idx - tps
+    n_pos = max(int(y_true.sum()), 1)
+    n_neg = max(int((1 - y_true).sum()), 1)
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], y_score[threshold_idx]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via the trapezoidal rule."""
+    y_true = np.asarray(y_true, dtype=int)
+    if len(np.unique(y_true)) < 2:
+        raise ValidationError("ROC AUC is undefined with a single class present")
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def log_loss(y_true, y_proba, *, eps: float = 1e-12) -> float:
+    """Binary cross-entropy between labels and predicted positive-class probabilities."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_proba = np.clip(np.asarray(y_proba, dtype=float), eps, 1 - eps)
+    check_consistent_length(y_true, y_proba)
+    return float(-np.mean(y_true * np.log(y_proba) + (1 - y_true) * np.log(1 - y_proba)))
+
+
+def brier_score(y_true, y_proba) -> float:
+    """Mean squared error between labels and predicted probabilities."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_proba = np.asarray(y_proba, dtype=float)
+    check_consistent_length(y_true, y_proba)
+    return float(np.mean((y_true - y_proba) ** 2))
+
+
+def calibration_curve(y_true, y_proba, *, n_bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(mean_predicted, fraction_positive)`` per probability bin.
+
+    Bins with no samples are omitted from both arrays.
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_proba = np.asarray(y_proba, dtype=float)
+    check_consistent_length(y_true, y_proba)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_ids = np.clip(np.digitize(y_proba, edges[1:-1]), 0, n_bins - 1)
+    mean_predicted, fraction_positive = [], []
+    for b in range(n_bins):
+        mask = bin_ids == b
+        if not np.any(mask):
+            continue
+        mean_predicted.append(float(y_proba[mask].mean()))
+        fraction_positive.append(float(y_true[mask].mean()))
+    return np.asarray(mean_predicted), np.asarray(fraction_positive)

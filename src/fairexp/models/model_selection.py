@@ -1,0 +1,108 @@
+"""Cross-validation and simple hyper-parameter search."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..utils import check_random_state
+from .base import BaseClassifier
+from .metrics import accuracy_score
+
+__all__ = ["k_fold_indices", "cross_val_score", "GridSearch"]
+
+
+def k_fold_indices(
+    n_samples: int, n_folds: int = 5, *, shuffle: bool = True, random_state=None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return a list of ``(train_idx, test_idx)`` pairs for k-fold cross-validation."""
+    if n_folds < 2 or n_folds > n_samples:
+        raise ValidationError("n_folds must be between 2 and n_samples")
+    indices = np.arange(n_samples)
+    if shuffle:
+        indices = check_random_state(random_state).permutation(indices)
+    folds = np.array_split(indices, n_folds)
+    splits = []
+    for i in range(n_folds):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        splits.append((train_idx, test_idx))
+    return splits
+
+
+def cross_val_score(
+    model: BaseClassifier,
+    X,
+    y,
+    *,
+    n_folds: int = 5,
+    scoring: Callable[[np.ndarray, np.ndarray], float] = accuracy_score,
+    random_state=None,
+) -> np.ndarray:
+    """Return the per-fold score of ``model`` under k-fold cross-validation."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in k_fold_indices(len(y), n_folds, random_state=random_state):
+        fold_model = model.clone()
+        fold_model.fit(X[train_idx], y[train_idx])
+        scores.append(scoring(y[test_idx], fold_model.predict(X[test_idx])))
+    return np.asarray(scores)
+
+
+class GridSearch:
+    """Exhaustive search over a parameter grid with cross-validation.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable that builds an unfitted model from keyword parameters.
+    param_grid:
+        Mapping from parameter name to the list of values to try.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[..., BaseClassifier],
+        param_grid: Mapping[str, Sequence],
+        *,
+        n_folds: int = 3,
+        scoring: Callable[[np.ndarray, np.ndarray], float] = accuracy_score,
+        random_state=None,
+    ) -> None:
+        self.model_factory = model_factory
+        self.param_grid = dict(param_grid)
+        self.n_folds = n_folds
+        self.scoring = scoring
+        self.random_state = random_state
+        self.results_: list[dict] = []
+        self.best_params_: dict | None = None
+        self.best_score_: float = -np.inf
+        self.best_model_: BaseClassifier | None = None
+
+    def _iter_grid(self) -> Iterable[dict]:
+        keys = sorted(self.param_grid)
+        for values in product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, values))
+
+    def fit(self, X, y) -> "GridSearch":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.results_ = []
+        for params in self._iter_grid():
+            model = self.model_factory(**params)
+            scores = cross_val_score(
+                model, X, y, n_folds=self.n_folds, scoring=self.scoring,
+                random_state=self.random_state,
+            )
+            mean_score = float(scores.mean())
+            self.results_.append({"params": params, "mean_score": mean_score,
+                                  "scores": scores.tolist()})
+            if mean_score > self.best_score_:
+                self.best_score_ = mean_score
+                self.best_params_ = params
+        self.best_model_ = self.model_factory(**self.best_params_).fit(X, y)
+        return self

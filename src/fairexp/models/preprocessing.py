@@ -1,0 +1,206 @@
+"""Data preprocessing utilities: scaling, encoding and splitting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ValidationError
+from ..utils import check_array, check_consistent_length, check_random_state
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "LabelEncoder",
+    "train_test_split",
+]
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X, ndim=2, name="X")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        X = check_array(X, ndim=2, name="X")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        X = check_array(X, ndim=2, name="X")
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to the ``[0, 1]`` range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_array(X, ndim=2, name="X")
+        self.min_ = X.min(axis=0)
+        data_range = X.max(axis=0) - self.min_
+        data_range[data_range == 0] = 1.0
+        self.range_ = data_range
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted")
+        X = check_array(X, ndim=2, name="X")
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted")
+        X = check_array(X, ndim=2, name="X")
+        return X * self.range_ + self.min_
+
+
+class LabelEncoder:
+    """Encode arbitrary labels as integers ``0..n_classes-1``."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder is not fitted")
+        y = np.asarray(y)
+        unknown = set(np.unique(y)) - set(self.classes_)
+        if unknown:
+            raise ValidationError(f"unknown labels: {sorted(unknown)}")
+        return np.searchsorted(self.classes_, y)
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder is not fitted")
+        return self.classes_[np.asarray(codes, dtype=int)]
+
+
+class OneHotEncoder:
+    """One-hot encode columns of categorical codes.
+
+    The encoder accepts a 2-D array of integer (or string) categories and
+    produces a dense float matrix with one indicator column per category.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[np.ndarray] | None = None
+
+    def fit(self, X) -> "OneHotEncoder":
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ValidationError("OneHotEncoder expects a 2-D array")
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder is not fitted")
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != len(self.categories_):
+            raise ValidationError("shape mismatch with fitted categories")
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            block = np.zeros((X.shape[0], categories.shape[0]))
+            for k, category in enumerate(categories):
+                block[:, k] = (X[:, j] == category).astype(float)
+            blocks.append(block)
+        return np.hstack(blocks)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def feature_names(self, input_names: Sequence[str] | None = None) -> list[str]:
+        """Return output column names of the form ``<input>=<category>``."""
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder is not fitted")
+        if input_names is None:
+            input_names = [f"x{j}" for j in range(len(self.categories_))]
+        names = []
+        for name, categories in zip(input_names, self.categories_):
+            names.extend(f"{name}={category}" for category in categories)
+        return names
+
+
+def train_test_split(*arrays, test_size: float = 0.25, random_state=None, stratify=None):
+    """Split arrays into random train and test subsets.
+
+    Parameters
+    ----------
+    arrays:
+        One or more arrays sharing the same first dimension.
+    test_size:
+        Fraction of samples assigned to the test split, in ``(0, 1)``.
+    random_state:
+        Seed or :class:`numpy.random.Generator`.
+    stratify:
+        Optional label array; when given, the class proportions are preserved
+        in both splits.
+
+    Returns
+    -------
+    list
+        ``[a_train, a_test, b_train, b_test, ...]`` in the order of the inputs.
+    """
+    if not arrays:
+        raise ValidationError("at least one array is required")
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError("test_size must be in (0, 1)")
+    check_consistent_length(*arrays)
+    n_samples = len(arrays[0])
+    rng = check_random_state(random_state)
+
+    if stratify is not None:
+        stratify = np.asarray(stratify)
+        test_idx: list[int] = []
+        for value in np.unique(stratify):
+            value_idx = np.flatnonzero(stratify == value)
+            value_idx = rng.permutation(value_idx)
+            n_test = max(1, int(round(test_size * value_idx.shape[0])))
+            test_idx.extend(value_idx[:n_test].tolist())
+        test_mask = np.zeros(n_samples, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        permutation = rng.permutation(n_samples)
+        n_test = max(1, int(round(test_size * n_samples)))
+        test_mask = np.zeros(n_samples, dtype=bool)
+        test_mask[permutation[:n_test]] = True
+
+    result = []
+    for array in arrays:
+        array = np.asarray(array)
+        result.append(array[~test_mask])
+        result.append(array[test_mask])
+    return result

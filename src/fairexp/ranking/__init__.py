@@ -1,0 +1,5 @@
+"""Ranking substrate: score-based rankers, candidates and fairness-aware re-ranking."""
+
+from .rankers import RankedCandidates, ScoreRanker, fair_topk_rerank, make_ranking_candidates
+
+__all__ = ["RankedCandidates", "ScoreRanker", "make_ranking_candidates", "fair_topk_rerank"]

@@ -1,0 +1,34 @@
+"""Recommendation substrate: interactions, recommenders and exposure metrics."""
+
+from .interactions import InteractionMatrix, make_biased_interactions
+from .metrics import (
+    exposure_disparity,
+    item_group_exposure,
+    ndcg_at_k,
+    popularity_lift,
+    precision_at_k,
+    recall_at_k,
+    user_group_quality_gap,
+)
+from .models import (
+    BaseRecommender,
+    ItemKNNRecommender,
+    MatrixFactorization,
+    RecWalkRecommender,
+)
+
+__all__ = [
+    "InteractionMatrix",
+    "make_biased_interactions",
+    "BaseRecommender",
+    "MatrixFactorization",
+    "ItemKNNRecommender",
+    "RecWalkRecommender",
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "item_group_exposure",
+    "exposure_disparity",
+    "user_group_quality_gap",
+    "popularity_lift",
+]

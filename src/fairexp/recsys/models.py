@@ -1,0 +1,228 @@
+"""Recommendation models: matrix factorization, item-kNN and RecWalk.
+
+All recommenders share the same minimal interface used by the fairness
+explainers: ``fit(interactions)``, ``score(user)`` returning a score per item,
+and ``recommend(user, k)`` returning the top-k unseen items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ValidationError
+from ..utils import check_random_state
+from .interactions import InteractionMatrix
+
+__all__ = ["BaseRecommender", "MatrixFactorization", "ItemKNNRecommender", "RecWalkRecommender"]
+
+
+class BaseRecommender:
+    """Common scoring / top-k logic for recommenders."""
+
+    def __init__(self) -> None:
+        self.interactions_: InteractionMatrix | None = None
+
+    def fit(self, interactions: InteractionMatrix) -> "BaseRecommender":
+        raise NotImplementedError
+
+    def score(self, user: int) -> np.ndarray:
+        """Return a relevance score for every item for the given user."""
+        raise NotImplementedError
+
+    def _check_fitted(self) -> None:
+        if self.interactions_ is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+    def score_matrix(self) -> np.ndarray:
+        """Score every (user, item) pair; shape ``(n_users, n_items)``."""
+        self._check_fitted()
+        return np.vstack([self.score(u) for u in range(self.interactions_.n_users)])
+
+    def recommend(self, user: int, k: int = 10, *, exclude_seen: bool = True) -> np.ndarray:
+        """Return the indices of the top-k items for ``user`` (highest score first)."""
+        self._check_fitted()
+        scores = self.score(user).astype(float).copy()
+        if exclude_seen:
+            seen = self.interactions_.matrix[user] > 0
+            scores[seen] = -np.inf
+        k = min(k, scores.shape[0])
+        return np.argsort(-scores, kind="stable")[:k]
+
+    def recommend_all(self, k: int = 10, *, exclude_seen: bool = True) -> np.ndarray:
+        """Top-k recommendations for every user; shape ``(n_users, k)``."""
+        self._check_fitted()
+        return np.vstack([
+            self.recommend(u, k, exclude_seen=exclude_seen)
+            for u in range(self.interactions_.n_users)
+        ])
+
+
+class MatrixFactorization(BaseRecommender):
+    """Implicit-feedback matrix factorization trained with SGD on squared error.
+
+    Parameters
+    ----------
+    n_factors:
+        Latent dimensionality.
+    n_epochs, learning_rate, reg:
+        SGD hyper-parameters.
+    n_negatives:
+        Number of sampled negative (unobserved) entries per positive per epoch.
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 16,
+        n_epochs: int = 30,
+        learning_rate: float = 0.05,
+        reg: float = 0.02,
+        n_negatives: int = 3,
+        random_state: int | None = 0,
+    ) -> None:
+        super().__init__()
+        self.n_factors = n_factors
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.reg = reg
+        self.n_negatives = n_negatives
+        self.random_state = random_state
+        self.user_factors_: np.ndarray | None = None
+        self.item_factors_: np.ndarray | None = None
+
+    def fit(self, interactions: InteractionMatrix) -> "MatrixFactorization":
+        rng = check_random_state(self.random_state)
+        self.interactions_ = interactions
+        R = interactions.matrix
+        n_users, n_items = R.shape
+        P = rng.normal(scale=0.1, size=(n_users, self.n_factors))
+        Q = rng.normal(scale=0.1, size=(n_items, self.n_factors))
+        positive_pairs = np.argwhere(R > 0)
+
+        for _ in range(self.n_epochs):
+            order = rng.permutation(positive_pairs.shape[0])
+            for idx in order:
+                user, item = positive_pairs[idx]
+                samples = [(item, 1.0)]
+                for _ in range(self.n_negatives):
+                    negative = int(rng.integers(0, n_items))
+                    if R[user, negative] == 0:
+                        samples.append((negative, 0.0))
+                for j, target in samples:
+                    prediction = P[user] @ Q[j]
+                    error = target - prediction
+                    P[user] += self.learning_rate * (error * Q[j] - self.reg * P[user])
+                    Q[j] += self.learning_rate * (error * P[user] - self.reg * Q[j])
+
+        self.user_factors_, self.item_factors_ = P, Q
+        return self
+
+    def score(self, user: int) -> np.ndarray:
+        self._check_fitted()
+        return self.user_factors_[user] @ self.item_factors_.T
+
+
+class ItemKNNRecommender(BaseRecommender):
+    """Item-based collaborative filtering with cosine similarity."""
+
+    def __init__(self, n_neighbors: int = 20) -> None:
+        super().__init__()
+        self.n_neighbors = n_neighbors
+        self.similarity_: np.ndarray | None = None
+
+    def fit(self, interactions: InteractionMatrix) -> "ItemKNNRecommender":
+        self.interactions_ = interactions
+        R = interactions.matrix
+        norms = np.linalg.norm(R, axis=0)
+        norms[norms == 0] = 1.0
+        similarity = (R.T @ R) / np.outer(norms, norms)
+        np.fill_diagonal(similarity, 0.0)
+        # Keep only the top-n_neighbors similarities per item.
+        if self.n_neighbors < similarity.shape[0]:
+            for j in range(similarity.shape[0]):
+                threshold_idx = np.argsort(-similarity[j])[self.n_neighbors:]
+                similarity[j, threshold_idx] = 0.0
+        self.similarity_ = similarity
+        return self
+
+    def score(self, user: int) -> np.ndarray:
+        self._check_fitted()
+        return self.interactions_.matrix[user] @ self.similarity_
+
+
+class RecWalkRecommender(BaseRecommender):
+    """RecWalk-style random-walk scoring on the user–item bipartite graph.
+
+    Following Nikolakopoulos & Karypis [85], item scores for a user are the
+    stationary probabilities of a personalized random walk with restart over
+    the user–item graph; the inter-item transition mixes the bipartite walk
+    with an item–item similarity component weighted by ``alpha``.
+    """
+
+    def __init__(self, alpha: float = 0.7, restart: float = 0.15, n_steps: int = 30) -> None:
+        super().__init__()
+        if not 0.0 <= alpha <= 1.0:
+            raise ValidationError("alpha must be in [0, 1]")
+        self.alpha = alpha
+        self.restart = restart
+        self.n_steps = n_steps
+        self.transition_: np.ndarray | None = None
+
+    def _build_transition(self, interactions: InteractionMatrix) -> np.ndarray:
+        R = interactions.matrix
+        n_users, n_items = R.shape
+        n = n_users + n_items
+        adjacency = np.zeros((n, n))
+        adjacency[:n_users, n_users:] = R
+        adjacency[n_users:, :n_users] = R.T
+
+        # Item-item similarity component (cosine), mixed in with weight (1 - alpha).
+        norms = np.linalg.norm(R, axis=0)
+        norms[norms == 0] = 1.0
+        item_similarity = (R.T @ R) / np.outer(norms, norms)
+        np.fill_diagonal(item_similarity, 0.0)
+
+        transition = np.zeros((n, n))
+        row_sums = adjacency.sum(axis=1)
+        row_sums[row_sums == 0] = 1.0
+        walk = adjacency / row_sums[:, None]
+        transition[:n_users] = walk[:n_users]
+        item_sim_sums = item_similarity.sum(axis=1)
+        item_sim_sums[item_sim_sums == 0] = 1.0
+        item_walk = item_similarity / item_sim_sums[:, None]
+        transition[n_users:] = (
+            self.alpha * walk[n_users:]
+        )
+        transition[n_users:, n_users:] += (1 - self.alpha) * item_walk
+        # Re-normalize rows that became empty (cold items).
+        empty = transition.sum(axis=1) == 0
+        transition[empty] = 1.0 / n
+        transition /= transition.sum(axis=1, keepdims=True)
+        return transition
+
+    def fit(self, interactions: InteractionMatrix) -> "RecWalkRecommender":
+        self.interactions_ = interactions
+        self.transition_ = self._build_transition(interactions)
+        return self
+
+    def refit_without(self, user: int, item: int) -> "RecWalkRecommender":
+        """Return a new fitted recommender with one interaction removed.
+
+        Used by the edge-removal counterfactual explanations [84].
+        """
+        modified = self.interactions_.remove_interaction(user, item)
+        clone = RecWalkRecommender(alpha=self.alpha, restart=self.restart, n_steps=self.n_steps)
+        return clone.fit(modified)
+
+    def score(self, user: int) -> np.ndarray:
+        self._check_fitted()
+        n_users = self.interactions_.n_users
+        n = self.transition_.shape[0]
+        restart_vector = np.zeros(n)
+        restart_vector[user] = 1.0
+        distribution = restart_vector.copy()
+        for _ in range(self.n_steps):
+            distribution = (
+                (1 - self.restart) * distribution @ self.transition_
+                + self.restart * restart_vector
+            )
+        return distribution[n_users:]

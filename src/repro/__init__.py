@@ -1,0 +1,18 @@
+"""``repro`` distribution shim: the implementation lives in :mod:`fairexp`.
+
+``import repro`` re-exports the fairexp public API so both names work.
+"""
+
+from fairexp import *  # noqa: F401,F403
+from fairexp import (  # noqa: F401
+    __version__,
+    causal,
+    core,
+    datasets,
+    explanations,
+    fairness,
+    graphs,
+    models,
+    ranking,
+    recsys,
+)

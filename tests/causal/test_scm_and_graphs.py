@@ -1,0 +1,179 @@
+"""Tests for structural causal models, causal graphs and contrastive scores."""
+
+import numpy as np
+import pytest
+
+from fairexp.causal import (
+    CausalGraph,
+    StructuralCausalModel,
+    StructuralEquation,
+    all_causal_paths,
+    contrastive_scores,
+    fit_linear_scm_weights,
+    path_effect,
+    probability_of_necessity,
+    probability_of_necessity_and_sufficiency,
+    probability_of_sufficiency,
+)
+from fairexp.exceptions import ValidationError
+
+
+def linear_scm(random_state=0):
+    """x -> y -> z with known coefficients (y = 2x + u, z = 3y + u)."""
+    return StructuralCausalModel(
+        equations=[
+            StructuralEquation("x", parents=(), func=lambda p, u: u,
+                               noise=lambda r, n: r.normal(0, 1, n)),
+            StructuralEquation("y", parents=("x",), func=lambda p, u: 2.0 * p["x"] + u,
+                               noise=lambda r, n: r.normal(0, 0.5, n)),
+            StructuralEquation("z", parents=("y",), func=lambda p, u: 3.0 * p["y"] + u,
+                               noise=lambda r, n: r.normal(0, 0.5, n)),
+        ],
+        random_state=random_state,
+    )
+
+
+class TestSCMStructure:
+    def test_topological_order(self):
+        scm = linear_scm()
+        order = scm.order
+        assert order.index("x") < order.index("y") < order.index("z")
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValidationError):
+            StructuralCausalModel([
+                StructuralEquation("a", parents=("b",), func=lambda p, u: p["b"]),
+                StructuralEquation("b", parents=("a",), func=lambda p, u: p["a"]),
+            ])
+
+    def test_missing_parent_equation(self):
+        with pytest.raises(ValidationError):
+            StructuralCausalModel([
+                StructuralEquation("a", parents=("ghost",), func=lambda p, u: u),
+            ])
+
+    def test_duplicate_variable(self):
+        with pytest.raises(ValidationError):
+            StructuralCausalModel([
+                StructuralEquation("a", parents=(), func=lambda p, u: u),
+                StructuralEquation("a", parents=(), func=lambda p, u: u),
+            ])
+
+    def test_to_networkx(self):
+        graph = linear_scm().to_networkx()
+        assert set(graph.edges) == {("x", "y"), ("y", "z")}
+
+
+class TestSampling:
+    def test_sample_shapes(self):
+        sample = linear_scm().sample(500)
+        assert set(sample) == {"x", "y", "z"}
+        assert all(v.shape == (500,) for v in sample.values())
+
+    def test_observational_relationships(self):
+        sample = linear_scm().sample(4000)
+        slope_yx = np.polyfit(sample["x"], sample["y"], 1)[0]
+        slope_zy = np.polyfit(sample["y"], sample["z"], 1)[0]
+        assert slope_yx == pytest.approx(2.0, abs=0.1)
+        assert slope_zy == pytest.approx(3.0, abs=0.1)
+
+    def test_intervention_breaks_dependence(self):
+        sample = linear_scm().sample(3000, interventions={"y": 1.0})
+        assert np.allclose(sample["y"], 1.0)
+        # Under do(y=1), z no longer depends on x.
+        correlation = np.corrcoef(sample["x"], sample["z"])[0, 1]
+        assert abs(correlation) < 0.1
+
+    def test_sample_matrix_column_order(self):
+        matrix = linear_scm().sample_matrix(100, variables=["z", "x"])
+        assert matrix.shape == (100, 2)
+
+    def test_total_effect(self):
+        effect = linear_scm().total_effect("x", "z", baseline=0.0, alternative=1.0,
+                                           n_samples=4000)
+        assert effect == pytest.approx(6.0, abs=0.3)
+
+
+class TestCounterfactuals:
+    def test_abduction_recovers_noise(self):
+        scm = linear_scm()
+        observation = {"x": 1.0, "y": 2.5, "z": 8.0}
+        noise = scm.abduct_noise(observation)
+        assert noise["y"][0] == pytest.approx(0.5)   # y - 2x
+        assert noise["z"][0] == pytest.approx(0.5)   # z - 3y
+
+    def test_counterfactual_propagates_downstream(self):
+        scm = linear_scm()
+        observation = {"x": 1.0, "y": 2.5, "z": 8.0}
+        counterfactual = scm.counterfactual(observation, {"x": 2.0})
+        # y_cf = 2*2 + 0.5 = 4.5, z_cf = 3*4.5 + 0.5 = 14.0
+        assert counterfactual["y"] == pytest.approx(4.5)
+        assert counterfactual["z"] == pytest.approx(14.0)
+
+    def test_counterfactual_identity_intervention(self):
+        scm = linear_scm()
+        observation = {"x": 1.0, "y": 2.5, "z": 8.0}
+        counterfactual = scm.counterfactual(observation, {"x": 1.0})
+        assert counterfactual["z"] == pytest.approx(observation["z"])
+
+    def test_missing_variable_in_observation(self):
+        with pytest.raises(ValidationError):
+            linear_scm().abduct_noise({"x": 1.0})
+
+
+class TestCausalGraph:
+    def test_dag_validation(self):
+        with pytest.raises(ValidationError):
+            CausalGraph([("a", "b"), ("b", "a")])
+
+    def test_paths_enumeration(self):
+        graph = CausalGraph([("s", "m"), ("m", "y"), ("s", "y")])
+        paths = all_causal_paths(graph, "s", "y")
+        assert ("s", "y") in paths
+        assert ("s", "m", "y") in paths
+        assert len(paths) == 2
+
+    def test_parents_children_descendants(self):
+        graph = CausalGraph([("a", "b"), ("b", "c")])
+        assert graph.parents("b") == ["a"]
+        assert graph.children("b") == ["c"]
+        assert graph.descendants("a") == {"b", "c"}
+        assert graph.ancestors("c") == {"a", "b"}
+
+    def test_linear_weight_recovery(self):
+        scm = linear_scm()
+        sample = scm.sample(3000)
+        graph = CausalGraph([("x", "y"), ("y", "z")])
+        weights = fit_linear_scm_weights(graph, sample)
+        assert weights[("x", "y")] == pytest.approx(2.0, abs=0.1)
+        assert weights[("y", "z")] == pytest.approx(3.0, abs=0.1)
+        assert path_effect(("x", "y", "z"), weights) == pytest.approx(6.0, abs=0.5)
+
+
+class TestContrastiveScores:
+    def test_deterministic_positive_effect(self):
+        factor = np.array([1, 1, 1, 0, 0, 0])
+        outcome = np.array([1, 1, 1, 0, 0, 0])
+        scores = contrastive_scores(factor, outcome)
+        assert scores.necessity == pytest.approx(1.0)
+        assert scores.sufficiency == pytest.approx(1.0)
+        assert scores.necessity_and_sufficiency == pytest.approx(1.0)
+
+    def test_no_effect(self):
+        factor = np.array([1, 0, 1, 0])
+        outcome = np.array([1, 1, 0, 0])
+        assert probability_of_necessity_and_sufficiency(factor, outcome) == pytest.approx(0.0)
+
+    def test_scores_in_unit_interval(self, rng):
+        factor = rng.integers(0, 2, 500)
+        outcome = rng.integers(0, 2, 500)
+        assert 0 <= probability_of_necessity(factor, outcome) <= 1
+        assert 0 <= probability_of_sufficiency(factor, outcome) <= 1
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValidationError):
+            probability_of_necessity([0, 1, 2], [0, 1, 1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            probability_of_necessity([0, 1], [0, 1, 1])

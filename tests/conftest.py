@@ -1,0 +1,106 @@
+"""Shared fixtures for the fairexp test suite.
+
+Expensive artifacts (synthetic datasets, trained models, fitted recommenders)
+are session-scoped so the several hundred tests stay fast; tests that mutate
+data must work on copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from fairexp.datasets import (
+    make_adult_like,
+    make_compas_like,
+    make_loan_dataset,
+    make_scm_loan_dataset,
+)
+from fairexp.explanations import ActionabilityConstraints, GrowingSpheresCounterfactual
+from fairexp.graphs import GCNClassifier, make_biased_sbm
+from fairexp.models import LogisticRegression
+from fairexp.recsys import RecWalkRecommender, make_biased_interactions
+
+
+@pytest.fixture(scope="session")
+def loan_data():
+    """Biased loan dataset split into train/test."""
+    dataset = make_loan_dataset(700, direct_bias=1.2, recourse_gap=1.0, random_state=0)
+    train, test = dataset.split(test_size=0.3, random_state=1)
+    return dataset, train, test
+
+
+@pytest.fixture(scope="session")
+def loan_model(loan_data):
+    """Logistic regression trained on the biased loan dataset."""
+    _, train, _ = loan_data
+    return LogisticRegression(n_iter=1200, random_state=0).fit(train.X, train.y)
+
+
+@pytest.fixture(scope="session")
+def loan_cf_generator(loan_data, loan_model):
+    """Growing-spheres counterfactual generator honouring the loan constraints."""
+    dataset, train, _ = loan_data
+    constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
+    return GrowingSpheresCounterfactual(
+        loan_model, train.X, constraints=constraints, random_state=0
+    )
+
+
+@pytest.fixture(scope="session")
+def adult_data():
+    """Adult-like income dataset with direct + proxy bias."""
+    dataset = make_adult_like(700, direct_bias=1.0, proxy_bias=0.8, random_state=0)
+    train, test = dataset.split(test_size=0.3, random_state=1)
+    return dataset, train, test
+
+
+@pytest.fixture(scope="session")
+def adult_model(adult_data):
+    _, train, _ = adult_data
+    return LogisticRegression(n_iter=1200, random_state=0).fit(train.X, train.y)
+
+
+@pytest.fixture(scope="session")
+def compas_data():
+    dataset = make_compas_like(600, random_state=0)
+    train, test = dataset.split(test_size=0.3, random_state=1)
+    return dataset, train, test
+
+
+@pytest.fixture(scope="session")
+def scm_loan():
+    """(dataset, scm, trained model) triple for causal-recourse tests."""
+    dataset, scm = make_scm_loan_dataset(600, random_state=0)
+    train, test = dataset.split(test_size=0.3, random_state=1)
+    model = LogisticRegression(n_iter=1000, random_state=0).fit(train.X, train.y)
+    return dataset, scm, train, test, model
+
+
+@pytest.fixture(scope="session")
+def interactions():
+    """Biased user-item interactions."""
+    return make_biased_interactions(50, 30, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def recwalk(interactions):
+    """Fitted RecWalk recommender on the biased interactions."""
+    return RecWalkRecommender(n_steps=15).fit(interactions)
+
+
+@pytest.fixture(scope="session")
+def sbm_graph():
+    """Biased stochastic-block-model graph."""
+    return make_biased_sbm(100, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def gcn(sbm_graph):
+    """Trained GCN on the biased graph."""
+    return GCNClassifier(n_epochs=150, learning_rate=0.3, random_state=0).fit(sbm_graph)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

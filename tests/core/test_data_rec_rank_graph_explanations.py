@@ -1,0 +1,285 @@
+"""Tests for Gopher data explanations [63, 83], recommendation explanations
+[84, 86, 87], Dexer [88] and the graph explainers [89-91, 44]."""
+
+import numpy as np
+import pytest
+
+from fairexp.core import (
+    CEFExplainer,
+    CFairERExplainer,
+    DexerExplainer,
+    EdgeRemovalExplainer,
+    GNNUERSExplainer,
+    GopherExplainer,
+    NodeInfluenceExplainer,
+    PathRecommendation,
+    StructuralBiasExplainer,
+    fairness_aware_path_rerank,
+)
+from fairexp.datasets import make_adult_like
+from fairexp.exceptions import ValidationError
+from fairexp.graphs import GCNClassifier
+from fairexp.models import LogisticRegression
+from fairexp.ranking import make_ranking_candidates
+from fairexp.recsys import RecWalkRecommender
+
+
+# --------------------------------------------------------------------------
+# Gopher data-based explanations
+# --------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def gopher_setup():
+    dataset = make_adult_like(600, direct_bias=1.2, proxy_bias=0.8, random_state=0)
+    factory = lambda: LogisticRegression(n_iter=500, random_state=0)  # noqa: E731
+    return dataset, factory
+
+
+class TestGopher:
+    def test_retrain_estimator_finds_reducing_pattern(self, gopher_setup):
+        dataset, factory = gopher_setup
+        explainer = GopherExplainer(factory, feature_names=dataset.feature_names,
+                                    min_support=0.1, top_k=3)
+        result = explainer.explain(dataset.X, dataset.y, dataset.sensitive_values)
+        assert result.baseline_unfairness < 0  # protected group disadvantaged
+        assert len(result.patterns) >= 1
+        assert result.patterns[0].unfairness_reduction > 0
+
+    def test_patterns_sorted_by_reduction(self, gopher_setup):
+        dataset, factory = gopher_setup
+        result = GopherExplainer(factory, feature_names=dataset.feature_names,
+                                 min_support=0.1, top_k=5).explain(
+            dataset.X, dataset.y, dataset.sensitive_values
+        )
+        reductions = [p.unfairness_reduction for p in result.patterns]
+        assert reductions == sorted(reductions, reverse=True)
+
+    def test_verify_pattern_matches_estimate(self, gopher_setup):
+        dataset, factory = gopher_setup
+        explainer = GopherExplainer(factory, feature_names=dataset.feature_names,
+                                    min_support=0.15, top_k=1)
+        result = explainer.explain(dataset.X, dataset.y, dataset.sensitive_values)
+        pattern = result.patterns[0]
+        verified = explainer.verify_pattern(dataset.X, dataset.y, dataset.sensitive_values,
+                                            pattern)
+        assert verified == pytest.approx(pattern.new_unfairness, abs=1e-9)
+
+    def test_influence_estimator_correlates_with_retraining(self, gopher_setup):
+        dataset, factory = gopher_setup
+        retrain = GopherExplainer(factory, feature_names=dataset.feature_names,
+                                  min_support=0.15, top_k=10, estimator="retrain").explain(
+            dataset.X, dataset.y, dataset.sensitive_values
+        )
+        influence = GopherExplainer(factory, feature_names=dataset.feature_names,
+                                    min_support=0.15, top_k=10, estimator="influence").explain(
+            dataset.X, dataset.y, dataset.sensitive_values
+        )
+        retrain_top = {tuple(str(p) for p in pattern.predicates)
+                       for pattern in retrain.patterns[:5]}
+        influence_top = {tuple(str(p) for p in pattern.predicates)
+                         for pattern in influence.patterns[:5]}
+        assert retrain_top & influence_top  # agreement on at least one top pattern
+
+    def test_influence_estimator_requires_logistic(self, gopher_setup):
+        dataset, _ = gopher_setup
+        from fairexp.models import GaussianNaiveBayes
+
+        explainer = GopherExplainer(lambda: GaussianNaiveBayes(), estimator="influence")
+        with pytest.raises(ValidationError):
+            explainer.explain(dataset.X, dataset.y, dataset.sensitive_values)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValidationError):
+            GopherExplainer(lambda: None, estimator="magic")
+
+    def test_pattern_description(self, gopher_setup):
+        dataset, factory = gopher_setup
+        result = GopherExplainer(factory, feature_names=dataset.feature_names,
+                                 min_support=0.2, top_k=1).explain(
+            dataset.X, dataset.y, dataset.sensitive_values
+        )
+        assert "support=" in result.patterns[0].describe()
+
+
+# --------------------------------------------------------------------------
+# Recommendation explanations
+# --------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def rec_setup(interactions, recwalk):
+    rng = np.random.default_rng(0)
+    item_attributes = (rng.random((interactions.n_items, 5)) < 0.3).astype(float)
+    # Attribute 0 marks reference-group (head) items: a known driver of exposure bias.
+    item_attributes[:, 0] = (interactions.item_groups == 0).astype(float)
+    holdout = (rng.random(interactions.matrix.shape) < 0.1).astype(float)
+    return interactions, recwalk, item_attributes, holdout
+
+
+class TestEdgeRemoval:
+    def test_item_score_explanations_cover_user_history(self, rec_setup):
+        interactions, recwalk, *_ = rec_setup
+        explainer = EdgeRemovalExplainer(recwalk, k=5, random_state=0)
+        user = 0
+        explanations = explainer.explain_item_score(user, item=3)
+        user_items = set(np.flatnonzero(interactions.matrix[user] > 0).tolist())
+        assert {e.item for e in explanations} == user_items
+
+    def test_group_exposure_explanations_sorted(self, rec_setup):
+        _, recwalk, *_ = rec_setup
+        explainer = EdgeRemovalExplainer(recwalk, k=5, max_edges=12, random_state=0)
+        explanations = explainer.explain_group_exposure()
+        changes = [e.exposure_change for e in explanations]
+        assert changes == sorted(changes)
+        assert len(explanations) <= 12
+
+    def test_describe(self, rec_setup):
+        _, recwalk, *_ = rec_setup
+        explainer = EdgeRemovalExplainer(recwalk, k=5, max_edges=5, random_state=0)
+        text = explainer.explain_group_exposure()[0].describe()
+        assert "remove (user=" in text
+
+
+class TestCFairERAndCEF:
+    def test_cfairer_improves_exposure_fairness(self, rec_setup):
+        _, recwalk, item_attributes, _ = rec_setup
+        result = CFairERExplainer(recwalk, item_attributes, k=5, max_attributes=2).explain()
+        assert result.final_disparity <= result.base_disparity
+        assert len(result.selected_attributes) <= 2
+        assert result.improvement >= 0
+
+    def test_cfairer_selects_correlated_attribute(self, rec_setup):
+        _, recwalk, item_attributes, _ = rec_setup
+        result = CFairERExplainer(recwalk, item_attributes, k=5, max_attributes=1).explain()
+        if result.selected_attributes:
+            assert result.selected_attributes[0] == 0  # the head-item marker attribute
+
+    def test_cef_ranks_bias_driving_feature_first(self, rec_setup):
+        _, recwalk, item_attributes, holdout = rec_setup
+        result = CEFExplainer(recwalk, item_attributes, holdout, k=5).explain()
+        ranked = result.ranked()
+        assert ranked[0][0] == "feature_0"
+        assert result.fairness_gain[0] > 0
+
+    def test_cef_reports_base_metrics(self, rec_setup):
+        _, recwalk, item_attributes, holdout = rec_setup
+        result = CEFExplainer(recwalk, item_attributes, holdout, k=5).explain()
+        assert result.base_disparity > 0
+        assert 0.0 <= result.base_ndcg <= 1.0
+
+
+# --------------------------------------------------------------------------
+# Dexer (ranking)
+# --------------------------------------------------------------------------
+class TestDexer:
+    @pytest.fixture(scope="class")
+    def dexer_result(self):
+        candidates, ranker = make_ranking_candidates(150, score_penalty=1.5, random_state=0)
+        explainer = DexerExplainer(ranker, k=20, n_permutations=40, random_state=0)
+        return explainer.explain(candidates), candidates
+
+    def test_detects_underrepresentation(self, dexer_result):
+        result, candidates = dexer_result
+        assert result.detection.representation_gap < 0
+        assert result.detection.p_value < 0.05
+        assert result.detection.is_significant
+
+    def test_blames_penalized_attribute(self, dexer_result):
+        result, _ = dexer_result
+        top = result.top_attributes(1)[0][0]
+        assert top == "assessment"
+
+    def test_evidence_covers_all_attributes(self, dexer_result):
+        result, candidates = dexer_result
+        assert {e.attribute for e in result.evidence} == set(candidates.feature_names)
+
+    def test_distributions_available_for_visualization(self, dexer_result):
+        result, _ = dexer_result
+        distributions = result.evidence[0].distributions()
+        assert set(distributions) == {"group", "topk"}
+
+    def test_unbiased_ranking_not_flagged(self):
+        candidates, ranker = make_ranking_candidates(200, score_penalty=0.0, random_state=1)
+        explainer = DexerExplainer(ranker, k=30, n_permutations=20, random_state=0)
+        detection = explainer.detect(candidates)
+        assert detection.p_value > 0.05
+
+
+# --------------------------------------------------------------------------
+# Graph explanations
+# --------------------------------------------------------------------------
+class TestStructuralBias:
+    def test_bias_edges_reduce_soft_parity(self, sbm_graph, gcn):
+        explainer = StructuralBiasExplainer(gcn, sbm_graph, max_edges=12, top_k=3)
+        explanation = explainer.explain_node(0)
+        assert explanation.base_bias > 0
+        if explanation.bias_edges:
+            assert explanation.bias_after_removal <= explanation.base_bias
+            assert explanation.bias_reduction >= 0
+
+    def test_bias_and_fair_edges_disjoint(self, sbm_graph, gcn):
+        explainer = StructuralBiasExplainer(gcn, sbm_graph, max_edges=12, top_k=3)
+        explanation = explainer.explain_node(1)
+        assert not set(explanation.bias_edges) & set(explanation.fair_edges)
+
+    def test_global_edge_set_deduplicated(self, sbm_graph, gcn):
+        explainer = StructuralBiasExplainer(gcn, sbm_graph, max_edges=8, top_k=2)
+        edges = explainer.explain_global(n_nodes=4, random_state=0)
+        assert len(edges) == len(set(edges))
+
+
+class TestNodeInfluence:
+    def test_influences_have_expected_shape(self, sbm_graph):
+        explainer = NodeInfluenceExplainer(
+            lambda: GCNClassifier(n_epochs=30, random_state=0), sbm_graph
+        )
+        result = explainer.explain(max_nodes=5, random_state=0)
+        assert result.influences.shape == (5,)
+        assert result.base_bias > 0
+
+    def test_most_bias_inducing_sorted(self, sbm_graph):
+        explainer = NodeInfluenceExplainer(
+            lambda: GCNClassifier(n_epochs=30, random_state=0), sbm_graph
+        )
+        result = explainer.explain(max_nodes=6, random_state=0)
+        top = result.most_bias_inducing(3)
+        values = [value for _, value in top]
+        assert values == sorted(values, reverse=True)
+
+
+class TestGNNUERSAndPathRerank:
+    def test_gnnuers_never_increases_gap(self, rec_setup):
+        interactions, recwalk, _, holdout = rec_setup
+        explainer = GNNUERSExplainer(recwalk, holdout, k=5, max_removals=2,
+                                     candidate_edges=10, random_state=0)
+        result = explainer.explain()
+        assert result.final_gap <= result.base_gap + 1e-12
+        assert len(result.removed_edges) <= 2
+        assert result.gap_reduction >= 0
+
+    def test_path_rerank_meets_protected_share(self, rng):
+        recommendations = [
+            PathRecommendation(user=0, item=i, score=float(s),
+                               path=("user", "likes", f"item{i}"), item_group=int(g))
+            for i, (s, g) in enumerate(zip(rng.random(30), rng.integers(0, 2, 30)))
+        ]
+        reranked = fairness_aware_path_rerank(recommendations, k=10, min_protected_share=0.4)
+        assert len(reranked) == 10
+        assert np.mean([r.item_group for r in reranked]) >= 0.4
+
+    def test_path_rerank_prefers_high_scores_subject_to_constraint(self, rng):
+        recommendations = [
+            PathRecommendation(user=0, item=i, score=float(i),
+                               path=("u", "r", "i"), item_group=int(i % 2))
+            for i in range(20)
+        ]
+        reranked = fairness_aware_path_rerank(recommendations, k=5, min_protected_share=0.0,
+                                              diversity_weight=0.0)
+        assert [r.item for r in reranked] == [19, 18, 17, 16, 15]
+
+    def test_path_rerank_diversity_penalizes_repeated_patterns(self):
+        recommendations = [
+            PathRecommendation(0, 0, 1.00, ("a", "x"), 0),
+            PathRecommendation(0, 1, 0.99, ("a", "x"), 0),
+            PathRecommendation(0, 2, 0.90, ("b", "y"), 0),
+        ]
+        reranked = fairness_aware_path_rerank(recommendations, k=2, min_protected_share=0.0,
+                                              diversity_weight=0.2)
+        assert [r.item for r in reranked] == [0, 2]

@@ -1,0 +1,59 @@
+"""Smoke tests for the experiment runners that back the benchmark harness."""
+
+import pytest
+
+from fairexp.experiments import (
+    ALL_EXPERIMENTS,
+    run_e1_e2_burden_nawb,
+    run_e11_ranking,
+    run_e14_mitigation,
+    run_fig1_taxonomy,
+    run_fig2_taxonomy,
+    run_table1,
+)
+
+
+class TestDisplayItemRunners:
+    def test_fig1_contains_render_and_structure(self):
+        result = run_fig1_taxonomy()
+        assert "Individual" in result["rendered"]
+        assert "Group" in result["rendered"]
+        assert result["n_nodes"] > result["n_leaves"]
+
+    def test_fig2_contains_post_hoc_subtree(self):
+        result = run_fig2_taxonomy()
+        assert "Post-hoc" in result["rendered"]
+        assert "Model access" in result["rendered"]
+
+    def test_table1_fully_implemented(self):
+        result = run_table1()
+        assert result["n_implemented"] == result["n_rows"]
+        assert 0.0 <= result["share_cfe"] <= 1.0
+
+
+class TestRegistry:
+    def test_all_experiment_ids_present(self):
+        expected = {"FIG1", "FIG2", "TAB1", "E1/E2", "E3", "E4", "E5", "E6", "E7", "E8",
+                    "E9", "E10", "E11", "E12", "E13", "E14"}
+        assert expected == set(ALL_EXPERIMENTS)
+
+    def test_runners_are_callable(self):
+        assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())
+
+
+class TestScaledDownRunners:
+    """Run a few representative experiments at reduced size to keep tests fast."""
+
+    def test_burden_runner_keys(self):
+        result = run_e1_e2_burden_nawb(n_samples=300, audit_size=30)
+        assert {"burden_gap_biased", "nawb_gap_biased", "burden_gap_fair"} <= set(result)
+        assert result["burden_gap_biased"] > result["burden_gap_fair"]
+
+    def test_ranking_runner_detects_bias(self):
+        result = run_e11_ranking(n_candidates=150)
+        assert result["representation_gap"] < 0
+        assert result["detection_p_value"] < 0.2
+
+    def test_mitigation_runner_reduces_gap(self):
+        result = run_e14_mitigation(n_samples=400)
+        assert abs(result["spd_postprocessing"]) <= abs(result["spd_baseline"]) + 1e-9

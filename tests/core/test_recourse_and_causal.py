@@ -1,0 +1,260 @@
+"""Tests for actionable recourse [65], fair (causal) recourse [79, 80],
+fairness Shapley [81], causal path decomposition [82] and probabilistic
+contrastive counterfactuals [10]."""
+
+import numpy as np
+import pytest
+
+from fairexp.causal import CausalGraph
+from fairexp.core import (
+    CausalRecourseExplainer,
+    CausalPathExplainer,
+    FairnessShapExplainer,
+    ProbabilisticContrastiveExplainer,
+    causal_flip_rate,
+    causal_recourse_fairness,
+    recourse_gap_report,
+)
+from fairexp.exceptions import InfeasibleRecourseError, ValidationError
+from fairexp.fairness import statistical_parity_difference
+
+
+@pytest.fixture(scope="module")
+def recourse_explainer(scm_loan):
+    dataset, scm, train, test, model = scm_loan
+    explainer = CausalRecourseExplainer(
+        model,
+        scm,
+        dataset.feature_names,
+        actionable=["education", "income", "savings"],
+        scales={"education": 2.0, "income": 10.0, "savings": 5.0},
+        value_ranges={"education": (4, 20), "income": (5, 200), "savings": (0, 100)},
+        grid_size=6,
+    )
+    return dataset, scm, train, test, model, explainer
+
+
+class TestCausalRecourse:
+    def test_flipset_flips_prediction(self, recourse_explainer):
+        *_ignore, test, model, explainer = recourse_explainer
+        rejected = test.X[model.predict(test.X) == 0]
+        result = explainer.explain(rejected[0])
+        assert result.best.prediction == 1
+        assert result.best.cost > 0
+        assert len(result.candidates) >= 1
+
+    def test_candidates_sorted_by_cost(self, recourse_explainer):
+        *_ignore, test, model, explainer = recourse_explainer
+        rejected = test.X[model.predict(test.X) == 0]
+        result = explainer.explain(rejected[0], top_k=5)
+        costs = [flipset.cost for flipset in result.candidates]
+        assert costs == sorted(costs)
+
+    def test_already_approved_individual_rejected(self, recourse_explainer):
+        *_ignore, test, model, explainer = recourse_explainer
+        approved = test.X[model.predict(test.X) == 1]
+        with pytest.raises(ValidationError):
+            explainer.explain(approved[0])
+
+    def test_immutable_variable_never_intervened(self, recourse_explainer):
+        *_ignore, test, model, explainer = recourse_explainer
+        rejected = test.X[model.predict(test.X) == 0]
+        for row in rejected[:5]:
+            result = explainer.explain(row)
+            assert "group" not in result.best.interventions
+
+    def test_causal_cost_never_exceeds_independent_cost(self, recourse_explainer):
+        *_ignore, test, model, explainer = recourse_explainer
+        rejected = test.X[model.predict(test.X) == 0][:6]
+        for row in rejected:
+            causal = explainer.recourse_cost(row)
+            independent = explainer.independent_manipulation_cost(row)
+            assert causal <= independent + 1e-9
+
+    def test_causal_strictly_cheaper_for_some_individual(self, recourse_explainer):
+        # Intervening on education propagates to income in the SCM, so for at
+        # least some rejected individuals the causal flipset is strictly cheaper
+        # than independently manipulating the same variables.
+        *_ignore, test, model, explainer = recourse_explainer
+        rejected = test.X[model.predict(test.X) == 0][:12]
+        diffs = [
+            explainer.independent_manipulation_cost(row) - explainer.recourse_cost(row)
+            for row in rejected
+        ]
+        assert max(diffs) > 1e-6
+
+    def test_unknown_variable_order_rejected(self, scm_loan):
+        dataset, scm, _, _, model = scm_loan
+        with pytest.raises(ValidationError):
+            CausalRecourseExplainer(model, scm, ["group", "nope"], actionable=["nope"])
+
+    def test_flipset_describe(self, recourse_explainer):
+        *_ignore, test, model, explainer = recourse_explainer
+        rejected = test.X[model.predict(test.X) == 0]
+        assert "do(" in explainer.explain(rejected[0]).best.describe()
+
+
+class TestFairRecourse:
+    def test_distance_recourse_gap_positive_for_biased_model(self, loan_data, loan_model):
+        _, _, test = loan_data
+        report = recourse_gap_report(loan_model, test.X, test.sensitive_values)
+        assert report.recourse_protected > report.recourse_reference
+        assert report.gap > 0
+        assert report.ratio > 1
+
+    def test_recourse_gap_counts(self, loan_data, loan_model):
+        _, _, test = loan_data
+        report = recourse_gap_report(loan_model, test.X, test.sensitive_values)
+        rejected = (loan_model.predict(test.X) == 0).sum()
+        assert report.n_protected + report.n_reference == rejected
+
+    def test_causal_recourse_fairness_detects_disadvantage(self, recourse_explainer):
+        _, scm, _, test, model, explainer = recourse_explainer
+        result = causal_recourse_fairness(
+            explainer, scm, test.X, sensitive_variable="group",
+            max_individuals=6, random_state=0,
+        )
+        assert result.mean_unfairness >= 0
+        assert 0.0 <= result.fraction_disadvantaged <= 1.0
+        assert result.cost_factual.shape == result.cost_counterfactual.shape
+
+    def test_causal_flip_rate_positive_for_biased_model(self, recourse_explainer):
+        dataset, scm, _, test, model, _ = recourse_explainer
+        rate = causal_flip_rate(model, scm, test.X[:80], dataset.feature_names,
+                                sensitive_variable="group")
+        assert rate > 0.02
+
+    def test_causal_flip_rate_bounded(self, recourse_explainer):
+        dataset, scm, _, test, model, _ = recourse_explainer
+        rate = causal_flip_rate(model, scm, test.X[:40], dataset.feature_names,
+                                sensitive_variable="group")
+        assert 0.0 <= rate <= 1.0
+
+
+class TestFairnessShap:
+    def test_efficiency_attributions_sum_to_metric(self, loan_data, loan_model):
+        dataset, train, test = loan_data
+        explainer = FairnessShapExplainer(
+            loan_model, train.X[:80], feature_names=dataset.feature_names,
+            method="exact", n_background=8, random_state=0,
+        )
+        attribution = explainer.explain(test.X[:120], test.sensitive_values[:120])
+        full = attribution.meta["metric_full_model"]
+        empty = attribution.meta["metric_no_features"]
+        assert attribution.total() == pytest.approx(full - empty, abs=1e-9)
+
+    def test_sensitive_feature_blamed_most(self, loan_data, loan_model):
+        dataset, train, test = loan_data
+        explainer = FairnessShapExplainer(
+            loan_model, train.X[:80], feature_names=dataset.feature_names,
+            method="exact", n_background=8, random_state=0,
+        )
+        attribution = explainer.explain(test.X[:120], test.sensitive_values[:120])
+        scores = attribution.as_dict()
+        # The direct-bias feature carries the largest (most negative) share.
+        assert scores["group"] == min(scores.values())
+
+    def test_sampling_close_to_exact(self, loan_data, loan_model):
+        dataset, train, test = loan_data
+        common = dict(feature_names=dataset.feature_names, n_background=8, random_state=0)
+        exact = FairnessShapExplainer(loan_model, train.X[:60], method="exact", **common)
+        sampled = FairnessShapExplainer(loan_model, train.X[:60], method="sampling",
+                                        n_permutations=80, **common)
+        a = exact.explain(test.X[:80], test.sensitive_values[:80]).values
+        b = sampled.explain(test.X[:80], test.sensitive_values[:80]).values
+        assert np.allclose(a, b, atol=0.15)
+
+    def test_custom_metric(self, loan_data, loan_model):
+        dataset, train, test = loan_data
+
+        def selection_rate_gap(y_pred, sensitive):
+            return statistical_parity_difference(y_pred, sensitive)
+
+        explainer = FairnessShapExplainer(
+            loan_model, train.X[:50], metric=selection_rate_gap,
+            feature_names=dataset.feature_names, method="exact", n_background=5,
+            random_state=0,
+        )
+        attribution = explainer.explain(test.X[:60], test.sensitive_values[:60])
+        assert len(attribution.values) == dataset.n_features
+
+
+class TestCausalPaths:
+    def test_decomposition_explains_disparity(self, scm_loan):
+        dataset, scm, train, test, model = scm_loan
+        graph = CausalGraph([
+            ("group", "education"), ("group", "income"),
+            ("education", "income"), ("income", "savings"),
+        ])
+        explainer = CausalPathExplainer(model, graph, sensitive="group",
+                                        feature_order=dataset.feature_names)
+        decomposition = explainer.explain(test.X)
+        assert decomposition.total_disparity < 0  # protected group disadvantaged
+        assert decomposition.explained_fraction() == pytest.approx(1.0, abs=1e-6)
+        assert len(decomposition.paths) >= 2
+
+    def test_paths_start_at_sensitive(self, scm_loan):
+        dataset, _, _, test, model = scm_loan
+        graph = CausalGraph([("group", "education"), ("education", "income"),
+                             ("income", "savings")])
+        explainer = CausalPathExplainer(model, graph, sensitive="group",
+                                        feature_order=dataset.feature_names)
+        decomposition = explainer.explain(test.X)
+        for path in decomposition.paths:
+            assert path.path[0] == "group"
+
+    def test_mediated_disparity_dominates_when_no_direct_edge(self, scm_loan):
+        dataset, _, _, test, model = scm_loan
+        graph = CausalGraph([("group", "income"), ("income", "savings"),
+                             ("group", "education"), ("education", "income")])
+        explainer = CausalPathExplainer(model, graph, sensitive="group",
+                                        feature_order=dataset.feature_names)
+        decomposition = explainer.explain(test.X)
+        mediated = sum(p.contribution for p in decomposition.paths)
+        # Most of the disparity flows through income/education, not the
+        # residual direct term.
+        assert abs(mediated) > abs(decomposition.direct_contribution)
+
+    def test_sensitive_must_be_a_feature(self, scm_loan):
+        dataset, _, _, _, model = scm_loan
+        graph = CausalGraph([("group", "income")])
+        with pytest.raises(ValidationError):
+            CausalPathExplainer(model, graph, sensitive="zipcode",
+                                feature_order=dataset.feature_names)
+
+
+class TestProbabilisticContrastive:
+    def test_sensitive_necessity_high_for_biased_model(self, scm_loan):
+        dataset, _, _, test, model = scm_loan
+        explainer = ProbabilisticContrastiveExplainer(
+            model, dataset.feature_names, dataset.sensitive_index
+        )
+        scores = explainer.explain_sensitive(test.X)
+        assert scores.necessity > 0.3
+
+    def test_attribute_ranking_prefers_causal_drivers(self, scm_loan):
+        dataset, _, _, test, model = scm_loan
+        explainer = ProbabilisticContrastiveExplainer(
+            model, dataset.feature_names, dataset.sensitive_index
+        )
+        ranking = explainer.rank_attributes(test.X)
+        assert ranking[0].attribute in {"income", "education", "savings"}
+        assert ranking[0].scores.sufficiency >= ranking[-1].scores.sufficiency
+
+    def test_unknown_attribute_rejected(self, scm_loan):
+        dataset, _, _, test, model = scm_loan
+        explainer = ProbabilisticContrastiveExplainer(
+            model, dataset.feature_names, dataset.sensitive_index
+        )
+        with pytest.raises(ValidationError):
+            explainer.explain_attribute(test.X, "zipcode")
+
+    def test_scores_bounded(self, scm_loan):
+        dataset, _, _, test, model = scm_loan
+        explainer = ProbabilisticContrastiveExplainer(
+            model, dataset.feature_names, dataset.sensitive_index
+        )
+        result = explainer.explain_attribute(test.X, "income")
+        for scores in (result.scores, result.scores_protected, result.scores_reference):
+            assert 0.0 <= scores.necessity <= 1.0
+            assert 0.0 <= scores.sufficiency <= 1.0

@@ -1,0 +1,142 @@
+"""Tests for the taxonomy / Table I registry and the end-to-end auditor."""
+
+import numpy as np
+import pytest
+
+from fairexp.core import (
+    TABLE_I,
+    FairnessAuditor,
+    explanation_taxonomy,
+    fairness_taxonomy,
+    implemented_class,
+    render_table_i,
+    render_taxonomy,
+)
+from fairexp.explanations.base import ExplainerInfo
+
+
+class TestTaxonomies:
+    def test_fairness_taxonomy_covers_paper_dimensions(self):
+        taxonomy = fairness_taxonomy()
+        for dimension in ["Level of fairness", "Fairness criteria", "Stage of mitigation",
+                          "Task", "Data modality"]:
+            assert taxonomy.find(dimension) is not None
+
+    def test_fairness_taxonomy_group_metrics(self):
+        taxonomy = fairness_taxonomy()
+        group = taxonomy.find("Group")
+        leaves = " ".join(group.leaves())
+        assert "statistical parity" in leaves
+        assert "equal opportunity" in leaves.lower()
+        assert "Calibration-based" in group.leaves()[-1] or any(
+            "Calibration" in leaf for leaf in group.leaves()
+        )
+
+    def test_explanation_taxonomy_covers_paper_dimensions(self):
+        taxonomy = explanation_taxonomy()
+        for dimension in ["Stage", "Post-hoc", "Model access", "Coverage", "Multiplicity",
+                          "Explanation type", "Task-specific explanations"]:
+            assert taxonomy.find(dimension) is not None
+
+    def test_explanation_type_has_three_families(self):
+        taxonomy = explanation_taxonomy()
+        node = taxonomy.find("Explanation type")
+        assert {child.name for child in node.children} == {
+            "Feature-based", "Example-based", "Approximation-based",
+        }
+
+    def test_render_is_indented_outline(self):
+        text = render_taxonomy(fairness_taxonomy())
+        lines = text.splitlines()
+        assert lines[0] == "Fairness"
+        assert any(line.startswith("  ") for line in lines)
+        assert any(line.startswith("    ") for line in lines)
+
+    def test_taxonomy_sizes_reasonable(self):
+        assert fairness_taxonomy().size() >= 25
+        assert explanation_taxonomy().size() >= 25
+
+
+class TestTableI:
+    def test_has_all_surveyed_references(self):
+        references = {entry.reference for entry in TABLE_I}
+        expected = {"[10]", "[63]", "[71]", "[72]", "[73]", "[74]", "[75]", "[77]", "[82]",
+                    "[79]", "[80]", "[89]", "[81]", "[84]", "[86]", "[87]", "[88]", "[90]",
+                    "[83]", "[91]", "[44]"}
+        assert expected <= references
+
+    def test_every_row_resolves_to_an_implementation(self):
+        for entry in TABLE_I:
+            implementation = implemented_class(entry)
+            assert implementation is not None
+
+    def test_explainer_rows_carry_taxonomy_metadata(self):
+        for entry in TABLE_I:
+            implementation = implemented_class(entry)
+            if isinstance(implementation, type):
+                info = getattr(implementation, "info", None)
+                assert isinstance(info, ExplainerInfo), entry.name
+
+    def test_goals_are_valid(self):
+        for entry in TABLE_I:
+            goals = {token.strip() for token in entry.goal.split(",")}
+            assert goals <= {"E", "U", "M"}
+
+    def test_tasks_are_valid(self):
+        assert {entry.task for entry in TABLE_I} <= {"Clf", "Recs", "Rank"}
+
+    def test_predominant_trends_match_paper_summary(self):
+        # The paper observes: post-processing, black-box, model-agnostic and
+        # group-level approaches dominate, and CFEs are the prevalent technique.
+        n = len(TABLE_I)
+        assert sum(entry.stage == "Post" for entry in TABLE_I) == n
+        assert sum(entry.access == "B" for entry in TABLE_I) / n > 0.8
+        assert sum(entry.agnostic == "A" for entry in TABLE_I) / n > 0.8
+        assert sum("CFE" in entry.explanation_type for entry in TABLE_I) / n > 0.4
+        assert sum(entry.fairness_level in ("Group", "Both") for entry in TABLE_I) / n > 0.8
+
+    def test_render_contains_every_reference(self):
+        text = render_table_i()
+        for entry in TABLE_I:
+            assert entry.reference in text
+
+
+class TestFairnessAuditor:
+    @pytest.fixture(scope="class")
+    def report(self, loan_data, loan_model):
+        _, train, test = loan_data
+        auditor = FairnessAuditor(include=("burden", "nawb", "shap"), max_explained=25,
+                                  random_state=0)
+        return auditor.audit(loan_model, test.subset(np.arange(120)), train_dataset=train)
+
+    def test_report_contains_metrics_and_explanations(self, report):
+        assert report.metrics.statistical_parity_difference < -0.2
+        assert report.burden is not None
+        assert report.nawb is not None
+        assert report.fairness_attribution is not None
+
+    def test_burden_and_shap_agree_on_direction(self, report):
+        # Both explanation types should point at unfairness against the
+        # protected group for the biased loan model.
+        assert report.burden.gap > 0
+        assert report.fairness_attribution.as_dict()["group"] < 0
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "Group fairness metrics" in text
+        assert "Counterfactual burden" in text
+        assert "Fairness-Shapley" in text
+
+    def test_as_dict_flattens_headline_numbers(self, report):
+        flat = report.as_dict()
+        assert "statistical_parity_difference" in flat
+        assert "burden_gap" in flat
+        assert "nawb_gap" in flat
+
+    def test_include_subset_skips_components(self, loan_data, loan_model):
+        _, train, test = loan_data
+        auditor = FairnessAuditor(include=(), max_explained=10, random_state=0)
+        report = auditor.audit(loan_model, test.subset(np.arange(60)), train_dataset=train)
+        assert report.burden is None
+        assert report.nawb is None
+        assert report.fairness_attribution is None

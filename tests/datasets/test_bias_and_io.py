@@ -1,0 +1,97 @@
+"""Tests for bias injection and dataset CSV persistence."""
+
+import numpy as np
+import pytest
+
+from fairexp.datasets import (
+    inject_label_bias,
+    inject_measurement_bias,
+    inject_proxy_feature,
+    inject_selection_bias,
+    load_csv,
+    make_loan_dataset,
+    proxy_correlation,
+    save_csv,
+)
+from fairexp.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def base_dataset():
+    return make_loan_dataset(800, direct_bias=0.0, random_state=0)
+
+
+class TestLabelBias:
+    def test_lowers_protected_base_rate(self, base_dataset):
+        biased = inject_label_bias(base_dataset, flip_rate=0.5, random_state=0)
+        assert biased.base_rates()[1] < base_dataset.base_rates()[1]
+        # Reference group untouched.
+        assert biased.base_rates()[0] == pytest.approx(base_dataset.base_rates()[0])
+
+    def test_zero_rate_is_noop(self, base_dataset):
+        unchanged = inject_label_bias(base_dataset, flip_rate=0.0, random_state=0)
+        assert np.array_equal(unchanged.y, base_dataset.y)
+
+    def test_only_flips_positive_to_negative(self, base_dataset):
+        biased = inject_label_bias(base_dataset, flip_rate=0.3, random_state=0)
+        became_positive = (base_dataset.y == 0) & (biased.y == 1)
+        assert not became_positive.any()
+
+
+class TestSelectionBias:
+    def test_reduces_protected_positives(self, base_dataset):
+        biased = inject_selection_bias(base_dataset, keep_rate=0.3, random_state=0)
+        original_positives = int((base_dataset.protected_mask & (base_dataset.y == 1)).sum())
+        remaining_positives = int((biased.protected_mask & (biased.y == 1)).sum())
+        assert remaining_positives < original_positives
+        assert biased.n_samples < base_dataset.n_samples
+
+    def test_keep_rate_one_keeps_everything(self, base_dataset):
+        unchanged = inject_selection_bias(base_dataset, keep_rate=1.0, random_state=0)
+        assert unchanged.n_samples == base_dataset.n_samples
+
+
+class TestProxyAndMeasurement:
+    def test_proxy_feature_correlates_with_sensitive(self, base_dataset):
+        biased = inject_proxy_feature(base_dataset, feature="income", strength=0.9,
+                                      random_state=0)
+        assert abs(proxy_correlation(biased, "income")) > 0.7
+        assert abs(proxy_correlation(base_dataset, "income")) < 0.3
+
+    def test_measurement_bias_shifts_protected_only(self, base_dataset):
+        biased = inject_measurement_bias(base_dataset, feature="credit_score", shift=-1.0)
+        protected = base_dataset.protected_mask
+        original = base_dataset.column("credit_score")
+        shifted = biased.column("credit_score")
+        assert np.all(shifted[protected] < original[protected])
+        assert np.allclose(shifted[~protected], original[~protected])
+
+    def test_unknown_feature_raises(self, base_dataset):
+        with pytest.raises(ValidationError):
+            inject_measurement_bias(base_dataset, feature="nope")
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_preserves_everything(self, base_dataset, tmp_path):
+        path = save_csv(base_dataset, tmp_path / "loan.csv")
+        loaded = load_csv(path)
+        assert np.allclose(loaded.X, base_dataset.X)
+        assert np.array_equal(loaded.y, base_dataset.y)
+        assert loaded.sensitive == base_dataset.sensitive
+        assert loaded.feature_names == base_dataset.feature_names
+        assert [s.immutable for s in loaded.features] == [
+            s.immutable for s in base_dataset.features
+        ]
+        assert [s.monotone for s in loaded.features] == [
+            s.monotone for s in base_dataset.features
+        ]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_csv(tmp_path / "missing.csv")
+
+    def test_missing_metadata_raises(self, base_dataset, tmp_path):
+        path = save_csv(base_dataset, tmp_path / "loan.csv")
+        path.with_suffix(path.suffix + ".meta.json").unlink()
+        with pytest.raises(ValidationError):
+            load_csv(path)

@@ -1,0 +1,167 @@
+"""Tests for the Dataset container and the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from fairexp.datasets import (
+    Dataset,
+    FeatureSpec,
+    make_adult_like,
+    make_compas_like,
+    make_feature_specs,
+    make_german_credit_like,
+    make_hiring_dataset,
+    make_loan_dataset,
+    make_scm_loan_dataset,
+)
+from fairexp.exceptions import ValidationError
+
+
+class TestFeatureSpec:
+    def test_immutable_implies_not_actionable(self):
+        spec = FeatureSpec("race", kind="binary", immutable=True, actionable=True)
+        assert spec.actionable is False
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureSpec("x", kind="text")
+
+    def test_invalid_monotone_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureSpec("x", monotone=2)
+
+    def test_make_feature_specs_builder(self):
+        specs = make_feature_specs(
+            ["a", "b", "c"],
+            kinds={"a": "binary"},
+            immutable=["a"],
+            bounds={"b": (0, 10)},
+            monotone={"c": 1},
+        )
+        assert specs[0].immutable and specs[0].kind == "binary"
+        assert specs[1].lower == 0 and specs[1].upper == 10
+        assert specs[2].monotone == 1
+
+
+class TestDataset:
+    def make(self):
+        X = np.array([[1, 5.0], [0, 3.0], [1, 8.0], [0, 1.0]])
+        y = np.array([0, 1, 1, 0])
+        specs = [FeatureSpec("g", kind="binary", immutable=True), FeatureSpec("income")]
+        return Dataset(X=X, y=y, features=specs, sensitive="g", name="toy")
+
+    def test_basic_properties(self):
+        data = self.make()
+        assert data.n_samples == 4
+        assert data.n_features == 2
+        assert data.sensitive_index == 0
+        assert data.feature_names == ["g", "income"]
+        assert data.protected_mask.tolist() == [True, False, True, False]
+
+    def test_mismatched_specs_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(X=np.ones((2, 2)), y=np.zeros(2), features=[FeatureSpec("a")], sensitive="a")
+
+    def test_unknown_sensitive_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(
+                X=np.ones((2, 1)), y=np.zeros(2), features=[FeatureSpec("a")], sensitive="b"
+            )
+
+    def test_column_and_index_of(self):
+        data = self.make()
+        assert np.array_equal(data.column("income"), np.array([5.0, 3.0, 8.0, 1.0]))
+        with pytest.raises(ValidationError):
+            data.index_of("missing")
+
+    def test_subset_preserves_metadata(self):
+        data = self.make()
+        sub = data.subset([0, 2])
+        assert sub.n_samples == 2
+        assert sub.sensitive == "g"
+        assert sub.feature_names == data.feature_names
+
+    def test_drop_feature(self):
+        data = self.make()
+        dropped = data.drop_feature("income")
+        assert dropped.n_features == 1
+        with pytest.raises(ValidationError):
+            data.drop_feature("g")
+
+    def test_features_without_sensitive(self):
+        data = self.make()
+        X, specs = data.features_without_sensitive()
+        assert X.shape == (4, 1)
+        assert [s.name for s in specs] == ["income"]
+
+    def test_base_rates_and_group_sizes(self):
+        data = self.make()
+        rates = data.base_rates()
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[0] == pytest.approx(0.5)
+        assert data.group_sizes() == {0: 2, 1: 2}
+
+    def test_with_values_replaces_labels(self):
+        data = self.make()
+        new = data.with_values(y=np.array([1, 1, 1, 1]))
+        assert new.y.sum() == 4
+        assert data.y.sum() == 2  # original untouched
+
+    def test_split_stratified(self):
+        dataset = make_loan_dataset(300, random_state=0)
+        train, test = dataset.split(test_size=0.3, random_state=1)
+        assert train.n_samples + test.n_samples == dataset.n_samples
+        assert abs(train.y.mean() - test.y.mean()) < 0.15
+
+
+GENERATORS = [
+    make_adult_like,
+    make_german_credit_like,
+    make_compas_like,
+    make_loan_dataset,
+    make_hiring_dataset,
+]
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_shapes_and_binary_labels(self, generator):
+        dataset = generator(300, random_state=0)
+        assert dataset.n_samples == 300
+        assert set(np.unique(dataset.y)) <= {0, 1}
+        assert dataset.X.shape == (300, dataset.n_features)
+        assert set(np.unique(dataset.sensitive_values)) == {0, 1}
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_reproducible(self, generator):
+        a = generator(200, random_state=5)
+        b = generator(200, random_state=5)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_sensitive_is_immutable(self, generator):
+        dataset = generator(100, random_state=0)
+        assert dataset.spec_of(dataset.sensitive).immutable
+
+    def test_direct_bias_lowers_protected_base_rate(self):
+        biased = make_adult_like(3000, direct_bias=2.0, random_state=0)
+        fair = make_adult_like(3000, direct_bias=0.0, proxy_bias=0.0, random_state=0)
+        biased_gap = biased.base_rates()[1] - biased.base_rates()[0]
+        fair_gap = fair.base_rates()[1] - fair.base_rates()[0]
+        assert biased_gap < fair_gap - 0.05
+
+    def test_recourse_gap_shifts_protected_features(self):
+        dataset = make_loan_dataset(2000, recourse_gap=1.5, random_state=0)
+        protected_income = dataset.column("income")[dataset.protected_mask].mean()
+        reference_income = dataset.column("income")[~dataset.protected_mask].mean()
+        assert protected_income < reference_income - 5.0
+
+    def test_scm_loan_dataset_consistent_with_scm(self):
+        dataset, scm = make_scm_loan_dataset(400, random_state=0)
+        assert dataset.feature_names == ["group", "education", "income", "savings"]
+        assert set(scm.variables) == {"group", "education", "income", "savings"}
+        # The SCM says group has a negative total effect on income.
+        effect = scm.total_effect("group", "income", baseline=0.0, alternative=1.0,
+                                  n_samples=3000)
+        assert effect < 0

@@ -1,0 +1,159 @@
+"""Tests for counterfactual generators and actionability constraints."""
+
+import numpy as np
+import pytest
+
+from fairexp.datasets import FeatureSpec
+from fairexp.exceptions import InfeasibleRecourseError, ValidationError
+from fairexp.explanations import (
+    ActionabilityConstraints,
+    GradientCounterfactual,
+    GrowingSpheresCounterfactual,
+    RandomSearchCounterfactual,
+    counterfactual_distance,
+)
+from fairexp.models import DecisionTreeClassifier, LogisticRegression
+
+GENERATORS = [RandomSearchCounterfactual, GrowingSpheresCounterfactual, GradientCounterfactual]
+
+
+class TestDistance:
+    def test_l1_l2_l0(self):
+        x = np.array([0.0, 0.0, 0.0])
+        x_prime = np.array([1.0, 0.0, 2.0])
+        assert counterfactual_distance(x, x_prime, metric="l1") == pytest.approx(3.0)
+        assert counterfactual_distance(x, x_prime, metric="l2") == pytest.approx(np.sqrt(5))
+        assert counterfactual_distance(x, x_prime, metric="l0") == pytest.approx(2.0)
+
+    def test_scaled_distance(self):
+        x = np.zeros(2)
+        x_prime = np.array([2.0, 2.0])
+        scale = np.array([2.0, 1.0])
+        assert counterfactual_distance(x, x_prime, scale=scale, metric="l1") == pytest.approx(3.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValidationError):
+            counterfactual_distance(np.zeros(2), np.ones(2), metric="cosine")
+
+
+class TestConstraints:
+    def test_from_feature_specs(self):
+        specs = [
+            FeatureSpec("race", kind="binary", immutable=True),
+            FeatureSpec("age", actionable=False),
+            FeatureSpec("income", monotone=1, lower=0, upper=100),
+            FeatureSpec("debt", monotone=-1),
+        ]
+        constraints = ActionabilityConstraints.from_feature_specs(specs)
+        assert constraints.immutable.tolist() == [True, True, False, False]
+        assert constraints.monotone.tolist() == [0, 0, 1, -1]
+        assert constraints.upper[2] == 100
+
+    def test_project_respects_immutability_and_bounds(self):
+        specs = [
+            FeatureSpec("race", kind="binary", immutable=True),
+            FeatureSpec("income", monotone=1, lower=0, upper=100),
+        ]
+        constraints = ActionabilityConstraints.from_feature_specs(specs)
+        original = np.array([1.0, 50.0])
+        candidate = np.array([0.0, 150.0])
+        projected = constraints.project(original, candidate)
+        assert projected[0] == 1.0        # immutable restored
+        assert projected[1] == 100.0      # clipped to upper bound
+
+    def test_project_monotonicity(self):
+        specs = [FeatureSpec("income", monotone=1), FeatureSpec("debt", monotone=-1)]
+        constraints = ActionabilityConstraints.from_feature_specs(specs)
+        original = np.array([50.0, 20.0])
+        candidate = np.array([40.0, 30.0])  # both move the wrong way
+        projected = constraints.project(original, candidate)
+        assert projected[0] == 50.0
+        assert projected[1] == 20.0
+
+    def test_is_feasible(self):
+        constraints = ActionabilityConstraints.unconstrained(2)
+        assert constraints.is_feasible(np.zeros(2), np.ones(2))
+
+
+@pytest.fixture(scope="module")
+def boundary_model():
+    """A model with a known linear boundary x0 + x1 > 1."""
+    rng = np.random.default_rng(3)
+    X = rng.uniform(-2, 3, (600, 2))
+    y = (X[:, 0] + X[:, 1] > 1).astype(int)
+    model = LogisticRegression(n_iter=1500).fit(X, y)
+    return model, X
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator_cls", GENERATORS)
+    def test_counterfactual_flips_prediction(self, generator_cls, boundary_model):
+        model, X = boundary_model
+        generator = generator_cls(model, X, random_state=0)
+        x = np.array([-1.0, -1.0])
+        result = generator.generate(x)
+        assert result.original_prediction == 0
+        assert result.counterfactual_prediction == 1
+        assert result.feasible
+
+    @pytest.mark.parametrize("generator_cls", GENERATORS)
+    def test_counterfactual_stays_close(self, generator_cls, boundary_model):
+        model, X = boundary_model
+        generator = generator_cls(model, X, random_state=0)
+        x = np.array([0.2, 0.2])  # close to the boundary x0 + x1 = 1
+        result = generator.generate(x)
+        euclidean = np.linalg.norm(result.counterfactual - x)
+        assert euclidean < 2.5
+
+    @pytest.mark.parametrize("generator_cls", GENERATORS)
+    def test_constraints_respected(self, generator_cls, boundary_model):
+        model, X = boundary_model
+        constraints = ActionabilityConstraints.unconstrained(2)
+        constraints.immutable[1] = True
+        generator = generator_cls(model, X, constraints=constraints, random_state=0)
+        x = np.array([-0.5, 0.0])
+        result = generator.generate(x)
+        assert result.counterfactual[1] == pytest.approx(0.0)
+        assert result.counterfactual_prediction == 1
+
+    def test_infeasible_raises(self, boundary_model):
+        model, X = boundary_model
+        # Freeze both features: no counterfactual can exist.
+        constraints = ActionabilityConstraints.unconstrained(2)
+        constraints.immutable[:] = True
+        generator = GrowingSpheresCounterfactual(model, X, constraints=constraints,
+                                                 random_state=0, max_shells=3)
+        with pytest.raises(InfeasibleRecourseError):
+            generator.generate(np.array([-1.0, -1.0]))
+
+    def test_gradient_requires_gradient_model(self, boundary_model):
+        _, X = boundary_model
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, (X[:, 0] > 0).astype(int))
+        with pytest.raises(ValidationError):
+            GradientCounterfactual(tree, X)
+
+    def test_generate_batch_skips_already_favourable(self, boundary_model):
+        model, X = boundary_model
+        generator = GrowingSpheresCounterfactual(model, X, random_state=0)
+        batch = np.array([[2.0, 2.0], [-1.0, -1.0]])  # first is already positive
+        results = generator.generate_batch(batch)
+        assert len(results) == 1
+        assert np.allclose(results[0].original, [-1.0, -1.0])
+
+    def test_sparsification_reduces_changed_features(self, boundary_model):
+        model, X = boundary_model
+        generator = GrowingSpheresCounterfactual(model, X, random_state=0)
+        result = generator.generate(np.array([0.4, -3.0]))
+        # Moving only x1 suffices; sparsification should not need both features
+        # in most runs, and must never report unchanged features as changed.
+        delta = result.delta()
+        for j in result.changed_features:
+            assert not np.isclose(delta[j], 0.0)
+
+    def test_describe_changes(self, boundary_model):
+        model, X = boundary_model
+        generator = GrowingSpheresCounterfactual(model, X, random_state=0)
+        result = generator.generate(np.array([-1.0, -1.0]))
+        lines = result.describe(["f0", "f1"])
+        assert all("->" in line for line in lines)
+        assert len(lines) == result.sparsity()

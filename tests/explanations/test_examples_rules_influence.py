@@ -1,0 +1,169 @@
+"""Tests for example-based explanations, predicate mining and influence functions."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import ValidationError
+from fairexp.explanations import (
+    ExampleBasedExplainer,
+    InfluenceExplainer,
+    Predicate,
+    contrastive_example,
+    discretize_features,
+    frequent_predicate_sets,
+    influence_functions_logistic,
+    leave_one_out_influence,
+    logistic_gradients,
+    logistic_hessian,
+    nearest_neighbor_explanation,
+    select_criticisms,
+    select_prototypes,
+)
+from fairexp.models import LogisticRegression
+
+
+class TestPrototypesAndNeighbors:
+    def test_prototypes_cover_clusters(self, rng):
+        cluster_a = rng.normal(-5, 0.3, (40, 2))
+        cluster_b = rng.normal(5, 0.3, (40, 2))
+        X = np.vstack([cluster_a, cluster_b])
+        prototypes = select_prototypes(X, n_prototypes=2)
+        chosen = X[list(prototypes.indices)]
+        # One prototype per cluster.
+        assert (chosen[:, 0] < 0).sum() == 1
+        assert (chosen[:, 0] > 0).sum() == 1
+
+    def test_too_many_prototypes_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            select_prototypes(rng.normal(size=(5, 2)), n_prototypes=10)
+
+    def test_criticisms_differ_from_prototypes(self, rng):
+        X = np.vstack([rng.normal(0, 1, (60, 2)), rng.normal(8, 0.1, (3, 2))])
+        prototypes = select_prototypes(X, n_prototypes=3)
+        criticisms = select_criticisms(X, prototypes, n_criticisms=2)
+        assert set(criticisms.indices).isdisjoint(set(prototypes.indices))
+
+    def test_nearest_neighbors_sorted(self, rng):
+        X = rng.normal(size=(50, 3))
+        explanation = nearest_neighbor_explanation(X[0], X[1:], n_neighbors=5)
+        assert len(explanation.indices) == 5
+        assert np.all(np.diff(explanation.scores) >= -1e-12)
+
+    def test_neighbor_labels_in_meta(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = rng.integers(0, 2, 20)
+        explanation = nearest_neighbor_explanation(X[0], X, y, n_neighbors=3)
+        assert len(explanation.meta["labels"]) == 3
+
+    def test_contrastive_returns_target_class_instance(self, rng):
+        X = rng.normal(size=(30, 2))
+        predictions = (X[:, 0] > 0).astype(int)
+        explanation = contrastive_example(np.array([-3.0, 0.0]), X, predictions, target_class=1)
+        assert predictions[explanation.indices[0]] == 1
+
+    def test_contrastive_no_target_class_raises(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError):
+            contrastive_example(X[0], X, np.zeros(10), target_class=1)
+
+    def test_facade(self, rng):
+        X = rng.normal(size=(40, 2))
+        predictions = (X[:, 0] > 0).astype(int)
+        facade = ExampleBasedExplainer(X, predictions=predictions)
+        assert len(facade.prototypes(3).indices) == 3
+        assert len(facade.neighbors(X[0], 4).indices) == 4
+        assert facade.contrastive(X[0]).role == "contrastive"
+
+
+class TestPredicatesAndItemsets:
+    def test_discretize_binary_and_numeric(self, rng):
+        X = np.column_stack([rng.integers(0, 2, 100), rng.normal(size=100)])
+        predicates = discretize_features(X, feature_names=["flag", "value"], n_bins=3)
+        flag_predicates = [p for p in predicates if p.name == "flag"]
+        value_predicates = [p for p in predicates if p.name == "value"]
+        assert len(flag_predicates) == 2
+        assert len(value_predicates) == 3
+
+    def test_predicate_mask(self):
+        predicate = Predicate(0, "x", 1.0, 3.0)
+        X = np.array([[0.5], [1.5], [3.5]])
+        assert predicate.mask(X).tolist() == [False, True, False]
+
+    def test_constant_feature_skipped(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        predicates = discretize_features(X)
+        assert all(p.feature != 0 for p in predicates)
+
+    def test_frequent_itemsets_support_threshold(self, rng):
+        X = rng.normal(size=(200, 3))
+        predicates = discretize_features(X, n_bins=2)
+        itemsets = frequent_predicate_sets(X, predicates, min_support=0.3, max_length=2)
+        for itemset, mask in itemsets:
+            assert mask.mean() >= 0.3
+            features = [p.feature for p in itemset]
+            assert len(set(features)) == len(features)  # one predicate per feature
+
+    def test_invalid_support(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError):
+            frequent_predicate_sets(X, [], min_support=0.0)
+
+
+class TestInfluence:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(120, 3))
+        y = (X[:, 0] + 0.5 * rng.normal(size=120) > 0).astype(int)
+        model = LogisticRegression(n_iter=1500, l2=0.01).fit(X, y)
+        return model, X, y
+
+    def test_gradient_shapes(self, fitted):
+        model, X, y = fitted
+        gradients = logistic_gradients(model, X, y)
+        assert gradients.shape == (120, 4)
+
+    def test_hessian_symmetric_positive_definite(self, fitted):
+        model, X, _ = fitted
+        H = logistic_hessian(model, X)
+        assert np.allclose(H, H.T)
+        assert np.all(np.linalg.eigvalsh(H) > 0)
+
+    def test_influence_correlates_with_leave_one_out(self, fitted):
+        model, X, y = fitted
+
+        def functional(m):
+            return float(m.predict_proba(X[:1])[0, 1])
+
+        # Gradient of the functional wrt [coef, intercept] for the test point.
+        from fairexp.utils import sigmoid
+
+        p = sigmoid(X[0] @ model.coef_ + model.intercept_)
+        functional_gradient = np.concatenate([p * (1 - p) * X[0], [p * (1 - p)]])
+        approx = influence_functions_logistic(model, X, y, functional_gradient)
+
+        indices = list(range(0, 40))
+        exact = leave_one_out_influence(
+            lambda: LogisticRegression(n_iter=1500, l2=0.01), X, y, functional, indices=indices
+        )
+        correlation = np.corrcoef(approx[indices], exact)[0, 1]
+        assert correlation > 0.6
+
+    def test_wrong_gradient_size_rejected(self, fitted):
+        model, X, y = fitted
+        with pytest.raises(ValidationError):
+            influence_functions_logistic(model, X, y, np.ones(2))
+
+    def test_explainer_returns_topk(self, fitted):
+        model, X, y = fitted
+        explainer = InfluenceExplainer(model, X, y)
+        explanation = explainer.explain(X[5], y[5], top_k=4)
+        assert len(explanation.indices) == 4
+        assert explanation.role == "influential"
+
+    def test_explainer_rejects_non_logistic(self, fitted):
+        _, X, y = fitted
+        from fairexp.models import GaussianNaiveBayes
+
+        with pytest.raises(ValidationError):
+            InfluenceExplainer(GaussianNaiveBayes().fit(X, y), X, y)

@@ -1,0 +1,155 @@
+"""Tests for permutation importance, PDP/ICE, local surrogates and anchors."""
+
+import numpy as np
+import pytest
+
+from fairexp.explanations import (
+    AnchorExplainer,
+    GlobalSurrogateTree,
+    LocalSurrogateExplainer,
+    PermutationImportanceExplainer,
+    individual_conditional_expectation,
+    partial_dependence,
+    permutation_importance,
+)
+from fairexp.exceptions import ValidationError
+from fairexp.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def linear_setup():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(500, 4))
+    y = (2.0 * X[:, 0] - 1.5 * X[:, 1] + 0.1 * rng.normal(size=500) > 0).astype(int)
+    model = LogisticRegression(n_iter=800).fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_informative_features_rank_higher(self, linear_setup):
+        model, X, y = linear_setup
+        attribution = permutation_importance(model, X, y, random_state=0,
+                                             feature_names=["a", "b", "c", "d"])
+        scores = attribution.as_dict()
+        assert scores["a"] > scores["c"]
+        assert scores["b"] > scores["d"]
+
+    def test_noise_features_near_zero(self, linear_setup):
+        model, X, y = linear_setup
+        attribution = permutation_importance(model, X, y, random_state=0)
+        assert abs(attribution.values[2]) < 0.05
+
+    def test_explainer_wrapper(self, linear_setup):
+        model, X, y = linear_setup
+        explainer = PermutationImportanceExplainer(model, random_state=0)
+        assert explainer.info.coverage == "global"
+        attribution = explainer.explain(X, y)
+        assert attribution.values.shape == (4,)
+
+
+class TestPartialDependence:
+    def test_monotone_for_positive_coefficient(self, linear_setup):
+        model, X, _ = linear_setup
+        grid, pd_values = partial_dependence(model, X, 0, grid_size=10)
+        assert grid.shape == pd_values.shape == (10,)
+        assert pd_values[-1] > pd_values[0]
+
+    def test_decreasing_for_negative_coefficient(self, linear_setup):
+        model, X, _ = linear_setup
+        _, pd_values = partial_dependence(model, X, 1, grid_size=10)
+        assert pd_values[-1] < pd_values[0]
+
+    def test_flatter_for_irrelevant_feature(self, linear_setup):
+        model, X, _ = linear_setup
+        _, pd_relevant = partial_dependence(model, X, 0, grid_size=10)
+        _, pd_irrelevant = partial_dependence(model, X, 2, grid_size=10)
+        relevant_range = pd_relevant.max() - pd_relevant.min()
+        irrelevant_range = pd_irrelevant.max() - pd_irrelevant.min()
+        assert irrelevant_range < 0.3 * relevant_range
+
+    def test_out_of_range_feature(self, linear_setup):
+        model, X, _ = linear_setup
+        with pytest.raises(ValidationError):
+            partial_dependence(model, X, 10)
+
+    def test_ice_shapes(self, linear_setup):
+        model, X, _ = linear_setup
+        grid, curves = individual_conditional_expectation(
+            model, X, 0, grid_size=8, max_samples=20, random_state=0
+        )
+        assert grid.shape == (8,)
+        assert curves.shape == (20, 8)
+        # The PDP is the mean of the ICE curves (same feature, same grid).
+        _, pd_values = partial_dependence(model, X, 0, grid_size=8)
+        assert np.corrcoef(curves.mean(axis=0), pd_values)[0, 1] > 0.95
+
+
+class TestLocalSurrogate:
+    def test_coefficients_match_model_signs(self, linear_setup):
+        model, X, _ = linear_setup
+        explainer = LocalSurrogateExplainer(model, X, random_state=0,
+                                            feature_names=["a", "b", "c", "d"])
+        attribution = explainer.explain(X[0])
+        scores = attribution.as_dict()
+        assert scores["a"] > 0
+        assert scores["b"] < 0
+        assert abs(scores["a"]) > abs(scores["c"])
+
+    def test_meta_contains_local_prediction(self, linear_setup):
+        model, X, _ = linear_setup
+        attribution = LocalSurrogateExplainer(model, X, random_state=0).explain(X[1])
+        assert 0.0 <= attribution.meta["local_prediction"] <= 1.0
+
+
+class TestGlobalSurrogateTree:
+    def test_high_fidelity_on_simple_model(self, linear_setup):
+        model, X, _ = linear_setup
+        surrogate = GlobalSurrogateTree(model, max_depth=4).fit(X)
+        assert surrogate.fidelity_ > 0.85
+
+    def test_rules_nonempty(self, linear_setup):
+        model, X, _ = linear_setup
+        surrogate = GlobalSurrogateTree(model, max_depth=3,
+                                        feature_names=["a", "b", "c", "d"]).fit(X)
+        rules = surrogate.rules()
+        assert len(rules) >= 2
+        assert all("IF" in rule for rule in rules)
+
+    def test_importances_prefer_used_features(self, linear_setup):
+        model, X, _ = linear_setup
+        surrogate = GlobalSurrogateTree(model, max_depth=4).fit(X)
+        importances = surrogate.feature_importances().values
+        assert importances[0] + importances[1] > importances[2] + importances[3]
+
+    def test_requires_fit(self, linear_setup):
+        model, X, _ = linear_setup
+        with pytest.raises(RuntimeError):
+            GlobalSurrogateTree(model).rules()
+
+
+class TestAnchor:
+    def test_anchor_precision_meets_threshold(self, linear_setup):
+        model, X, _ = linear_setup
+        explainer = AnchorExplainer(model, X, precision_threshold=0.85, n_samples=300,
+                                    feature_names=["a", "b", "c", "d"], random_state=0)
+        # Pick a confidently classified instance.
+        proba = model.predict_proba(X)[:, 1]
+        anchor = explainer.explain(X[int(np.argmax(proba))])
+        assert anchor.precision >= 0.8
+        assert anchor.prediction == 1
+
+    def test_anchor_conditions_use_relevant_features(self, linear_setup):
+        model, X, _ = linear_setup
+        explainer = AnchorExplainer(model, X, n_samples=300,
+                                    feature_names=["a", "b", "c", "d"], random_state=0)
+        proba = model.predict_proba(X)[:, 1]
+        anchor = explainer.explain(X[int(np.argmax(proba))])
+        assert set(anchor.conditions) <= {"a", "b", "c", "d"}
+        assert len(anchor.conditions) >= 1
+
+    def test_str_rendering(self, linear_setup):
+        model, X, _ = linear_setup
+        explainer = AnchorExplainer(model, X, n_samples=200, random_state=0)
+        text = str(explainer.explain(X[0]))
+        assert text.startswith("IF ")
+        assert "precision=" in text

@@ -1,0 +1,111 @@
+"""Tests for Shapley-value explanations."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import ValidationError
+from fairexp.explanations import (
+    ShapleyExplainer,
+    exact_shapley_values,
+    sampled_shapley_values,
+    shapley_for_value_function,
+)
+from fairexp.models import LogisticRegression
+
+
+class TestSetShapley:
+    def test_additive_game_recovers_weights(self):
+        # v(S) = sum of weights of members -> Shapley value = weight.
+        weights = np.array([1.0, 2.0, 3.0])
+        values = shapley_for_value_function(
+            lambda S: sum(weights[i] for i in S), 3, method="exact"
+        )
+        assert np.allclose(values, weights)
+
+    def test_efficiency_property(self):
+        rng = np.random.default_rng(0)
+        table = {frozenset(s): rng.random() for s in
+                 [(), (0,), (1,), (2,), (0, 1), (0, 2), (1, 2), (0, 1, 2)]}
+        values = shapley_for_value_function(lambda S: table[frozenset(S)], 3, method="exact")
+        assert values.sum() == pytest.approx(
+            table[frozenset({0, 1, 2})] - table[frozenset()]
+        )
+
+    def test_symmetry_property(self):
+        # Players 0 and 1 are interchangeable.
+        def value(S):
+            return float(len(S & {0, 1}) > 0) + 2.0 * (2 in S)
+
+        values = shapley_for_value_function(value, 3, method="exact")
+        assert values[0] == pytest.approx(values[1])
+
+    def test_dummy_player_gets_zero(self):
+        values = shapley_for_value_function(lambda S: float(0 in S), 3, method="exact")
+        assert values[1] == pytest.approx(0.0)
+        assert values[2] == pytest.approx(0.0)
+
+    def test_sampling_approximates_exact(self):
+        weights = np.array([1.0, -2.0, 0.5, 3.0])
+        exact = shapley_for_value_function(
+            lambda S: sum(weights[i] for i in S), 4, method="exact"
+        )
+        sampled = shapley_for_value_function(
+            lambda S: sum(weights[i] for i in S), 4, method="sampling",
+            n_permutations=300, random_state=0,
+        )
+        assert np.allclose(exact, sampled, atol=0.2)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            shapley_for_value_function(lambda S: 0.0, 2, method="magic")
+
+
+class TestModelShapley:
+    @pytest.fixture(scope="class")
+    def linear_model(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 4))
+        logits = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.0 * X[:, 2] + 0.5 * X[:, 3]
+        y = (logits > 0).astype(int)
+        model = LogisticRegression(n_iter=800).fit(X, y)
+        return model, X
+
+    def test_exact_efficiency_on_model(self, linear_model):
+        model, X = linear_model
+        attribution = exact_shapley_values(
+            lambda Z: model.predict_proba(Z)[:, 1], X[0], X[:100]
+        )
+        full = model.predict_proba(X[0][None, :])[0, 1]
+        assert attribution.total() == pytest.approx(full - attribution.baseline, abs=1e-6)
+
+    def test_exact_ranks_informative_features_higher(self, linear_model):
+        model, X = linear_model
+        explainer = ShapleyExplainer(model, X[:100], method="exact",
+                                     feature_names=["a", "b", "c", "d"])
+        global_attribution = explainer.explain_global(X[:40], max_samples=15)
+        importance = dict(zip(global_attribution.feature_names, global_attribution.values))
+        assert importance["a"] > importance["c"]
+        assert importance["b"] > importance["c"]
+
+    def test_sampling_close_to_exact(self, linear_model):
+        model, X = linear_model
+        exact = exact_shapley_values(lambda Z: model.predict_proba(Z)[:, 1], X[3], X[:100])
+        sampled = sampled_shapley_values(
+            lambda Z: model.predict_proba(Z)[:, 1], X[3], X[:100],
+            n_permutations=400, random_state=0,
+        )
+        assert np.allclose(exact.values, sampled.values, atol=0.12)
+
+    def test_exact_rejects_too_many_features(self, rng):
+        X = rng.normal(size=(20, 16))
+        with pytest.raises(ValidationError):
+            exact_shapley_values(lambda Z: Z.sum(axis=1), X[0], X)
+
+    def test_attribution_helpers(self, linear_model):
+        model, X = linear_model
+        explainer = ShapleyExplainer(model, X[:50], feature_names=["a", "b", "c", "d"],
+                                     random_state=0)
+        attribution = explainer.explain(X[0])
+        top = attribution.top(2)
+        assert len(top) == 2
+        assert set(attribution.as_dict()) == {"a", "b", "c", "d"}

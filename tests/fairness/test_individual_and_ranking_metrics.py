@@ -1,0 +1,139 @@
+"""Tests for individual fairness and ranking/exposure fairness metrics."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import ValidationError
+from fairexp.fairness import (
+    consistency_score,
+    counterfactual_flip_rate,
+    exposure,
+    group_exposure_ratio,
+    lipschitz_violation,
+    ndcg_exposure_share,
+    position_weights,
+    ranking_binomial_pvalue,
+    representation_difference,
+    top_k_representation,
+)
+from fairexp.models import LogisticRegression
+
+
+class TestConsistency:
+    def test_constant_predictions_fully_consistent(self, rng):
+        X = rng.normal(size=(50, 3))
+        assert consistency_score(X, np.ones(50)) == pytest.approx(1.0)
+
+    def test_cluster_consistent_predictions(self, rng):
+        X = np.vstack([rng.normal(-5, 0.5, (50, 2)), rng.normal(5, 0.5, (50, 2))])
+        y_pred = np.array([0] * 50 + [1] * 50)
+        assert consistency_score(X, y_pred, n_neighbors=5) > 0.95
+
+    def test_random_predictions_less_consistent(self, rng):
+        X = rng.normal(size=(100, 2))
+        y_random = rng.integers(0, 2, 100)
+        assert consistency_score(X, y_random) < consistency_score(X, np.ones(100))
+
+    def test_misaligned_inputs_raise(self, rng):
+        with pytest.raises(ValidationError):
+            consistency_score(rng.normal(size=(10, 2)), np.ones(5))
+
+    def test_too_many_neighbors_raise(self, rng):
+        with pytest.raises(ValidationError):
+            consistency_score(rng.normal(size=(5, 2)), np.ones(5), n_neighbors=10)
+
+
+class TestLipschitz:
+    def test_constant_scores_zero_violation(self, rng):
+        X = rng.normal(size=(30, 2))
+        assert lipschitz_violation(X, np.full(30, 0.5)) == pytest.approx(0.0)
+
+    def test_steeper_function_has_larger_violation(self, rng):
+        X = rng.normal(size=(50, 1))
+        shallow = lipschitz_violation(X, 0.1 * X[:, 0])
+        steep = lipschitz_violation(X, 10.0 * X[:, 0])
+        assert steep > shallow
+
+    def test_single_point_is_zero(self):
+        assert lipschitz_violation(np.ones((1, 2)), np.ones(1)) == 0.0
+
+
+class TestCounterfactualFlipRate:
+    def test_model_ignoring_sensitive_has_zero_flips(self, rng):
+        X = rng.normal(size=(200, 3))
+        X[:, 0] = rng.integers(0, 2, 200)  # sensitive column, irrelevant to label
+        y = (X[:, 1] > 0).astype(int)
+        model = LogisticRegression(n_iter=500).fit(X[:, 1:], y)
+
+        class Wrapper:
+            def predict(self, Z):
+                return model.predict(Z[:, 1:])
+
+        assert counterfactual_flip_rate(Wrapper(), X, sensitive_index=0) == 0.0
+
+    def test_biased_model_has_positive_flips(self, loan_data, loan_model):
+        dataset, _, test = loan_data
+        rate = counterfactual_flip_rate(loan_model, test.X, dataset.sensitive_index)
+        assert rate > 0.02
+
+
+class TestPositionWeightsAndExposure:
+    def test_log_weights_decreasing(self):
+        weights = position_weights(10)
+        assert np.all(np.diff(weights) < 0)
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_uniform_weights(self):
+        assert np.allclose(position_weights(5, scheme="uniform"), 1.0)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValidationError):
+            position_weights(5, scheme="exp")
+
+    def test_exposure_sums_to_total_weight(self):
+        groups = np.array([1, 0, 1, 0, 0])
+        exposures = exposure(groups)
+        assert sum(exposures.values()) == pytest.approx(position_weights(5).sum())
+
+    def test_group_exposure_ratio_below_one_when_protected_at_bottom(self):
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        assert group_exposure_ratio(groups) < 1.0
+
+    def test_group_exposure_ratio_parity_for_alternating(self):
+        groups = np.tile([1, 0], 10)
+        assert group_exposure_ratio(groups) == pytest.approx(1.0, abs=0.3)
+
+
+class TestTopKRepresentation:
+    def test_representation_counts(self):
+        groups = np.array([1, 1, 0, 0, 0, 1])
+        assert top_k_representation(groups, 2) == pytest.approx(1.0)
+        assert top_k_representation(groups, 4) == pytest.approx(0.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            top_k_representation(np.array([0, 1]), 0)
+
+    def test_representation_difference_sign(self):
+        # Protected half of the pool but absent from the top-3.
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        assert representation_difference(groups, 3) == pytest.approx(-0.5)
+
+    def test_binomial_pvalue_small_for_skewed_prefix(self):
+        groups = np.array([0] * 20 + [1] * 20)
+        assert ranking_binomial_pvalue(groups, 15) < 0.01
+
+    def test_binomial_pvalue_large_for_representative_prefix(self):
+        groups = np.tile([0, 1], 20)
+        assert ranking_binomial_pvalue(groups, 10) > 0.5
+
+    def test_ndcg_exposure_share_bounds(self, rng):
+        scores = rng.random(30)
+        groups = rng.integers(0, 2, 30)
+        share = ndcg_exposure_share(scores, groups, k=10)
+        assert 0.0 <= share <= 1.0
+
+    def test_ndcg_exposure_share_zero_when_protected_scores_low(self):
+        scores = np.concatenate([np.ones(10), np.zeros(10)])
+        groups = np.concatenate([np.zeros(10, dtype=int), np.ones(10, dtype=int)])
+        assert ndcg_exposure_share(scores, groups, k=10) == pytest.approx(0.0)

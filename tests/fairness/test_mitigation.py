@@ -1,0 +1,193 @@
+"""Tests for pre-, in- and post-processing mitigation."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import ValidationError
+from fairexp.fairness import statistical_parity_difference, equal_opportunity_difference
+from fairexp.fairness.mitigation import (
+    FairLogisticRegression,
+    GroupThresholdOptimizer,
+    RecourseRegularizedClassifier,
+    RejectOptionClassifier,
+    disparate_impact_repair,
+    massage_labels,
+    reweighing_weights,
+)
+from fairexp.models import LogisticRegression
+
+
+class TestReweighing:
+    def test_weights_decorrelate_group_and_label(self, loan_data):
+        dataset, train, _ = loan_data
+        weights = reweighing_weights(train.y, train.sensitive_values)
+        # Weighted base rates become equal across groups.
+        protected = train.protected_mask
+        weighted_rate_protected = np.average(train.y[protected], weights=weights[protected])
+        weighted_rate_reference = np.average(train.y[~protected], weights=weights[~protected])
+        assert weighted_rate_protected == pytest.approx(weighted_rate_reference, abs=1e-9)
+
+    def test_weights_positive(self, loan_data):
+        _, train, _ = loan_data
+        weights = reweighing_weights(train.y, train.sensitive_values)
+        assert np.all(weights > 0)
+
+    def test_reweighed_training_reduces_parity_gap(self, loan_data, loan_model):
+        _, train, test = loan_data
+        weights = reweighing_weights(train.y, train.sensitive_values)
+        reweighed = LogisticRegression(n_iter=1200, random_state=0).fit(
+            train.X, train.y, sample_weight=weights
+        )
+        base_gap = abs(statistical_parity_difference(
+            loan_model.predict(test.X), test.sensitive_values))
+        new_gap = abs(statistical_parity_difference(
+            reweighed.predict(test.X), test.sensitive_values))
+        assert new_gap < base_gap
+
+
+class TestMassaging:
+    def test_equalizes_base_rates(self, loan_data):
+        dataset, train, _ = loan_data
+        massaged = massage_labels(train, LogisticRegression(n_iter=400))
+        rates = massaged.base_rates()
+        assert abs(rates[1] - rates[0]) < 0.05
+
+    def test_preserves_total_positives(self, loan_data):
+        _, train, _ = loan_data
+        massaged = massage_labels(train, LogisticRegression(n_iter=400))
+        assert massaged.y.sum() == pytest.approx(train.y.sum(), abs=1)
+
+    def test_noop_when_protected_rate_already_higher(self, loan_data):
+        _, train, _ = loan_data
+        flipped = train.with_values(y=1 - train.y)  # invert so protected is favoured
+        # After inversion the protected rate may exceed the reference rate; the
+        # method must not demote the protected group.
+        massaged = massage_labels(flipped, LogisticRegression(n_iter=200))
+        assert massaged.base_rates()[1] >= flipped.base_rates()[1] - 1e-9
+
+
+class TestDisparateImpactRepair:
+    def test_full_repair_aligns_group_means(self, loan_data):
+        _, train, _ = loan_data
+        repaired = disparate_impact_repair(train, repair_level=1.0)
+        protected = repaired.protected_mask
+        income = repaired.column("income")
+        assert abs(income[protected].mean() - income[~protected].mean()) < 2.0
+
+    def test_zero_repair_is_identity(self, loan_data):
+        _, train, _ = loan_data
+        repaired = disparate_impact_repair(train, repair_level=0.0)
+        assert np.allclose(repaired.X, train.X)
+
+    def test_invalid_level_rejected(self, loan_data):
+        _, train, _ = loan_data
+        with pytest.raises(ValidationError):
+            disparate_impact_repair(train, repair_level=2.0)
+
+    def test_sensitive_column_untouched(self, loan_data):
+        _, train, _ = loan_data
+        repaired = disparate_impact_repair(train, repair_level=1.0)
+        assert np.array_equal(repaired.sensitive_values, train.sensitive_values)
+
+
+class TestInProcessing:
+    def test_fair_logistic_reduces_parity(self, loan_data, loan_model):
+        _, train, test = loan_data
+        fair = FairLogisticRegression(fairness_weight=5.0, n_iter=1200, random_state=0).fit(
+            train.X, train.y, sensitive=train.sensitive_values
+        )
+        base_gap = abs(statistical_parity_difference(
+            loan_model.predict(test.X), test.sensitive_values))
+        fair_gap = abs(statistical_parity_difference(
+            fair.predict(test.X), test.sensitive_values))
+        assert fair_gap < base_gap * 0.6
+
+    def test_fair_logistic_keeps_reasonable_accuracy(self, loan_data, loan_model):
+        _, train, test = loan_data
+        fair = FairLogisticRegression(fairness_weight=5.0, n_iter=1200, random_state=0).fit(
+            train.X, train.y, sensitive=train.sensitive_values
+        )
+        assert fair.score(test.X, test.y) > loan_model.score(test.X, test.y) - 0.15
+
+    def test_fair_logistic_requires_sensitive(self, loan_data):
+        _, train, _ = loan_data
+        with pytest.raises(ValidationError):
+            FairLogisticRegression().fit(train.X, train.y)
+
+    def test_zero_weight_matches_plain_logistic_direction(self, loan_data):
+        _, train, test = loan_data
+        plain = LogisticRegression(n_iter=800, random_state=0).fit(train.X, train.y)
+        fair0 = FairLogisticRegression(fairness_weight=0.0, n_iter=800, random_state=0).fit(
+            train.X, train.y, sensitive=train.sensitive_values
+        )
+        agreement = np.mean(plain.predict(test.X) == fair0.predict(test.X))
+        assert agreement > 0.9
+
+    def test_recourse_regularizer_shrinks_recourse_gap(self, loan_data, loan_model):
+        _, train, test = loan_data
+        regularized = RecourseRegularizedClassifier(
+            recourse_weight=3.0, n_iter=1200, random_state=0
+        ).fit(train.X, train.y, sensitive=train.sensitive_values)
+        base = RecourseRegularizedClassifier(
+            recourse_weight=0.0, n_iter=1200, random_state=0
+        ).fit(train.X, train.y, sensitive=train.sensitive_values)
+        assert regularized.group_recourse_gap(test.X, test.sensitive_values) <= (
+            base.group_recourse_gap(test.X, test.sensitive_values) + 1e-6
+        )
+
+    def test_recourse_regularizer_requires_sensitive(self, loan_data):
+        _, train, _ = loan_data
+        with pytest.raises(ValidationError):
+            RecourseRegularizedClassifier().fit(train.X, train.y)
+
+
+class TestPostProcessing:
+    def test_threshold_optimizer_statistical_parity(self, loan_data, loan_model):
+        _, train, test = loan_data
+        scores_train = loan_model.predict_proba(train.X)[:, 1]
+        scores_test = loan_model.predict_proba(test.X)[:, 1]
+        optimizer = GroupThresholdOptimizer(criterion="statistical_parity").fit(
+            scores_train, train.y, train.sensitive_values
+        )
+        adjusted = optimizer.predict(scores_test, test.sensitive_values)
+        base_gap = abs(statistical_parity_difference(
+            (scores_test >= 0.5).astype(int), test.sensitive_values))
+        new_gap = abs(statistical_parity_difference(adjusted, test.sensitive_values))
+        assert new_gap < base_gap
+
+    def test_threshold_optimizer_equal_opportunity(self, loan_data, loan_model):
+        _, train, test = loan_data
+        scores_train = loan_model.predict_proba(train.X)[:, 1]
+        scores_test = loan_model.predict_proba(test.X)[:, 1]
+        optimizer = GroupThresholdOptimizer(criterion="equal_opportunity").fit(
+            scores_train, train.y, train.sensitive_values
+        )
+        adjusted = optimizer.predict(scores_test, test.sensitive_values)
+        base_gap = abs(equal_opportunity_difference(
+            test.y, (scores_test >= 0.5).astype(int), test.sensitive_values))
+        new_gap = abs(equal_opportunity_difference(test.y, adjusted, test.sensitive_values))
+        assert new_gap <= base_gap + 0.05
+
+    def test_threshold_optimizer_unknown_criterion(self):
+        with pytest.raises(ValidationError):
+            GroupThresholdOptimizer(criterion="nope")
+
+    def test_reject_option_flips_only_in_critical_band(self, loan_data, loan_model):
+        _, _, test = loan_data
+        scores = loan_model.predict_proba(test.X)[:, 1]
+        adjusted = RejectOptionClassifier(margin=0.1).predict(scores, test.sensitive_values)
+        outside = np.abs(scores - 0.5) >= 0.1
+        assert np.array_equal(adjusted[outside], (scores[outside] >= 0.5).astype(int))
+
+    def test_reject_option_reduces_parity_gap(self, loan_data, loan_model):
+        _, _, test = loan_data
+        scores = loan_model.predict_proba(test.X)[:, 1]
+        base = (scores >= 0.5).astype(int)
+        adjusted = RejectOptionClassifier(margin=0.2).predict(scores, test.sensitive_values)
+        assert abs(statistical_parity_difference(adjusted, test.sensitive_values)) <= abs(
+            statistical_parity_difference(base, test.sensitive_values)
+        )
+
+    def test_reject_option_invalid_margin(self):
+        with pytest.raises(ValidationError):
+            RejectOptionClassifier(margin=0.7)

@@ -1,0 +1,101 @@
+"""Tests for the graph substrate (generators and the numpy GCN)."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import NotFittedError, ValidationError
+from fairexp.graphs import AttributedGraph, GCNClassifier, make_biased_sbm, normalized_adjacency
+
+
+class TestAttributedGraph:
+    def test_validation_symmetry(self):
+        adjacency = np.array([[0, 1], [0, 0]], dtype=float)
+        with pytest.raises(ValidationError):
+            AttributedGraph(adjacency=adjacency, features=np.ones((2, 2)),
+                            groups=np.array([0, 1]), labels=np.array([0, 1]))
+
+    def test_validation_lengths(self):
+        adjacency = np.zeros((3, 3))
+        with pytest.raises(ValidationError):
+            AttributedGraph(adjacency=adjacency, features=np.ones((2, 2)),
+                            groups=np.array([0, 1, 0]), labels=np.array([0, 1, 0]))
+
+    def test_edges_and_degree(self, sbm_graph):
+        edges = sbm_graph.edges()
+        degrees = sbm_graph.degree()
+        assert degrees.sum() == pytest.approx(2 * len(edges))
+        assert all(i < j for i, j in edges)
+
+    def test_remove_edges_copy_semantics(self, sbm_graph):
+        edges = sbm_graph.edges()[:3]
+        reduced = sbm_graph.remove_edges(edges)
+        assert len(reduced.edges()) == len(sbm_graph.edges()) - 3
+        assert len(sbm_graph.edges()) > 0  # original untouched
+
+    def test_to_networkx(self, sbm_graph):
+        graph = sbm_graph.to_networkx()
+        assert graph.number_of_nodes() == sbm_graph.n_nodes
+        assert graph.nodes[0]["group"] == int(sbm_graph.groups[0])
+
+
+class TestGenerator:
+    def test_homophily_increases_with_p_within(self):
+        segregated = make_biased_sbm(150, p_within=0.1, p_between=0.005, random_state=0)
+        mixed = make_biased_sbm(150, p_within=0.05, p_between=0.05, random_state=0)
+        assert segregated.homophily() > mixed.homophily()
+
+    def test_label_bias_lowers_protected_positive_rate(self):
+        graph = make_biased_sbm(400, label_bias=1.5, random_state=0)
+        protected_rate = graph.labels[graph.groups == 1].mean()
+        reference_rate = graph.labels[graph.groups == 0].mean()
+        assert protected_rate < reference_rate
+
+    def test_feature_shift(self):
+        graph = make_biased_sbm(400, feature_shift=2.0, random_state=0)
+        protected_mean = graph.features[graph.groups == 1, 0].mean()
+        reference_mean = graph.features[graph.groups == 0, 0].mean()
+        assert protected_mean < reference_mean - 1.0
+
+    def test_reproducible(self):
+        a = make_biased_sbm(100, random_state=5)
+        b = make_biased_sbm(100, random_state=5)
+        assert np.array_equal(a.adjacency, b.adjacency)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestGCN:
+    def test_normalized_adjacency_rows_bounded(self, sbm_graph):
+        a_norm = normalized_adjacency(sbm_graph.adjacency)
+        assert np.all(a_norm >= 0)
+        assert np.allclose(a_norm, a_norm.T)
+
+    def test_training_reduces_loss(self, sbm_graph):
+        model = GCNClassifier(n_epochs=80, random_state=0).fit(sbm_graph)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_accuracy_better_than_chance(self, sbm_graph, gcn):
+        majority = max(sbm_graph.labels.mean(), 1 - sbm_graph.labels.mean())
+        assert gcn.accuracy(sbm_graph) >= majority - 0.05
+
+    def test_predictions_binary(self, sbm_graph, gcn):
+        predictions = gcn.predict(sbm_graph)
+        assert set(np.unique(predictions)) <= {0, 1}
+        proba = gcn.predict_proba(sbm_graph)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_biased_graph_yields_negative_parity(self, sbm_graph, gcn):
+        assert gcn.statistical_parity(sbm_graph) < -0.1
+        assert gcn.soft_statistical_parity(sbm_graph) < -0.1
+
+    def test_train_mask_validation(self, sbm_graph):
+        with pytest.raises(ValidationError):
+            GCNClassifier(n_epochs=5).fit(sbm_graph, train_mask=np.ones(3, dtype=bool))
+
+    def test_unfitted_raises(self, sbm_graph):
+        with pytest.raises(NotFittedError):
+            GCNClassifier().predict(sbm_graph)
+
+    def test_accuracy_mask(self, sbm_graph, gcn):
+        mask = np.zeros(sbm_graph.n_nodes, dtype=bool)
+        mask[:20] = True
+        assert 0.0 <= gcn.accuracy(sbm_graph, mask) <= 1.0

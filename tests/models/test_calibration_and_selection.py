@@ -1,0 +1,106 @@
+"""Tests for probability calibration and model selection utilities."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import NotFittedError, ValidationError
+from fairexp.models import (
+    CalibratedClassifier,
+    GaussianNaiveBayes,
+    LogisticRegression,
+    PlattCalibrator,
+    cross_val_score,
+    expected_calibration_error,
+    GridSearch,
+    k_fold_indices,
+)
+from fairexp.utils import sigmoid
+
+
+class TestPlattCalibrator:
+    def test_improves_overconfident_scores(self, rng):
+        # True probability is sigmoid(z); scores are overconfident sigmoid(3z).
+        z = rng.normal(0, 1.5, 3000)
+        y = (rng.random(3000) < sigmoid(z)).astype(int)
+        overconfident = sigmoid(3 * z)
+        calibrated = PlattCalibrator(n_iter=800).fit(overconfident, y).transform(overconfident)
+        assert expected_calibration_error(y, calibrated) < expected_calibration_error(
+            y, overconfident
+        )
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().transform([0.5])
+
+    def test_output_in_unit_interval(self, rng):
+        scores = rng.random(100)
+        y = rng.integers(0, 2, 100)
+        out = PlattCalibrator(n_iter=100).fit(scores, y).transform(scores)
+        assert np.all((out >= 0) & (out <= 1))
+
+
+class TestCalibratedClassifier:
+    def test_wraps_fitted_model_and_keeps_accuracy(self, loan_data, loan_model):
+        _, train, test = loan_data
+        calibrated = CalibratedClassifier(loan_model).fit(train.X, train.y)
+        base_accuracy = loan_model.score(test.X, test.y)
+        assert calibrated.score(test.X, test.y) >= base_accuracy - 0.1
+
+    def test_predict_proba_distribution(self, loan_data, loan_model):
+        _, train, test = loan_data
+        calibrated = CalibratedClassifier(loan_model).fit(train.X, train.y)
+        proba = calibrated.predict_proba(test.X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestExpectedCalibrationError:
+    def test_perfectly_calibrated_is_small(self, rng):
+        proba = rng.random(5000)
+        y = (rng.random(5000) < proba).astype(int)
+        assert expected_calibration_error(y, proba) < 0.05
+
+    def test_anticalibrated_is_large(self, rng):
+        proba = rng.random(2000)
+        y = (rng.random(2000) < (1 - proba)).astype(int)
+        assert expected_calibration_error(y, proba) > 0.3
+
+
+class TestKFold:
+    def test_partitions_all_indices(self):
+        splits = k_fold_indices(50, n_folds=5, random_state=0)
+        assert len(splits) == 5
+        all_test = np.sort(np.concatenate([test for _, test in splits]))
+        assert np.array_equal(all_test, np.arange(50))
+
+    def test_train_test_disjoint(self):
+        for train, test in k_fold_indices(30, n_folds=3, random_state=1):
+            assert len(np.intersect1d(train, test)) == 0
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValidationError):
+            k_fold_indices(5, n_folds=1)
+        with pytest.raises(ValidationError):
+            k_fold_indices(5, n_folds=10)
+
+
+class TestCrossValAndGridSearch:
+    def test_cross_val_score_reasonable(self, rng):
+        X = np.vstack([rng.normal(-2, 1, (100, 2)), rng.normal(2, 1, (100, 2))])
+        y = np.array([0] * 100 + [1] * 100)
+        scores = cross_val_score(GaussianNaiveBayes(), X, y, n_folds=4, random_state=0)
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.9
+
+    def test_grid_search_finds_better_params(self, rng):
+        X = np.vstack([rng.normal(-1, 1, (100, 2)), rng.normal(1, 1, (100, 2))])
+        y = np.array([0] * 100 + [1] * 100)
+        search = GridSearch(
+            lambda **p: LogisticRegression(n_iter=300, **p),
+            {"l2": [0.0, 10.0]},
+            n_folds=3,
+            random_state=0,
+        ).fit(X, y)
+        assert search.best_params_ is not None
+        assert search.best_model_ is not None
+        assert len(search.results_) == 2
+        assert search.best_score_ == max(r["mean_score"] for r in search.results_)

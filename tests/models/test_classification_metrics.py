@@ -1,0 +1,106 @@
+"""Tests for fairexp.models.metrics."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import ValidationError
+from fairexp.models import (
+    accuracy_score,
+    brier_score,
+    calibration_curve,
+    confusion_matrix,
+    f1_score,
+    false_negative_rate,
+    false_positive_rate,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+    selection_rate,
+    true_negative_rate,
+    true_positive_rate,
+)
+
+Y_TRUE = np.array([0, 0, 1, 1, 1, 0, 1, 0])
+Y_PRED = np.array([0, 1, 1, 0, 1, 0, 1, 0])
+
+
+class TestConfusionAndRates:
+    def test_confusion_matrix_entries(self):
+        matrix = confusion_matrix(Y_TRUE, Y_PRED)
+        # tn, fp / fn, tp
+        assert matrix.tolist() == [[3, 1], [1, 3]]
+
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(6 / 8)
+
+    def test_precision_recall_f1(self):
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_rates_sum_to_one(self):
+        assert true_positive_rate(Y_TRUE, Y_PRED) + false_negative_rate(Y_TRUE, Y_PRED) == pytest.approx(1.0)
+        assert false_positive_rate(Y_TRUE, Y_PRED) + true_negative_rate(Y_TRUE, Y_PRED) == pytest.approx(1.0)
+
+    def test_zero_division_returns_zero(self):
+        assert precision_score([0, 0], [0, 0]) == 0.0
+        assert recall_score([0, 0], [0, 0]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_selection_rate(self):
+        assert selection_rate(Y_PRED) == pytest.approx(0.5)
+        assert selection_rate(np.array([])) == 0.0
+
+
+class TestRocAuc:
+    def test_perfect_classifier_auc_is_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_random_scores_auc_near_half(self, rng):
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert abs(roc_auc_score(y, scores) - 0.5) < 0.05
+
+    def test_inverted_classifier_auc_is_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, scores) == pytest.approx(0.0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValidationError):
+            roc_auc_score([1, 1, 1], [0.2, 0.4, 0.9])
+
+    def test_roc_curve_monotone(self, rng):
+        y = rng.integers(0, 2, 200)
+        scores = rng.random(200)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= -1e-12)
+        assert np.all(np.diff(tpr) >= -1e-12)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+
+
+class TestProbabilityMetrics:
+    def test_log_loss_perfect_predictions(self):
+        assert log_loss([0, 1], [0.0, 1.0]) < 1e-6
+
+    def test_log_loss_uninformative(self):
+        assert log_loss([0, 1], [0.5, 0.5]) == pytest.approx(np.log(2), rel=1e-6)
+
+    def test_brier_bounds(self):
+        assert brier_score([0, 1], [0, 1]) == 0.0
+        assert brier_score([0, 1], [1, 0]) == 1.0
+
+    def test_calibration_curve_perfectly_calibrated(self, rng):
+        proba = rng.random(5000)
+        y = (rng.random(5000) < proba).astype(int)
+        mean_predicted, fraction_positive = calibration_curve(y, proba, n_bins=5)
+        assert np.all(np.abs(mean_predicted - fraction_positive) < 0.06)
+
+    def test_calibration_curve_skips_empty_bins(self):
+        mean_predicted, fraction_positive = calibration_curve([1, 1], [0.9, 0.95], n_bins=10)
+        assert mean_predicted.shape == fraction_positive.shape
+        assert mean_predicted.shape[0] == 1

@@ -1,0 +1,131 @@
+"""Tests for fairexp.models.preprocessing."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import NotFittedError, ValidationError
+from fairexp.models import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(2.0, 7.0, (50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column_does_not_divide_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((3, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range_is_zero_one(self, rng):
+        X = rng.normal(0, 10, (100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= -1e-12
+        assert Z.max() <= 1 + 1e-12
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(0, 10, (30, 2))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = np.array(["b", "a", "c", "a"])
+        encoder = LabelEncoder().fit(y)
+        codes = encoder.transform(y)
+        assert codes.tolist() == [1, 0, 2, 0]
+        assert encoder.inverse_transform(codes).tolist() == y.tolist()
+
+    def test_unknown_label_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValidationError):
+            encoder.transform(["c"])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().transform(["a"])
+
+
+class TestOneHotEncoder:
+    def test_shape_and_values(self):
+        X = np.array([[0, 2], [1, 3], [0, 3]])
+        encoded = OneHotEncoder().fit_transform(X)
+        assert encoded.shape == (3, 4)
+        assert np.allclose(encoded.sum(axis=1), 2.0)
+
+    def test_feature_names(self):
+        X = np.array([[0, 5], [1, 6]])
+        encoder = OneHotEncoder().fit(X)
+        names = encoder.feature_names(["a", "b"])
+        assert names == ["a=0", "a=1", "b=5", "b=6"]
+
+    def test_dimension_mismatch_raises(self):
+        encoder = OneHotEncoder().fit(np.array([[0], [1]]))
+        with pytest.raises(ValidationError):
+            encoder.transform(np.array([[0, 1]]))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValidationError):
+            OneHotEncoder().fit(np.array([1, 2, 3]))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, 100)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert X_test.shape[0] == 25
+        assert X_train.shape[0] == 75
+        assert y_train.shape[0] + y_test.shape[0] == 100
+
+    def test_no_overlap_and_full_coverage(self, rng):
+        X = np.arange(60, dtype=float).reshape(-1, 1)
+        (X_train, X_test) = train_test_split(X, test_size=0.3, random_state=1)
+        combined = np.sort(np.concatenate([X_train.ravel(), X_test.ravel()]))
+        assert np.array_equal(combined, X.ravel())
+
+    def test_stratified_preserves_class_balance(self, rng):
+        y = np.array([0] * 80 + [1] * 20)
+        X = rng.normal(size=(100, 2))
+        _, _, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=0, stratify=y)
+        assert abs(y_test.mean() - 0.2) < 0.05
+        assert abs(y_train.mean() - 0.2) < 0.05
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.ones((10, 1)), test_size=1.5)
+
+    def test_inconsistent_lengths(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.ones((10, 1)), np.ones(5))
+
+    def test_reproducible_with_seed(self, rng):
+        X = rng.normal(size=(50, 2))
+        a_train, a_test = train_test_split(X, random_state=7)
+        b_train, b_test = train_test_split(X, random_state=7)
+        assert np.array_equal(a_test, b_test)

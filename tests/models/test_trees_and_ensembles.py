@@ -1,0 +1,189 @@
+"""Tests for decision trees, random forests and the other classifiers."""
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import NotFittedError, ValidationError
+from fairexp.models import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+
+
+def xor_data(rng, n=400, noise=0.1):
+    X = rng.uniform(-1, 1, (n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    X += rng.normal(0, noise, X.shape)
+    return X, y
+
+
+def blobs(rng, n=300, gap=3.0):
+    X0 = rng.normal(-gap / 2, 1.0, (n // 2, 3))
+    X1 = rng.normal(gap / 2, 1.0, (n // 2, 3))
+    return np.vstack([X0, X1]), np.array([0] * (n // 2) + [1] * (n // 2))
+
+
+class TestDecisionTree:
+    def test_learns_xor(self, rng):
+        X, y = xor_data(rng)
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_max_depth_respected(self, rng):
+        X, y = xor_data(rng)
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.depth() <= 2
+
+    def test_min_samples_leaf(self, rng):
+        X, y = xor_data(rng, n=200)
+        model = DecisionTreeClassifier(min_samples_leaf=40).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 40
+                return
+            check(node.left)
+            check(node.right)
+
+        check(model.root_)
+
+    def test_feature_importances_sum_to_one(self, rng):
+        X, y = xor_data(rng)
+        model = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+        assert np.all(model.feature_importances_ >= 0)
+
+    def test_irrelevant_feature_gets_low_importance(self, rng):
+        X, y = blobs(rng)
+        X = np.column_stack([X, rng.normal(size=X.shape[0])])
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert model.feature_importances_[-1] < 0.2
+
+    def test_predict_proba_valid_distribution(self, rng):
+        X, y = xor_data(rng)
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_decision_path_consistent_with_prediction(self, rng):
+        X, y = xor_data(rng)
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        path = model.decision_path(X[0])
+        assert all(isinstance(step, tuple) and len(step) == 3 for step in path)
+
+    def test_export_rules_covers_all_leaves(self, rng):
+        X, y = xor_data(rng)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        rules = model.export_rules(["a", "b"])
+        assert len(rules) == model.n_leaves()
+        assert all(rule.startswith("IF ") for rule in rules)
+
+    def test_single_class_rejected(self, rng):
+        X = rng.normal(size=(20, 2))
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier().fit(X, np.zeros(20, dtype=int))
+
+    def test_sample_weight_shifts_majority(self, rng):
+        X, y = xor_data(rng, n=200, noise=0.3)
+        weights = np.where(y == 1, 20.0, 1.0)
+        model = DecisionTreeClassifier(max_depth=1).fit(X, y, sample_weight=weights)
+        assert model.predict(X).mean() > y.mean()
+
+
+class TestRandomForest:
+    def test_better_or_equal_to_single_stump_on_xor(self, rng):
+        X, y = xor_data(rng)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=4, random_state=0).fit(X, y)
+        assert forest.score(X, y) >= stump.score(X, y)
+
+    def test_number_of_estimators(self, rng):
+        X, y = blobs(rng)
+        forest = RandomForestClassifier(n_estimators=7).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_predict_proba_distribution(self, rng):
+        X, y = blobs(rng)
+        forest = RandomForestClassifier(n_estimators=10).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert proba.shape == (X.shape[0], 2)
+
+    def test_feature_importances_shape(self, rng):
+        X, y = blobs(rng)
+        forest = RandomForestClassifier(n_estimators=10).fit(X, y)
+        assert forest.feature_importances_.shape == (3,)
+
+
+class TestGaussianNaiveBayes:
+    def test_learns_blobs(self, rng):
+        X, y = blobs(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_class_priors_match_frequencies(self, rng):
+        X, y = blobs(rng, n=200)
+        y[:150] = 0  # unbalance
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.class_prior_[0] == pytest.approx(np.mean(y == 0))
+
+    def test_predict_proba_valid(self, rng):
+        X, y = blobs(rng)
+        proba = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestKNN:
+    def test_learns_blobs(self, rng):
+        X, y = blobs(rng)
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_k_larger_than_dataset_raises(self, rng):
+        X, y = blobs(rng, n=10)
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(n_neighbors=50).fit(X, y)
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(metric="cosine")
+
+    def test_kneighbors_returns_sorted_distances(self, rng):
+        X, y = blobs(rng)
+        model = KNeighborsClassifier(n_neighbors=4).fit(X, y)
+        distances, indices = model.kneighbors(X[:3])
+        assert distances.shape == (3, 4)
+        assert np.all(np.diff(distances, axis=1) >= -1e-12)
+
+    def test_distance_weighting_prefers_close_neighbors(self, rng):
+        X = np.array([[0.0], [0.1], [10.0], [10.1], [0.05]])
+        y = np.array([0, 0, 1, 1, 0])
+        model = KNeighborsClassifier(n_neighbors=5, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.02]]))[0] == 0
+
+
+class TestMLP:
+    def test_learns_xor(self, rng):
+        X, y = xor_data(rng)
+        model = MLPClassifier(hidden_sizes=(16,), n_epochs=150, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_loss_decreases(self, rng):
+        X, y = blobs(rng)
+        model = MLPClassifier(n_epochs=60, random_state=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_predict_proba_distribution(self, rng):
+        X, y = blobs(rng)
+        model = MLPClassifier(n_epochs=30).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_gradient_input_shape(self, rng):
+        X, y = blobs(rng)
+        model = MLPClassifier(n_epochs=30).fit(X, y)
+        gradients = model.gradient_input(X[:4])
+        assert gradients.shape == (4, 3)
