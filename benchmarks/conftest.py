@@ -4,15 +4,28 @@ Every benchmark wraps one experiment runner from :mod:`fairexp.experiments`,
 records its headline numbers in ``benchmark.extra_info`` (so they appear in
 the pytest-benchmark output next to the timings), and asserts the qualitative
 *shape* claims listed in DESIGN.md / EXPERIMENTS.md.
+
+Counterfactual-heavy benchmarks additionally record the number of
+``model.predict`` invocations (via
+:class:`fairexp.explanations.BatchModelAdapter`), so the BENCH_*.json
+trajectory tracks predict-call reduction and not just wall time.
 """
 
 from __future__ import annotations
 
 
-def record(benchmark, results: dict) -> dict:
-    """Attach experiment results (minus long renders) to the benchmark record."""
+def record(benchmark, results: dict, *, adapter=None) -> dict:
+    """Attach experiment results (minus long renders) to the benchmark record.
+
+    When ``adapter`` (a :class:`~fairexp.explanations.BatchModelAdapter`) is
+    given, its predict-call counters are recorded alongside the results.
+    """
     for key, value in results.items():
         if key == "rendered":
             continue
         benchmark.extra_info[key] = value
+    if adapter is not None:
+        benchmark.extra_info["predict_call_count"] = adapter.predict_call_count
+        benchmark.extra_info["predict_row_count"] = adapter.predict_row_count
+        benchmark.extra_info["predict_cache_hits"] = adapter.cache_hit_count
     return results

@@ -19,3 +19,7 @@ def test_burden_and_nawb_gaps(benchmark):
     assert results["nawb_gap_biased"] > 0.05
     assert results["fnr_gap_biased"] > 0.2
     assert abs(results["nawb_gap_fair"]) < results["nawb_gap_biased"] / 2
+    # The batched engine coalesces the whole burden+NAWB audit into a small
+    # number of predict batches; the per-workload counts ride along in
+    # extra_info so the BENCH_*.json trajectory tracks predict-call reduction.
+    assert 0 < results["predict_calls_biased"] < 200

@@ -24,7 +24,11 @@ from fairexp.core import (
     recourse_gap_report,
 )
 from fairexp.datasets import make_loan_dataset, make_scm_loan_dataset
-from fairexp.explanations import ActionabilityConstraints, GrowingSpheresCounterfactual
+from fairexp.explanations import (
+    ActionabilityConstraints,
+    CounterfactualEngine,
+    GrowingSpheresCounterfactual,
+)
 from fairexp.fairness.mitigation import RecourseRegularizedClassifier
 from fairexp.models import LogisticRegression
 
@@ -34,11 +38,15 @@ def individual_counterfactuals(dataset, train, test, model) -> None:
     constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
     generator = GrowingSpheresCounterfactual(model, train.X, constraints=constraints,
                                              random_state=0)
+    engine = CounterfactualEngine(generator)
     rejected = test.X[model.predict(test.X) == 0]
-    for row in rejected[:3]:
-        counterfactual = generator.generate(row)
+    for counterfactual in engine.generate_aligned(rejected[:3]):
+        if counterfactual is None:  # no feasible recourse within the search budget
+            print("   no feasible counterfactual")
+            continue
         changes = "; ".join(counterfactual.describe(dataset.feature_names))
         print(f"   cost={counterfactual.distance:.2f}  {changes}")
+    print(f"   (audit took {engine.predict_call_count} batched model.predict calls)")
     print()
 
 

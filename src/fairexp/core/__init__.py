@@ -63,6 +63,7 @@ from .taxonomy import (
     explanation_taxonomy,
     fairness_taxonomy,
     implemented_class,
+    registry_figure2_coverage,
     render_table_i,
     render_taxonomy,
 )
@@ -93,4 +94,5 @@ __all__ = [
     "FairnessAuditor", "FairnessAuditReport",
     "TaxonomyNode", "fairness_taxonomy", "explanation_taxonomy", "render_taxonomy",
     "ApproachEntry", "TABLE_I", "render_table_i", "implemented_class",
+    "registry_figure2_coverage",
 ]

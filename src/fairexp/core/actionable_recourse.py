@@ -25,7 +25,7 @@ import numpy as np
 
 from ..causal.scm import StructuralCausalModel
 from ..exceptions import InfeasibleRecourseError, ValidationError
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 
 __all__ = ["Flipset", "RecourseResult", "CausalRecourseExplainer"]
 
@@ -64,6 +64,7 @@ class RecourseResult:
     candidates: list[Flipset] = field(default_factory=list, repr=False)
 
 
+@ExplainerRegistry.register("causal_recourse", capabilities=("fairness-explainer", "causal"))
 class CausalRecourseExplainer:
     """Search for minimal-cost intervention sets (flipsets) over an SCM.
 

@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..explanations.base import Counterfactual, ExplainerInfo
+from ..explanations.base import Counterfactual, ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import BaseCounterfactualGenerator
+from ..explanations.engine import CounterfactualEngine
 from ..fairness.groups import group_masks
 
 __all__ = ["GroupBurden", "BurdenResult", "BurdenExplainer"]
@@ -73,6 +74,7 @@ class BurdenResult:
         }
 
 
+@ExplainerRegistry.register("burden", capabilities=("fairness-explainer", "counterfactual-based"))
 class BurdenExplainer:
     """Compute per-group burden from counterfactual explanations.
 
@@ -80,7 +82,10 @@ class BurdenExplainer:
     ----------
     generator:
         Any counterfactual generator from :mod:`fairexp.explanations`
-        (the model and constraints travel with it).
+        (the model and constraints travel with it).  Generation runs through
+        the batched :class:`~fairexp.explanations.engine.CounterfactualEngine`,
+        so one audit issues a handful of large ``model.predict`` batches
+        instead of dozens of tiny per-instance calls.
     error_based:
         When ``False`` (parity fairness), counterfactuals are generated for
         *all* negatively classified members of each group.  When ``True``
@@ -100,6 +105,7 @@ class BurdenExplainer:
 
     def __init__(self, generator: BaseCounterfactualGenerator, *, error_based: bool = False) -> None:
         self.generator = generator
+        self.engine = CounterfactualEngine(generator)
         self.error_based = error_based
 
     def _selection_mask(self, predictions, y_true) -> np.ndarray:
@@ -122,16 +128,14 @@ class BurdenExplainer:
         counterfactuals: dict[int, list[Counterfactual]] = {}
         for group_value, mask in ((1, masks.protected), (0, masks.reference)):
             member_idx = np.flatnonzero(mask & selected)
-            group_counterfactuals: list[Counterfactual] = []
-            distances = []
-            for i in member_idx:
-                try:
-                    counterfactual = self.generator.generate(X[i])
-                except Exception:  # InfeasibleRecourseError — no recourse found
-                    continue
-                group_counterfactuals.append(counterfactual)
-                distances.append(counterfactual.distance)
-            distances = np.asarray(distances, dtype=float)
+            generated = self.engine.generate_for(X, member_idx)
+            group_counterfactuals: list[Counterfactual] = [
+                generated[i] for i in member_idx if i in generated
+            ]
+            distances = np.asarray(
+                [counterfactual.distance for counterfactual in group_counterfactuals],
+                dtype=float,
+            )
             per_group[group_value] = GroupBurden(
                 group=group_value,
                 n_negative=int(member_idx.shape[0]),

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..causal.graphs import CausalGraph, all_causal_paths, fit_linear_scm_weights, path_effect
 from ..exceptions import ValidationError
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 
 __all__ = ["PathContribution", "CausalPathDecomposition", "CausalPathExplainer"]
 
@@ -56,6 +56,7 @@ class CausalPathDecomposition:
         return float(covered / self.total_disparity)
 
 
+@ExplainerRegistry.register("causal_paths", capabilities=("fairness-explainer", "causal"))
 class CausalPathExplainer:
     """Decompose model disparity over causal paths from the sensitive attribute.
 

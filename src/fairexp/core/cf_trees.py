@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..fairness.groups import group_masks
 from .facts import Action
 
@@ -72,6 +72,7 @@ class CFTreeResult:
         return self.cost_protected - self.cost_reference
 
 
+@ExplainerRegistry.register("cf_tree", capabilities=("fairness-explainer", "counterfactual-based"))
 class CounterfactualExplanationTree:
     """Build a shallow tree assigning one recourse action per leaf.
 

@@ -22,7 +22,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..exceptions import ValidationError
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.influence import influence_functions_logistic
 from ..explanations.rules import Predicate, discretize_features, frequent_predicate_sets
 from ..fairness.group_metrics import statistical_parity_difference
@@ -65,6 +65,7 @@ class DataExplanationResult:
         return self.patterns[:k]
 
 
+@ExplainerRegistry.register("gopher", capabilities=("fairness-explainer", "data-based"))
 class GopherExplainer:
     """Search for training-data patterns responsible for model unfairness.
 

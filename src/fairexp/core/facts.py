@@ -25,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.rules import Predicate, discretize_features, frequent_predicate_sets
 from ..fairness.groups import group_masks
 from ..utils import check_random_state
@@ -120,6 +120,7 @@ class FACTSResult:
         return all(abs(s.effectiveness_gap) <= tolerance for s in self.subgroups)
 
 
+@ExplainerRegistry.register("facts", capabilities=("fairness-explainer", "counterfactual-based"))
 class FACTSExplainer:
     """Frequent-itemset audit of recourse bias between protected subgroups.
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..causal.scm import StructuralCausalModel
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..fairness.groups import group_masks
 from .actionable_recourse import CausalRecourseExplainer
 
@@ -55,6 +56,12 @@ class RecourseGapReport:
         return self.recourse_protected / self.recourse_reference
 
 
+@ExplainerRegistry.register(
+    "recourse_gap_report",
+    info=ExplainerInfo(stage="post-hoc", access="black-box", agnostic=True, coverage="global",
+                       explanation_type="example", multiplicity="multiple"),
+    capabilities=("fairness-explainer", "recourse"),
+)
 def recourse_gap_report(model, X, sensitive, *, protected_value=1) -> RecourseGapReport:
     """Average distance-to-boundary of negatively classified members, per group.
 
@@ -117,6 +124,12 @@ class CausalRecourseFairnessResult:
         )
 
 
+@ExplainerRegistry.register(
+    "causal_recourse_fairness",
+    info=ExplainerInfo(stage="post-hoc", access="black-box", agnostic=True, coverage="both",
+                       explanation_type="example", multiplicity="multiple"),
+    capabilities=("fairness-explainer", "recourse", "causal"),
+)
 def causal_recourse_fairness(
     explainer: CausalRecourseExplainer,
     scm: StructuralCausalModel,

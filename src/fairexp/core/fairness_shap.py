@@ -18,7 +18,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo, FeatureAttribution
+from ..explanations.base import ExplainerInfo, ExplainerRegistry, FeatureAttribution
 from ..explanations.shapley import shapley_for_value_function
 from ..fairness.group_metrics import statistical_parity_difference
 from ..utils import check_random_state
@@ -28,6 +28,7 @@ __all__ = ["FairnessShapExplainer"]
 FairnessMetric = Callable[[np.ndarray, np.ndarray], float]
 
 
+@ExplainerRegistry.register("fairness_shap", capabilities=("fairness-explainer", "shapley"))
 class FairnessShapExplainer:
     """Attribute a group-fairness metric to individual features via Shapley values.
 

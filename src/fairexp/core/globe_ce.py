@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import ActionabilityConstraints
 from ..fairness.groups import group_masks
 from ..utils import check_random_state
@@ -75,6 +75,9 @@ class GlobeCEResult:
         }
 
 
+@ExplainerRegistry.register(
+    "globe_ce", capabilities=("fairness-explainer", "counterfactual-based", "global-direction")
+)
 class GlobeCEExplainer:
     """Fit one global translation direction and audit it per group.
 
@@ -163,10 +166,7 @@ class GlobeCEExplainer:
                 break
             candidates = X_affected[unresolved] + k * step
             if self.constraints is not None:
-                candidates = np.vstack([
-                    self.constraints.project(x, c)
-                    for x, c in zip(X_affected[unresolved], candidates)
-                ])
+                candidates = self.constraints.project(X_affected[unresolved], candidates)
             success = np.asarray(self.model.predict(candidates)) == 1
             idx = np.flatnonzero(unresolved)[success]
             minimum[idx] = k

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..graphs.generators import AttributedGraph
 from ..graphs.gnn import GCNClassifier
 from ..recsys.metrics import ndcg_at_k, user_group_quality_gap
@@ -67,6 +67,7 @@ class EdgeSetExplanation:
         return self.base_bias - self.bias_after_removal
 
 
+@ExplainerRegistry.register("structural_bias", capabilities=("fairness-explainer", "graph"))
 class StructuralBiasExplainer:
     """Explain a GCN's bias through edge sets in each node's computational graph.
 
@@ -167,6 +168,7 @@ class NodeInfluenceResult:
         return [(int(self.node_ids[i]), float(self.influences[i])) for i in order]
 
 
+@ExplainerRegistry.register("node_influence", capabilities=("fairness-explainer", "graph"))
 class NodeInfluenceExplainer:
     """Estimate each training node's influence on the GCN's statistical parity.
 
@@ -233,6 +235,7 @@ class GNNUERSResult:
         return self.base_gap - self.final_gap
 
 
+@ExplainerRegistry.register("gnnuers", capabilities=("fairness-explainer", "graph"))
 class GNNUERSExplainer:
     """Explain consumer-side unfairness of a graph recommender by edge perturbation.
 
@@ -318,6 +321,12 @@ class PathRecommendation:
     item_group: int
 
 
+@ExplainerRegistry.register(
+    "kg_path_rerank",
+    info=ExplainerInfo(stage="post-hoc", access="black-box", agnostic=True, coverage="both",
+                       explanation_type="example", multiplicity="multiple"),
+    capabilities=("fairness-explainer", "graph"),
+)
 def fairness_aware_path_rerank(
     recommendations: list[PathRecommendation],
     *,

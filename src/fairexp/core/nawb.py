@@ -18,8 +18,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import ValidationError
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import BaseCounterfactualGenerator
+from ..explanations.engine import CounterfactualEngine
 from ..fairness.groups import group_masks
 
 __all__ = ["NAWBGroupResult", "NAWBResult", "NAWBExplainer"]
@@ -60,8 +61,13 @@ class NAWBResult:
         }
 
 
+@ExplainerRegistry.register("nawb", capabilities=("fairness-explainer", "counterfactual-based"))
 class NAWBExplainer:
-    """Compute NAWB per group using any counterfactual generator."""
+    """Compute NAWB per group using any counterfactual generator.
+
+    Counterfactual generation for the false negatives of each group runs
+    through the batched :class:`~fairexp.explanations.engine.CounterfactualEngine`.
+    """
 
     info = ExplainerInfo(
         stage="post-hoc",
@@ -74,6 +80,7 @@ class NAWBExplainer:
 
     def __init__(self, generator: BaseCounterfactualGenerator) -> None:
         self.generator = generator
+        self.engine = CounterfactualEngine(generator)
 
     def explain(self, X, y_true, sensitive, *, protected_value=1) -> NAWBResult:
         """Return per-group NAWB on labelled data."""
@@ -92,14 +99,10 @@ class NAWBExplainer:
             false_negatives = positive_label & (predictions == 0)
             fn_idx = np.flatnonzero(false_negatives)
 
-            distances = []
-            for i in fn_idx:
-                try:
-                    counterfactual = self.generator.generate(X[i])
-                except Exception:
-                    continue
-                distances.append(counterfactual.distance)
-            distances = np.asarray(distances, dtype=float)
+            generated = self.engine.generate_for(X, fn_idx)
+            distances = np.asarray(
+                [generated[i].distance for i in fn_idx if i in generated], dtype=float
+            )
 
             n_positive = int(positive_label.sum())
             total_distance = float(distances.sum())

@@ -19,8 +19,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import Counterfactual, ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import BaseCounterfactualGenerator
+from ..explanations.engine import CounterfactualEngine
 from ..fairness.groups import group_masks
 
 __all__ = ["AttributeChangeProfile", "PreCoFResult", "PreCoFExplainer"]
@@ -75,6 +76,7 @@ class PreCoFResult:
         return ranked[:k]
 
 
+@ExplainerRegistry.register("precof", capabilities=("fairness-explainer", "counterfactual-based"))
 class PreCoFExplainer:
     """Counterfactual attribute-frequency analysis of group unfairness.
 
@@ -111,21 +113,17 @@ class PreCoFExplainer:
         mode: str = "explicit",
     ) -> None:
         self.generator = generator
+        self.engine = CounterfactualEngine(generator)
         self.feature_names = list(feature_names)
         self.sensitive_feature = sensitive_feature
         self.mode = mode
 
-    def _profile(self, X, member_idx) -> AttributeChangeProfile:
+    def _profile(self, counterfactuals: list[Counterfactual]) -> AttributeChangeProfile:
         change_counts = {name: 0 for name in self.feature_names}
         change_magnitudes = {name: [] for name in self.feature_names}
-        n_explained = 0
+        n_explained = len(counterfactuals)
         scale = self.generator.scale_
-        for i in member_idx:
-            try:
-                counterfactual = self.generator.generate(X[i])
-            except Exception:
-                continue
-            n_explained += 1
+        for counterfactual in counterfactuals:
             delta = counterfactual.delta()
             for j in counterfactual.changed_features:
                 name = self.feature_names[j]
@@ -155,9 +153,14 @@ class PreCoFExplainer:
         protected_idx = np.flatnonzero(masks.protected & negative)
         reference_idx = np.flatnonzero(masks.reference & negative)
 
-        protected_profile = self._profile(X, protected_idx)
+        # One engine pass per group; the explicit-bias analysis below reuses
+        # the protected group's counterfactuals instead of re-generating them.
+        protected_counterfactuals = list(self.engine.generate_for(X, protected_idx).values())
+        reference_counterfactuals = list(self.engine.generate_for(X, reference_idx).values())
+
+        protected_profile = self._profile(protected_counterfactuals)
         protected_profile.group = 1
-        reference_profile = self._profile(X, reference_idx)
+        reference_profile = self._profile(reference_counterfactuals)
         reference_profile.group = 0
 
         sensitive_in_features = self.sensitive_feature in self.feature_names
@@ -165,19 +168,12 @@ class PreCoFExplainer:
         sensitive_change_rate = 0.0
         if sensitive_in_features and protected_profile.n_explained:
             sensitive_change_rate = protected_profile.change_frequency[self.sensitive_feature]
-            # Re-generate to count "only the sensitive attribute changed" cases.
-            only_sensitive = 0
-            explained = 0
             sensitive_index = self.feature_names.index(self.sensitive_feature)
-            for i in protected_idx:
-                try:
-                    counterfactual = self.generator.generate(X[i])
-                except Exception:
-                    continue
-                explained += 1
-                if counterfactual.changed_features == (sensitive_index,):
-                    only_sensitive += 1
-            explicit_bias_rate = only_sensitive / explained if explained else 0.0
+            only_sensitive = sum(
+                counterfactual.changed_features == (sensitive_index,)
+                for counterfactual in protected_counterfactuals
+            )
+            explicit_bias_rate = only_sensitive / protected_profile.n_explained
 
         frequency_gap = {
             name: protected_profile.change_frequency[name]

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..causal.probabilistic import ContrastiveScores, contrastive_scores
 from ..exceptions import ValidationError
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 
 __all__ = ["AttributeContrastiveResult", "ProbabilisticContrastiveExplainer"]
 
@@ -40,6 +40,9 @@ class AttributeContrastiveResult:
         return self.scores_reference.sufficiency - self.scores_protected.sufficiency
 
 
+@ExplainerRegistry.register(
+    "probabilistic_contrastive", capabilities=("fairness-explainer", "contrastive")
+)
 class ProbabilisticContrastiveExplainer:
     """Estimate contrastive (necessity/sufficiency) scores from model predictions.
 

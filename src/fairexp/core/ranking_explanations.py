@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.shapley import sampled_shapley_values
 from ..fairness.ranking_metrics import (
     ranking_binomial_pvalue,
@@ -79,6 +79,7 @@ class DexerResult:
         return [(e.attribute, e.shapley_gap) for e in ranked[:k]]
 
 
+@ExplainerRegistry.register("dexer", capabilities=("fairness-explainer", "ranking"))
 class DexerExplainer:
     """Detect and explain biased representation of a group in a top-k ranking.
 

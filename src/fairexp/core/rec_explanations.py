@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..explanations.base import ExplainerInfo
+from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..recsys.interactions import InteractionMatrix
 from ..recsys.metrics import exposure_disparity, item_group_exposure, ndcg_at_k
 from ..recsys.models import BaseRecommender, RecWalkRecommender
@@ -60,6 +60,7 @@ class EdgeRemovalExplanation:
         )
 
 
+@ExplainerRegistry.register("edge_removal", capabilities=("fairness-explainer", "recommendation"))
 class EdgeRemovalExplainer:
     """Counterfactual edge removals explaining recommendation bias.
 
@@ -161,6 +162,7 @@ class CFairERResult:
         return [self.attribute_names[a] for a in self.selected_attributes]
 
 
+@ExplainerRegistry.register("cfairer", capabilities=("fairness-explainer", "recommendation"))
 class CFairERExplainer:
     """Greedy attribute-level counterfactual explanation of exposure unfairness.
 
@@ -282,6 +284,7 @@ class CEFResult:
         return [(self.feature_names[j], float(self.explainability_score[j])) for j in order]
 
 
+@ExplainerRegistry.register("cef", capabilities=("fairness-explainer", "recommendation"))
 class CEFExplainer:
     """Explainable fairness in recommendation via minimal feature perturbations.
 

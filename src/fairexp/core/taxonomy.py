@@ -4,12 +4,16 @@ The paper's display items are two taxonomy figures and one comparison table.
 This module encodes them as data structures and provides text renderers, so
 the benchmarks can regenerate every figure and table directly from the
 library — and cross-check the Table I rows against the classes that actually
-implement each surveyed approach.
+implement each surveyed approach.  Implementations are discovered through
+:class:`fairexp.explanations.ExplainerRegistry` (every explainer registers
+itself at import time) rather than hard-coded import lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..explanations.base import ExplainerRegistry
 
 __all__ = [
     "TaxonomyNode",
@@ -20,6 +24,7 @@ __all__ = [
     "TABLE_I",
     "render_table_i",
     "implemented_class",
+    "registry_figure2_coverage",
 ]
 
 
@@ -256,23 +261,70 @@ TABLE_I: list[ApproachEntry] = [
 ]
 
 
-def implemented_class(entry: ApproachEntry):
-    """Resolve a Table I row to the object implementing it (raises if missing)."""
-    import importlib
+def _ensure_registry_populated() -> None:
+    # Registration happens as an import side effect of the explainer modules;
+    # importing the core package pulls every one of them in.
+    import fairexp.core  # noqa: F401
 
-    module_name, _, attribute = entry.implementation.rpartition(".")
-    module = importlib.import_module(f"fairexp.{module_name}")
-    return getattr(module, attribute)
+
+def implemented_class(entry: ApproachEntry):
+    """Resolve a Table I row to the registered object implementing it.
+
+    Resolution goes through :class:`ExplainerRegistry`: an approach counts as
+    implemented only when its class (or function) registered itself, so the
+    table verifies the registry rather than a hard-coded import list.
+    Raises :class:`KeyError` when the row has no registered implementation.
+    """
+    _ensure_registry_populated()
+    resolved = ExplainerRegistry.resolve_path(entry.implementation)
+    if resolved is None:
+        raise KeyError(
+            f"Table I row {entry.reference} {entry.name!r}: no registered explainer "
+            f"for {entry.implementation!r}"
+        )
+    return resolved
+
+
+def registry_figure2_coverage() -> dict[str, int]:
+    """Figure 2 leaf coverage of the *registered* explainers.
+
+    Counts, per taxonomy axis value carried by :class:`ExplainerInfo`, how
+    many registered explainers occupy it — letting the Figure 2 bench verify
+    that the implemented surface spans the survey's dimensions.
+    """
+    _ensure_registry_populated()
+    coverage: dict[str, int] = {"n_registered": 0}
+    for entry in ExplainerRegistry.entries():
+        if entry.info is None:
+            continue
+        coverage["n_registered"] += 1
+        for axis, value in (
+            ("stage", entry.info.stage),
+            ("access", entry.info.access),
+            ("coverage", entry.info.coverage),
+            ("type", entry.info.explanation_type),
+            ("multiplicity", entry.info.multiplicity),
+        ):
+            key = f"{axis}:{value}"
+            coverage[key] = coverage.get(key, 0) + 1
+    return coverage
 
 
 def render_table_i(entries: list[ApproachEntry] | None = None) -> str:
-    """Render the Table I comparison as fixed-width text."""
+    """Render the Table I comparison as fixed-width text.
+
+    The final ``Impl`` column marks rows whose implementation resolves
+    through the explainer registry.
+    """
+    _ensure_registry_populated()
     entries = entries if entries is not None else TABLE_I
     header = (
-        "Appr.", "Stage", "Access", "Agn.", "Coverage", "Type", "Level", "Task", "Goal"
+        "Appr.", "Stage", "Access", "Agn.", "Coverage", "Type", "Level", "Task", "Goal",
+        "Impl",
     )
     rows = [header]
     for entry in entries:
+        implemented = ExplainerRegistry.resolve_path(entry.implementation) is not None
         rows.append(
             (
                 entry.reference,
@@ -284,6 +336,7 @@ def render_table_i(entries: list[ApproachEntry] | None = None) -> str:
                 entry.fairness_level,
                 entry.task,
                 entry.goal,
+                "yes" if implemented else "no",
             )
         )
     widths = [max(len(str(row[i])) for row in rows) for i in range(len(header))]

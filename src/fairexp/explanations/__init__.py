@@ -11,7 +11,9 @@ from .base import (
     Counterfactual,
     ExampleExplanation,
     ExplainerInfo,
+    ExplainerRegistry,
     FeatureAttribution,
+    RegisteredExplainer,
     RuleExplanation,
 )
 from .counterfactual import (
@@ -22,6 +24,7 @@ from .counterfactual import (
     RandomSearchCounterfactual,
     counterfactual_distance,
 )
+from .engine import BatchModelAdapter, CounterfactualEngine
 from .examples import (
     ExampleBasedExplainer,
     contrastive_example,
@@ -58,6 +61,10 @@ from .surrogate import GlobalSurrogateTree, LocalSurrogateExplainer
 
 __all__ = [
     "ExplainerInfo",
+    "ExplainerRegistry",
+    "RegisteredExplainer",
+    "BatchModelAdapter",
+    "CounterfactualEngine",
     "FeatureAttribution",
     "Counterfactual",
     "RuleExplanation",

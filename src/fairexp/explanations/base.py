@@ -1,20 +1,26 @@
-"""Common explanation containers and the explainer taxonomy metadata.
+"""Common explanation containers, the explainer taxonomy metadata, and the
+explainer registry.
 
 Every explainer in :mod:`fairexp.explanations` and :mod:`fairexp.core`
 declares where it sits in the explanation taxonomy of the paper (Figure 2)
-through :class:`ExplainerInfo`; the Table I / Figure 2 regeneration benches
-read this metadata straight from the implemented classes.
+through :class:`ExplainerInfo`, and registers itself with
+:class:`ExplainerRegistry` under a stable name plus a set of capability
+flags.  The Table I / Figure 2 regeneration benches and the experiment
+runners discover implemented classes through the registry instead of
+hard-coded import lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 __all__ = [
     "ExplainerInfo",
+    "RegisteredExplainer",
+    "ExplainerRegistry",
     "FeatureAttribution",
     "Counterfactual",
     "RuleExplanation",
@@ -48,6 +54,114 @@ class ExplainerInfo:
     coverage: str = "local"
     explanation_type: str = "feature"
     multiplicity: str = "single"
+
+
+@dataclass(frozen=True)
+class RegisteredExplainer:
+    """One registry entry: an explainer (class or function) plus metadata.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (e.g. ``"growing_spheres"``, ``"burden"``).
+    obj:
+        The registered class or callable.
+    info:
+        Taxonomy position; read from ``obj.info`` when not given explicitly.
+    capabilities:
+        Free-form flags such as ``"counterfactual-generator"``,
+        ``"fairness-explainer"`` or ``"requires-gradient"`` that callers use
+        to parameterize over compatible explainers.
+    """
+
+    name: str
+    obj: Any
+    info: ExplainerInfo | None
+    capabilities: frozenset[str]
+
+    @property
+    def path(self) -> str:
+        """Dotted path of the registered object relative to ``fairexp``."""
+        module = self.obj.__module__
+        prefix = "fairexp."
+        if module.startswith(prefix):
+            module = module[len(prefix):]
+        return f"{module}.{self.obj.__qualname__}"
+
+
+class ExplainerRegistry:
+    """Process-wide registry of explainer implementations.
+
+    Classes register at import time via the :meth:`register` decorator;
+    consumers (``fairexp.experiments``, the Table I / Figure 2 renderers,
+    the benchmarks) look implementations up by name, capability, or dotted
+    path instead of maintaining hard-coded import lists.
+    """
+
+    _entries: dict[str, RegisteredExplainer] = {}
+
+    @classmethod
+    def register(
+        cls,
+        name: str,
+        *,
+        info: ExplainerInfo | None = None,
+        capabilities: Sequence[str] = (),
+    ) -> Callable:
+        """Class/function decorator adding the object to the registry."""
+
+        def decorator(obj):
+            entry_info = info if info is not None else getattr(obj, "info", None)
+            entry = RegisteredExplainer(
+                name=name, obj=obj, info=entry_info,
+                capabilities=frozenset(capabilities),
+            )
+            existing = cls._entries.get(name)
+            if existing is not None and existing.obj is not obj:
+                raise ValueError(f"explainer name {name!r} already registered")
+            cls._entries[name] = entry
+            obj.registry_name = name
+            return obj
+
+        return decorator
+
+    @classmethod
+    def entry(cls, name: str) -> RegisteredExplainer:
+        if name not in cls._entries:
+            raise KeyError(
+                f"no explainer registered as {name!r}; known: {sorted(cls._entries)}"
+            )
+        return cls._entries[name]
+
+    @classmethod
+    def get(cls, name: str):
+        """Return the registered class/callable for ``name``."""
+        return cls.entry(name).obj
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return sorted(cls._entries)
+
+    @classmethod
+    def entries(cls) -> list[RegisteredExplainer]:
+        return [cls._entries[name] for name in cls.names()]
+
+    @classmethod
+    def with_capability(cls, capability: str) -> list[RegisteredExplainer]:
+        """All entries carrying ``capability``, sorted by name."""
+        return [e for e in cls.entries() if capability in e.capabilities]
+
+    @classmethod
+    def resolve_path(cls, dotted: str):
+        """Resolve a ``fairexp``-relative dotted path to a registered object.
+
+        Returns ``None`` when no registered entry matches, so callers can
+        distinguish "not implemented" from "implemented but unregistered".
+        """
+        for entry in cls._entries.values():
+            if entry.path == dotted:
+                return entry.obj
+        return None
 
 
 @dataclass

@@ -29,7 +29,8 @@ import numpy as np
 from ..datasets.schema import FeatureSpec
 from ..exceptions import InfeasibleRecourseError, ValidationError
 from ..utils import check_random_state
-from .base import Counterfactual, ExplainerInfo
+from .base import Counterfactual, ExplainerInfo, ExplainerRegistry
+from .engine import greedy_sparsify_batch, lockstep_candidate_search
 
 __all__ = [
     "ActionabilityConstraints",
@@ -86,20 +87,36 @@ class ActionabilityConstraints:
         return constraints
 
     def project(self, x_original: np.ndarray, candidate: np.ndarray) -> np.ndarray:
-        """Project a candidate counterfactual onto the feasible set."""
-        projected = np.asarray(candidate, dtype=float).copy()
-        x_original = np.asarray(x_original, dtype=float)
-        projected = np.clip(projected, self.lower, self.upper)
-        increase_only = self.monotone == 1
-        decrease_only = self.monotone == -1
-        projected[increase_only] = np.maximum(projected[increase_only], x_original[increase_only])
-        projected[decrease_only] = np.minimum(projected[decrease_only], x_original[decrease_only])
-        projected[self.immutable] = x_original[self.immutable]
-        return projected
+        """Project candidate counterfactuals onto the feasible set.
 
-    def is_feasible(self, x_original: np.ndarray, candidate: np.ndarray, *, atol=1e-9) -> bool:
-        """Check whether ``candidate`` satisfies all constraints relative to ``x_original``."""
-        return bool(np.allclose(candidate, self.project(x_original, candidate), atol=atol))
+        Accepts a single candidate of shape ``(d,)`` or any stacked candidate
+        tensor of shape ``(..., d)`` — e.g. ``(n_candidates, d)`` for one
+        instance's candidate matrix, or ``(n_instances, n_candidates, d)``
+        with ``x_original`` of shape ``(n_instances, 1, d)`` for the batched
+        engine.  ``x_original`` must broadcast against ``candidate``; NaN
+        bounds are treated as unbounded.
+        """
+        candidate = np.asarray(candidate, dtype=float)
+        x_original = np.asarray(x_original, dtype=float)
+        lower = np.where(np.isnan(self.lower), -np.inf, self.lower)
+        upper = np.where(np.isnan(self.upper), np.inf, self.upper)
+        projected = np.clip(candidate, lower, upper)
+        originals = np.broadcast_to(x_original, projected.shape)
+        projected = np.where(self.monotone == 1, np.maximum(projected, originals), projected)
+        projected = np.where(self.monotone == -1, np.minimum(projected, originals), projected)
+        return np.where(self.immutable, originals, projected)
+
+    def is_feasible(self, x_original: np.ndarray, candidate: np.ndarray, *, atol=1e-9):
+        """Whether ``candidate`` satisfies all constraints relative to ``x_original``.
+
+        Returns a scalar ``bool`` for a single ``(d,)`` candidate and a
+        boolean array (reduced over the feature axis) for stacked candidates.
+        """
+        candidate = np.asarray(candidate, dtype=float)
+        close = np.isclose(candidate, self.project(x_original, candidate), atol=atol)
+        if candidate.ndim <= 1:
+            return bool(np.all(close))
+        return np.all(close, axis=-1)
 
 
 def counterfactual_distance(
@@ -178,35 +195,70 @@ class BaseCounterfactualGenerator:
     def _predict(self, X: np.ndarray) -> np.ndarray:
         return np.asarray(self.model.predict(np.atleast_2d(X)))
 
-    def _make_result(self, x: np.ndarray, candidate: np.ndarray) -> Counterfactual:
-        candidate = self.constraints.project(x, candidate)
-        changed = tuple(int(j) for j in np.flatnonzero(~np.isclose(candidate, x)))
-        return Counterfactual(
-            original=np.asarray(x, dtype=float).copy(),
-            counterfactual=candidate,
-            original_prediction=int(self._predict(x)[0]),
-            counterfactual_prediction=int(self._predict(candidate)[0]),
-            changed_features=changed,
-            distance=counterfactual_distance(x, candidate, scale=self.scale_, metric=self.metric),
-            feasible=self.constraints.is_feasible(x, candidate),
+    def _make_results_batch(self, X_rows: np.ndarray, candidates: np.ndarray
+                            ) -> list[Counterfactual]:
+        """Build :class:`Counterfactual` results for many rows with two
+        predict calls (originals + counterfactuals) instead of two per row."""
+        X_rows = np.atleast_2d(np.asarray(X_rows, dtype=float))
+        candidates = self.constraints.project(
+            X_rows, np.atleast_2d(np.asarray(candidates, dtype=float))
         )
+        original_predictions = self._predict(X_rows)
+        counterfactual_predictions = self._predict(candidates)
+        feasible = self.constraints.is_feasible(X_rows, candidates)
+        results = []
+        for k in range(X_rows.shape[0]):
+            x, candidate = X_rows[k], candidates[k]
+            changed = tuple(int(j) for j in np.flatnonzero(~np.isclose(candidate, x)))
+            results.append(Counterfactual(
+                original=x.copy(),
+                counterfactual=candidate.copy(),
+                original_prediction=int(original_predictions[k]),
+                counterfactual_prediction=int(counterfactual_predictions[k]),
+                changed_features=changed,
+                distance=counterfactual_distance(x, candidate, scale=self.scale_,
+                                                 metric=self.metric),
+                feasible=bool(feasible[k]),
+            ))
+        return results
+
+    def _make_result(self, x: np.ndarray, candidate: np.ndarray) -> Counterfactual:
+        return self._make_results_batch(
+            np.asarray(x, dtype=float)[None, :], np.asarray(candidate, dtype=float)[None, :]
+        )[0]
 
     def _sparsify(self, x: np.ndarray, candidate: np.ndarray) -> np.ndarray:
         """Greedily revert changed features back to their original value while
-        the counterfactual still reaches the target class."""
-        candidate = candidate.copy()
-        changed = np.flatnonzero(~np.isclose(candidate, x))
-        order = changed[np.argsort(np.abs((candidate - x) / self.scale_)[changed])]
-        for j in order:
-            trial = candidate.copy()
-            trial[j] = x[j]
-            if int(self._predict(trial)[0]) == self.target_class:
-                candidate = trial
-        return candidate
+        the counterfactual still reaches the target class.
+
+        The greedy semantics of the original one-predict-per-feature loop are
+        preserved, but all revert trials of a speculation round are evaluated
+        in a single batched predict (see :func:`greedy_sparsify_batch`).
+        """
+        return greedy_sparsify_batch(
+            self, np.asarray(x, dtype=float)[None, :],
+            np.asarray(candidate, dtype=float)[None, :],
+        )[0]
 
     def generate(self, x: np.ndarray) -> Counterfactual:
         """Return one counterfactual for ``x``; raises if none is found."""
         raise NotImplementedError
+
+    def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
+        """Counterfactuals for every row of ``X``, aligned with the rows.
+
+        Rows whose search budget is exhausted map to ``None``.  Subclasses
+        with a vectorized cross-instance kernel override this; the fallback
+        simply loops :meth:`generate`.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        results: list[Counterfactual | None] = []
+        for i in range(X.shape[0]):
+            try:
+                results.append(self.generate(X[i]))
+            except InfeasibleRecourseError:
+                results.append(None)
+        return results
 
     def generate_batch(self, X: np.ndarray, *, skip_failures: bool = True) -> list[Counterfactual]:
         """Generate counterfactuals for many instances.
@@ -214,20 +266,24 @@ class BaseCounterfactualGenerator:
         Instances already classified as the target class are skipped.  With
         ``skip_failures`` infeasible instances are dropped instead of raising.
         """
-        X = np.asarray(X, dtype=float)
-        results = []
+        X = np.atleast_2d(np.asarray(X, dtype=float))
         predictions = self._predict(X)
-        for i in range(X.shape[0]):
-            if int(predictions[i]) == self.target_class:
-                continue
-            try:
-                results.append(self.generate(X[i]))
-            except InfeasibleRecourseError:
+        pending = np.flatnonzero(predictions != self.target_class)
+        aligned = self.generate_batch_aligned(X[pending]) if pending.size else []
+        results = []
+        for row, result in zip(pending, aligned):
+            if result is None:
                 if not skip_failures:
-                    raise
+                    raise InfeasibleRecourseError(
+                        f"no counterfactual found for instance {int(row)} "
+                        "within the search budget"
+                    )
+                continue
+            results.append(result)
         return results
 
 
+@ExplainerRegistry.register("random_search", capabilities=("counterfactual-generator",))
 class RandomSearchCounterfactual(BaseCounterfactualGenerator):
     """Rejection sampling with a growing Gaussian radius plus greedy sparsification."""
 
@@ -238,15 +294,18 @@ class RandomSearchCounterfactual(BaseCounterfactualGenerator):
         self.max_radius = max_radius
         self.n_radii = n_radii
 
+    def _radii(self) -> np.ndarray:
+        return np.linspace(self.max_radius / self.n_radii, self.max_radius, self.n_radii)
+
+    def _draw(self, rng, x: np.ndarray, step: int) -> np.ndarray:
+        noise = rng.normal(0.0, self._radii()[step], (self.n_samples, x.shape[0])) * self.scale_
+        return x[None, :] + noise
+
     def generate(self, x: np.ndarray) -> Counterfactual:
         x = np.asarray(x, dtype=float).ravel()
         rng = check_random_state(self.random_state)
-        for radius in np.linspace(self.max_radius / self.n_radii, self.max_radius, self.n_radii):
-            noise = rng.normal(0.0, radius, (self.n_samples, x.shape[0])) * self.scale_
-            candidates = x[None, :] + noise
-            candidates = np.vstack([
-                self.constraints.project(x, candidate) for candidate in candidates
-            ])
+        for step in range(self.n_radii):
+            candidates = self.constraints.project(x, self._draw(rng, x, step))
             predictions = self._predict(candidates)
             hits = np.flatnonzero(predictions == self.target_class)
             if hits.size == 0:
@@ -260,7 +319,11 @@ class RandomSearchCounterfactual(BaseCounterfactualGenerator):
             return self._make_result(x, best)
         raise InfeasibleRecourseError("random search found no counterfactual within the radius")
 
+    def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
+        return lockstep_candidate_search(self, X, self._draw, self.n_radii)
 
+
+@ExplainerRegistry.register("growing_spheres", capabilities=("counterfactual-generator",))
 class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
     """Growing-spheres search: uniform sampling in expanding L2 shells."""
 
@@ -273,6 +336,16 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
         self.growth = growth
         self.max_shells = max_shells
 
+    def _shell_schedule(self) -> list[tuple[float, float]]:
+        """(inner, outer) radii of every shell, accumulated iteratively so the
+        sequential and batched paths see bit-identical bounds."""
+        schedule = []
+        inner, outer = 0.0, self.initial_radius
+        for _ in range(self.max_shells):
+            schedule.append((inner, outer))
+            inner, outer = outer, outer * self.growth
+        return schedule
+
     def _sample_shell(self, rng, x, inner: float, outer: float) -> np.ndarray:
         n_features = x.shape[0]
         directions = rng.normal(size=(self.n_samples_per_shell, n_features))
@@ -280,15 +353,15 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
         radii = rng.uniform(inner, outer, self.n_samples_per_shell)
         return x[None, :] + directions * radii[:, None] * self.scale_
 
+    def _draw(self, rng, x: np.ndarray, step: int) -> np.ndarray:
+        inner, outer = self._shell_schedule()[step]
+        return self._sample_shell(rng, x, inner, outer)
+
     def generate(self, x: np.ndarray) -> Counterfactual:
         x = np.asarray(x, dtype=float).ravel()
         rng = check_random_state(self.random_state)
-        inner, outer = 0.0, self.initial_radius
-        for _ in range(self.max_shells):
-            candidates = self._sample_shell(rng, x, inner, outer)
-            candidates = np.vstack([
-                self.constraints.project(x, candidate) for candidate in candidates
-            ])
+        for step in range(self.max_shells):
+            candidates = self.constraints.project(x, self._draw(rng, x, step))
             predictions = self._predict(candidates)
             hits = np.flatnonzero(predictions == self.target_class)
             if hits.size > 0:
@@ -300,10 +373,15 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
                 best = candidates[hits[np.argmin(distances)]]
                 best = self._sparsify(x, best)
                 return self._make_result(x, best)
-            inner, outer = outer, outer * self.growth
         raise InfeasibleRecourseError("growing spheres exhausted the search radius")
 
+    def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
+        return lockstep_candidate_search(self, X, self._draw, self.max_shells)
 
+
+@ExplainerRegistry.register(
+    "gradient", capabilities=("counterfactual-generator", "requires-gradient")
+)
 class GradientCounterfactual(BaseCounterfactualGenerator):
     """Gradient ascent on the target-class probability (gradient-access models).
 
@@ -329,16 +407,19 @@ class GradientCounterfactual(BaseCounterfactualGenerator):
         self.step_size = step_size
         self.max_iter = max_iter
 
-    def generate(self, x: np.ndarray) -> Counterfactual:
-        x = np.asarray(x, dtype=float).ravel()
-        candidate = x.copy()
-        sign = 1.0 if self.target_class == 1 else -1.0
+    def _anchor(self) -> np.ndarray:
         # Anchor for plateau escapes: the centroid of background points already
         # classified as the target class (gradients vanish far from the
         # boundary of a well-separated model, so pure gradient steps can stall).
         background_predictions = self._predict(self.background)
         target_rows = self.background[background_predictions == self.target_class]
-        anchor = target_rows.mean(axis=0) if target_rows.shape[0] else self.background.mean(axis=0)
+        return target_rows.mean(axis=0) if target_rows.shape[0] else self.background.mean(axis=0)
+
+    def generate(self, x: np.ndarray) -> Counterfactual:
+        x = np.asarray(x, dtype=float).ravel()
+        candidate = x.copy()
+        sign = 1.0 if self.target_class == 1 else -1.0
+        anchor = self._anchor()
         for _ in range(self.max_iter):
             if int(self._predict(candidate)[0]) == self.target_class:
                 candidate = self._sparsify(x, candidate)
@@ -353,3 +434,49 @@ class GradientCounterfactual(BaseCounterfactualGenerator):
         if int(self._predict(candidate)[0]) == self.target_class:
             return self._make_result(x, candidate)
         raise InfeasibleRecourseError("gradient search did not cross the decision boundary")
+
+    def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
+        """Cross-instance gradient ascent: all still-unsolved instances share
+        one predict and one ``gradient_input`` call per iteration."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n_instances = X.shape[0]
+        candidates = X.copy()
+        sign = 1.0 if self.target_class == 1 else -1.0
+        anchor = self._anchor()
+        unsolved = np.arange(n_instances)
+        solved: dict[int, np.ndarray] = {}     # crossed mid-loop -> sparsified
+        exhausted: dict[int, np.ndarray] = {}  # crossed only at the budget check
+        for _ in range(self.max_iter):
+            if unsolved.size == 0:
+                break
+            predictions = self._predict(candidates[unsolved])
+            crossed = predictions == self.target_class
+            for i in unsolved[crossed]:
+                solved[int(i)] = candidates[i].copy()
+            unsolved = unsolved[~crossed]
+            if unsolved.size == 0:
+                break
+            gradients = np.asarray(self.model.gradient_input(candidates[unsolved]))
+            steps = sign * self.step_size * gradients * self.scale_**2
+            plateau = np.linalg.norm(steps / self.scale_, axis=1) < 1e-4
+            steps[plateau] = 0.2 * (anchor - candidates[unsolved][plateau])
+            candidates[unsolved] = self.constraints.project(
+                X[unsolved], candidates[unsolved] + steps
+            )
+        if unsolved.size:
+            predictions = self._predict(candidates[unsolved])
+            for i in unsolved[predictions == self.target_class]:
+                exhausted[int(i)] = candidates[i].copy()
+
+        results: list[Counterfactual | None] = [None] * n_instances
+        if solved:
+            rows = sorted(solved)
+            sparse = greedy_sparsify_batch(self, X[rows], np.stack([solved[i] for i in rows]))
+            for i, result in zip(rows, self._make_results_batch(X[rows], sparse)):
+                results[i] = result
+        if exhausted:
+            rows = sorted(exhausted)
+            made = self._make_results_batch(X[rows], np.stack([exhausted[i] for i in rows]))
+            for i, result in zip(rows, made):
+                results[i] = result
+        return results

@@ -75,6 +75,86 @@ class TestConstraints:
         assert constraints.is_feasible(np.zeros(2), np.ones(2))
 
 
+class TestConstraintsMatrix:
+    """Matrix/tensor inputs to project and is_feasible (the batched engine path)."""
+
+    @pytest.fixture()
+    def constraints(self):
+        specs = [
+            FeatureSpec("race", kind="binary", immutable=True),
+            FeatureSpec("income", monotone=1, lower=0, upper=100),
+            FeatureSpec("debt", monotone=-1),
+            FeatureSpec("age", actionable=False),
+        ]
+        return ActionabilityConstraints.from_feature_specs(specs)
+
+    def test_matrix_project_matches_row_by_row(self, constraints):
+        rng = np.random.default_rng(0)
+        originals = rng.uniform(-50, 150, (20, 4))
+        candidates = rng.uniform(-50, 150, (20, 4))
+        matrix = constraints.project(originals, candidates)
+        rows = np.vstack([
+            constraints.project(originals[i], candidates[i]) for i in range(20)
+        ])
+        assert np.array_equal(matrix, rows)
+
+    def test_tensor_project_matches_row_by_row(self, constraints):
+        rng = np.random.default_rng(1)
+        originals = rng.uniform(-50, 150, (5, 4))
+        candidates = rng.uniform(-50, 150, (5, 7, 4))
+        tensor = constraints.project(originals[:, None, :], candidates)
+        assert tensor.shape == candidates.shape
+        for i in range(5):
+            for c in range(7):
+                assert np.array_equal(
+                    tensor[i, c], constraints.project(originals[i], candidates[i, c])
+                )
+
+    def test_single_original_broadcasts_over_candidate_matrix(self, constraints):
+        rng = np.random.default_rng(2)
+        x = np.array([1.0, 50.0, 20.0, 30.0])
+        candidates = rng.uniform(-50, 150, (9, 4))
+        matrix = constraints.project(x, candidates)
+        rows = np.vstack([constraints.project(x, candidate) for candidate in candidates])
+        assert np.array_equal(matrix, rows)
+
+    def test_nan_bounds_are_unbounded(self):
+        constraints = ActionabilityConstraints.unconstrained(2)
+        constraints.lower[0] = np.nan
+        constraints.upper[1] = np.nan
+        x = np.zeros(2)
+        candidate = np.array([-1e6, 1e6])
+        projected = constraints.project(x, candidate)
+        assert np.array_equal(projected, candidate)
+        assert constraints.is_feasible(x, candidate)
+
+    def test_immutable_wins_over_monotone(self):
+        # A feature that is both immutable and monotone must stay at its
+        # original value even when the monotone direction would allow a move.
+        constraints = ActionabilityConstraints.unconstrained(1)
+        constraints.immutable[0] = True
+        constraints.monotone[0] = 1
+        projected = constraints.project(np.array([5.0]), np.array([9.0]))
+        assert projected[0] == 5.0
+        assert constraints.is_feasible(np.array([5.0]), np.array([5.0]))
+        assert not constraints.is_feasible(np.array([5.0]), np.array([9.0]))
+
+    def test_is_feasible_matrix_returns_per_row_mask(self, constraints):
+        originals = np.array([[1.0, 50.0, 20.0, 30.0], [0.0, 10.0, 5.0, 40.0]])
+        candidates = np.array([
+            [1.0, 60.0, 10.0, 30.0],   # feasible: income up, debt down
+            [1.0, 10.0, 5.0, 40.0],    # infeasible: flips the immutable race bit
+        ])
+        feasible = constraints.is_feasible(originals, candidates)
+        assert feasible.shape == (2,)
+        assert bool(feasible[0]) is True
+        assert bool(feasible[1]) is False
+
+    def test_is_feasible_scalar_for_single_row(self, constraints):
+        x = np.array([1.0, 50.0, 20.0, 30.0])
+        assert constraints.is_feasible(x, x) is True
+
+
 @pytest.fixture(scope="module")
 def boundary_model():
     """A model with a known linear boundary x0 + x1 > 1."""

@@ -1,0 +1,206 @@
+"""Tests for the batched counterfactual engine, adapter and explainer registry."""
+
+import numpy as np
+import pytest
+
+from fairexp.datasets import make_loan_dataset
+from fairexp.exceptions import InfeasibleRecourseError
+from fairexp.explanations import (
+    ActionabilityConstraints,
+    BatchModelAdapter,
+    CounterfactualEngine,
+    ExplainerRegistry,
+    GradientCounterfactual,
+    GrowingSpheresCounterfactual,
+    RandomSearchCounterfactual,
+)
+from fairexp.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def loan_workload():
+    dataset = make_loan_dataset(500, direct_bias=1.2, recourse_gap=1.0, random_state=0)
+    train, test = dataset.split(test_size=0.3, random_state=1)
+    model = LogisticRegression(n_iter=1000, random_state=0).fit(train.X, train.y)
+    constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
+    rejected = test.X[model.predict(test.X) == 0][:25]
+    return model, train.X, constraints, rejected
+
+
+class TestBatchModelAdapter:
+    def test_counts_forwarded_calls_and_rows(self, loan_workload):
+        model, _, _, rejected = loan_workload
+        adapter = BatchModelAdapter(model, cache=False)
+        adapter.predict(rejected)
+        adapter.predict(rejected[:5])
+        assert adapter.predict_call_count == 2
+        assert adapter.predict_row_count == rejected.shape[0] + 5
+
+    def test_predictions_match_wrapped_model(self, loan_workload):
+        model, _, _, rejected = loan_workload
+        adapter = BatchModelAdapter(model)
+        assert np.array_equal(adapter.predict(rejected), model.predict(rejected))
+
+    def test_cache_serves_repeated_matrices(self, loan_workload):
+        model, _, _, rejected = loan_workload
+        adapter = BatchModelAdapter(model, cache=True)
+        first = adapter.predict(rejected)
+        second = adapter.predict(rejected)
+        assert adapter.predict_call_count == 1
+        assert adapter.cache_hit_count == 1
+        assert np.array_equal(first, second)
+
+    def test_reset_counts(self, loan_workload):
+        model, _, _, rejected = loan_workload
+        adapter = BatchModelAdapter(model)
+        adapter.predict(rejected)
+        adapter.reset_counts()
+        assert adapter.predict_call_count == 0
+        assert adapter.predict_row_count == 0
+
+    def test_attribute_passthrough(self, loan_workload):
+        model, _, _, _ = loan_workload
+        adapter = BatchModelAdapter(model)
+        assert hasattr(adapter, "gradient_input")
+        assert np.array_equal(np.asarray(adapter.coef_), np.asarray(model.coef_))
+
+
+class TestBatchParity:
+    """Fixed-seed regression: the engine path reproduces the sequential path."""
+
+    @pytest.mark.parametrize("generator_cls", [
+        RandomSearchCounterfactual, GrowingSpheresCounterfactual,
+    ])
+    def test_sampling_generators_bitwise_identical(self, generator_cls, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = generator_cls(model, background, constraints=constraints, random_state=0)
+        sequential = [generator.generate(row) for row in rejected]
+        batched = generator.generate_batch_aligned(rejected)
+        assert len(batched) == len(sequential)
+        for seq, bat in zip(sequential, batched):
+            assert bat is not None
+            assert np.array_equal(seq.counterfactual, bat.counterfactual)
+            assert seq.changed_features == bat.changed_features
+            assert seq.distance == bat.distance
+            assert seq.original_prediction == bat.original_prediction
+            assert seq.counterfactual_prediction == bat.counterfactual_prediction
+            assert seq.feasible == bat.feasible
+
+    def test_gradient_generator_matches_to_float_associativity(self, loan_workload):
+        # Batched mat-vec products differ from single-row ones in the last
+        # ulp, which the gradient trajectory amplifies to ~1e-13 — still far
+        # below any quantity the fairness audits report.
+        model, background, constraints, rejected = loan_workload
+        generator = GradientCounterfactual(model, background, constraints=constraints,
+                                           random_state=0)
+        sequential = []
+        for row in rejected:
+            try:
+                sequential.append(generator.generate(row))
+            except InfeasibleRecourseError:
+                sequential.append(None)
+        batched = generator.generate_batch_aligned(rejected)
+        assert any(result is not None for result in sequential)
+        for seq, bat in zip(sequential, batched):
+            assert (seq is None) == (bat is None)
+            if seq is None:
+                continue
+            np.testing.assert_allclose(bat.counterfactual, seq.counterfactual, atol=1e-9)
+            assert seq.changed_features == bat.changed_features
+            assert seq.counterfactual_prediction == bat.counterfactual_prediction
+
+    def test_batch_issues_fewer_predict_calls(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        sequential_adapter = BatchModelAdapter(model, cache=False)
+        generator = GrowingSpheresCounterfactual(sequential_adapter, background,
+                                                 constraints=constraints, random_state=0)
+        for row in rejected:
+            generator.generate(row)
+        batch_adapter = BatchModelAdapter(model, cache=False)
+        generator = GrowingSpheresCounterfactual(batch_adapter, background,
+                                                 constraints=constraints, random_state=0)
+        generator.generate_batch_aligned(rejected)
+        assert sequential_adapter.predict_call_count >= 5 * batch_adapter.predict_call_count
+
+    def test_sparsify_batched_predict_preserves_greedy_result(self, loan_workload):
+        # The batched _sparsify must reproduce the one-predict-per-feature
+        # greedy loop exactly, including the path-dependent accept/reject
+        # decisions.
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        x = rejected[0]
+        candidate = generator.constraints.project(x, x + 2.5 * generator.scale_)
+
+        reference = candidate.copy()
+        changed = np.flatnonzero(~np.isclose(reference, x))
+        order = changed[np.argsort(np.abs((reference - x) / generator.scale_)[changed])]
+        for j in order:
+            trial = reference.copy()
+            trial[j] = x[j]
+            if int(np.asarray(model.predict(trial[None]))[0]) == generator.target_class:
+                reference = trial
+        assert np.array_equal(generator._sparsify(x, candidate), reference)
+
+
+class TestCounterfactualEngine:
+    def test_wraps_model_once_and_counts(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        engine = CounterfactualEngine(generator)
+        assert isinstance(generator.model, BatchModelAdapter)
+        again = CounterfactualEngine(generator)
+        assert again.adapter is engine.adapter  # shared, not double-wrapped
+        engine.generate_aligned(rejected[:4])
+        assert engine.predict_call_count > 0
+
+    def test_generate_for_keys_results_by_row_index(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        engine = CounterfactualEngine(generator)
+        indices = np.array([3, 7, 11])
+        results = engine.generate_for(rejected, indices)
+        assert set(results) <= set(int(i) for i in indices)
+        for i, counterfactual in results.items():
+            assert np.array_equal(counterfactual.original, rejected[i])
+
+    def test_generate_for_empty_indices(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        assert CounterfactualEngine(generator).generate_for(rejected, np.array([], int)) == {}
+
+
+class TestExplainerRegistry:
+    def test_generators_registered_with_capability(self):
+        names = {e.name for e in ExplainerRegistry.with_capability("counterfactual-generator")}
+        assert {"random_search", "growing_spheres", "gradient"} <= names
+
+    def test_core_fairness_explainers_registered(self):
+        import fairexp.core  # registration happens at import time  # noqa: F401
+
+        names = set(ExplainerRegistry.names())
+        assert {"burden", "nawb", "precof", "globe_ce", "recourse_sets", "facts"} <= names
+
+    def test_get_returns_class_and_sets_registry_name(self):
+        assert ExplainerRegistry.get("growing_spheres") is GrowingSpheresCounterfactual
+        assert GrowingSpheresCounterfactual.registry_name == "growing_spheres"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            ExplainerRegistry.get("does-not-exist")
+
+    def test_resolve_path(self):
+        resolved = ExplainerRegistry.resolve_path(
+            "explanations.counterfactual.GrowingSpheresCounterfactual"
+        )
+        assert resolved is GrowingSpheresCounterfactual
+        assert ExplainerRegistry.resolve_path("no.such.Thing") is None
+
+    def test_entries_carry_info(self):
+        entry = ExplainerRegistry.entry("gradient")
+        assert entry.info is not None
+        assert entry.info.access == "gradient"
+        assert "requires-gradient" in entry.capabilities
