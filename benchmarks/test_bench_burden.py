@@ -9,7 +9,7 @@ def test_burden_and_nawb_gaps(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e1_e2_burden_nawb, kwargs={"n_samples": 600, "audit_size": 80},
         rounds=1, iterations=1,
-    ))
+    ), experiment="E1_E2")
     # Shape claims: the biased model imposes a clearly higher burden on the
     # protected group; on unbiased data the gap is much smaller.  NAWB also
     # reflects the higher false-negative rate of the protected group.

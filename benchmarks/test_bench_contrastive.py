@@ -8,7 +8,7 @@ from fairexp.experiments import run_e13_contrastive
 def test_contrastive_scores_shrink_after_mitigation(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e13_contrastive, kwargs={"n_samples": 600}, rounds=1, iterations=1,
-    ))
+    ), experiment="E13")
     # Under the biased model, not belonging to the protected group is highly
     # "necessary" for approval — direct evidence of discrimination.
     assert results["sensitive_necessity_biased"] > 0.5

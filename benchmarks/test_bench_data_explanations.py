@@ -8,7 +8,7 @@ from fairexp.experiments import run_e9_data_explanations
 def test_gopher_patterns_reduce_unfairness(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e9_data_explanations, kwargs={"n_samples": 600}, rounds=1, iterations=1,
-    ))
+    ), experiment="E9")
     # The baseline model is unfair against the protected group.
     assert results["baseline_unfairness"] < -0.05
     # Removing the top pattern reduces |unfairness| noticeably, the estimate is

@@ -66,7 +66,7 @@ def test_engine_matches_sequential_with_fewer_predict_calls(benchmark):
         "sequential_predict_calls": sequential_adapter.predict_call_count,
         "batched_predict_calls": batch_calls,
         "reduction_factor": sequential_adapter.predict_call_count / max(batch_calls, 1),
-    }, adapter=batch_adapter)
+    }, adapter=batch_adapter, experiment="ENGINE")
 
 
 def test_registered_generators_reduce_predict_calls(benchmark):
@@ -93,4 +93,5 @@ def test_registered_generators_reduce_predict_calls(benchmark):
     benchmark.pedantic(run_all, rounds=1, iterations=1)
     for name, reduction in reductions.items():
         assert reduction >= 5.0, f"{name}: only {reduction:.1f}x fewer predict calls"
-    record(benchmark, {f"reduction_{name}": value for name, value in reductions.items()})
+    record(benchmark, {f"reduction_{name}": value for name, value in reductions.items()},
+           experiment="ENGINE_ABLATION")

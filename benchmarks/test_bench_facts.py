@@ -8,7 +8,7 @@ from fairexp.experiments import run_e4_facts
 def test_facts_recourse_bias_detection(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e4_facts, kwargs={"n_samples": 700}, rounds=1, iterations=1,
-    ))
+    ), experiment="E4")
     # Equal Effectiveness is violated: the reference group achieves recourse
     # through the candidate actions more often than the protected group.
     assert results["global_effectiveness_gap"] > 0.05

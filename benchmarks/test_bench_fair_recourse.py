@@ -8,7 +8,7 @@ from fairexp.experiments import run_e7_fair_recourse
 def test_recourse_equalization_and_causal_recourse_fairness(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e7_fair_recourse, kwargs={"n_samples": 600}, rounds=1, iterations=1,
-    ))
+    ), experiment="E7")
     # The unconstrained model leaves the protected group further from the
     # boundary; the recourse-regularized classifier shrinks that gap at a
     # bounded accuracy cost.

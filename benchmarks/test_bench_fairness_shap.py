@@ -9,7 +9,7 @@ def test_fairness_shapley_and_causal_paths(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e8_fairness_shap, kwargs={"n_samples": 600, "audit_size": 120},
         rounds=1, iterations=1,
-    ))
+    ), experiment="E8")
     # Efficiency: the feature attributions sum exactly to the parity gap.
     assert abs(results["shap_efficiency_gap"]) < 1e-6
     assert abs(results["shap_attribution_sum"] - results["parity_gap"]) < 1e-6

@@ -9,7 +9,7 @@ from fairexp.experiments import run_e12_graphs
 def test_graph_bias_explanations(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e12_graphs, kwargs={"n_nodes": 90}, rounds=1, iterations=1,
-    ))
+    ), experiment="E12")
     # The homophilous biased graph yields a strongly disparate GCN.
     assert results["gcn_statistical_parity"] < -0.2
     assert results["base_soft_bias"] > 0.1

@@ -9,7 +9,7 @@ from fairexp.experiments import run_e5_group_counterfactuals
 def test_group_counterfactual_summaries(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e5_group_counterfactuals, kwargs={"n_samples": 600}, rounds=1, iterations=1,
-    ))
+    ), experiment="E5")
     # GLOBE-CE: travelling along the shared direction costs the protected group more.
     assert results["globe_cost_gap"] > 0.2
     # Counterfactual explanation tree: a handful of leaves explains most of the

@@ -8,7 +8,7 @@ from fairexp.experiments import run_e14_mitigation
 def test_mitigation_stages_reduce_parity_gap(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e14_mitigation, kwargs={"n_samples": 700}, rounds=1, iterations=1,
-    ))
+    ), experiment="E14")
     baseline = abs(results["spd_baseline"])
     assert baseline > 0.05
     # Every stage (pre / in / post) reduces the statistical parity gap...

@@ -8,7 +8,7 @@ from fairexp.experiments import run_e3_precof
 def test_precof_explicit_and_implicit_bias(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e3_precof, kwargs={"n_samples": 600, "audit_size": 80}, rounds=1, iterations=1,
-    ))
+    ), experiment="E3")
     # With the sensitive attribute available and mutable, a substantial share of
     # protected-group counterfactuals change it (explicit bias signal).
     assert results["explicit_sensitive_change_rate"] > 0.1

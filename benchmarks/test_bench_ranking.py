@@ -8,7 +8,7 @@ from fairexp.experiments import run_e11_ranking
 def test_dexer_detection_and_explanation(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e11_ranking, kwargs={"n_candidates": 200}, rounds=1, iterations=1,
-    ))
+    ), experiment="E11")
     # The protected group is significantly under-represented in the biased top-k.
     assert results["representation_gap"] < -0.1
     assert results["detection_p_value"] < 0.05

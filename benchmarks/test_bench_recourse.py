@@ -9,7 +9,7 @@ def test_causal_recourse_cheaper_than_independent(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e6_causal_recourse, kwargs={"n_samples": 500, "audit_size": 12},
         rounds=1, iterations=1,
-    ))
+    ), experiment="E6")
     assert results["n_audited"] >= 8
     # Interpreting actions as interventions (with downstream causal effects)
     # never costs more than independent feature manipulation, and is strictly

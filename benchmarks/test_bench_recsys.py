@@ -9,7 +9,7 @@ from fairexp.experiments import run_e10_recsys
 def test_recommendation_fairness_explanations(benchmark):
     results = record(benchmark, benchmark.pedantic(
         run_e10_recsys, kwargs={"n_users": 60, "n_items": 35}, rounds=1, iterations=1,
-    ))
+    ), experiment="E10")
     # The biased interactions produce clear exposure disparity against long-tail items.
     assert results["base_exposure_disparity"] > 0.3
     # CEF ranks the head-item marker feature as the top fairness explanation.

@@ -6,7 +6,7 @@ from fairexp.experiments import run_table1
 
 
 def test_table1_regeneration(benchmark):
-    results = record(benchmark, benchmark(run_table1))
+    results = record(benchmark, benchmark(run_table1), experiment="TAB1")
     # All 21 surveyed rows (plus the actionable-recourse foundation) implemented.
     assert results["n_rows"] >= 21
     assert results["n_implemented"] == results["n_rows"]

@@ -6,7 +6,7 @@ from fairexp.experiments import run_fig1_taxonomy, run_fig2_taxonomy
 
 
 def test_figure1_fairness_taxonomy(benchmark):
-    results = record(benchmark, benchmark(run_fig1_taxonomy))
+    results = record(benchmark, benchmark(run_fig1_taxonomy), experiment="FIG1")
     # Figure 1 dimensions: level, criteria, stage, task, modality (+ fairness in explanations).
     assert results["n_nodes"] >= 25
     assert "Level of fairness" in results["dimensions"]
@@ -15,7 +15,7 @@ def test_figure1_fairness_taxonomy(benchmark):
 
 
 def test_figure2_explanation_taxonomy(benchmark):
-    results = record(benchmark, benchmark(run_fig2_taxonomy))
+    results = record(benchmark, benchmark(run_fig2_taxonomy), experiment="FIG2")
     assert results["n_nodes"] >= 25
     assert "Stage" in results["dimensions"]
     assert "Task-specific explanations" in results["dimensions"]

@@ -2,12 +2,15 @@
 
 Covers the counterfactual/recourse family of fairness explanations:
 
-1. individual counterfactuals with actionability constraints,
-2. group counterfactual summaries (GLOBE-CE direction, counterfactual
+1. a shared-pass audit session: burden + NAWB + PreCoF through ONE
+   `AuditSession`, so the population's counterfactual matrix is computed
+   once and every audit reads from it,
+2. individual counterfactuals with actionability constraints,
+3. group counterfactual summaries (GLOBE-CE direction, counterfactual
    explanation tree, two-level recourse set),
-3. actionable recourse as SCM interventions (flipsets) and the fair-causal-
+4. actionable recourse as SCM interventions (flipsets) and the fair-causal-
    recourse audit,
-4. mitigation: retraining with the recourse-equalizing objective.
+5. mitigation: retraining with the recourse-equalizing objective.
 
 Run with:  python examples/loan_recourse_audit.py
 """
@@ -15,10 +18,13 @@ Run with:  python examples/loan_recourse_audit.py
 import numpy as np
 
 from fairexp.core import (
+    BurdenExplainer,
     CausalRecourseExplainer,
     CounterfactualExplanationTree,
     FACTSExplainer,
     GlobeCEExplainer,
+    NAWBExplainer,
+    PreCoFExplainer,
     RecourseSetExplainer,
     causal_recourse_fairness,
     recourse_gap_report,
@@ -26,6 +32,7 @@ from fairexp.core import (
 from fairexp.datasets import make_loan_dataset, make_scm_loan_dataset
 from fairexp.explanations import (
     ActionabilityConstraints,
+    AuditSession,
     CounterfactualEngine,
     GrowingSpheresCounterfactual,
 )
@@ -33,8 +40,36 @@ from fairexp.fairness.mitigation import RecourseRegularizedClassifier
 from fairexp.models import LogisticRegression
 
 
+def shared_pass_audit(dataset, train, test, model) -> None:
+    print("== 1. Shared-pass audit session (burden + NAWB + PreCoF, one engine pass)")
+    constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
+    generator = GrowingSpheresCounterfactual(model, train.X, constraints=constraints,
+                                             random_state=0)
+    # The session owns one counting adapter; n_jobs shards the search across
+    # worker threads with bitwise-identical results.
+    session = AuditSession(generator, n_jobs=2)
+    subset = test.subset(np.arange(min(120, test.n_samples)))
+
+    burden = BurdenExplainer(session=session).explain(subset.X, subset.sensitive_values)
+    calls_after_burden = session.predict_call_count
+    nawb = NAWBExplainer(session=session).explain(subset.X, subset.y,
+                                                  subset.sensitive_values)
+    precof = PreCoFExplainer(feature_names=dataset.feature_names,
+                             sensitive_feature=dataset.sensitive,
+                             session=session).explain(subset.X, subset.sensitive_values)
+    print(f"   burden gap  = {burden.gap:+.3f}  (protected pays more when positive)")
+    print(f"   NAWB gap    = {nawb.gap:+.3f}")
+    print(f"   PreCoF top protected change: {precof.protected_profile.top_changed(1)}")
+    stats = session.stats()
+    print(f"   burden paid {calls_after_burden} predict calls; NAWB + PreCoF added "
+          f"{session.predict_call_count - calls_after_burden} (reused "
+          f"{stats['n_results_reused']} cached counterfactual results, "
+          f"{stats['predict_cache_hits']} prediction cache hits)")
+    print()
+
+
 def individual_counterfactuals(dataset, train, test, model) -> None:
-    print("== 1. Individual counterfactuals (with actionability constraints)")
+    print("== 2. Individual counterfactuals (with actionability constraints)")
     constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
     generator = GrowingSpheresCounterfactual(model, train.X, constraints=constraints,
                                              random_state=0)
@@ -51,7 +86,7 @@ def individual_counterfactuals(dataset, train, test, model) -> None:
 
 
 def group_counterfactuals(dataset, train, test, model) -> None:
-    print("== 2. Group counterfactual summaries")
+    print("== 3. Group counterfactual summaries")
     constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
     globe = GlobeCEExplainer(model, train.X, constraints=constraints,
                              feature_names=dataset.feature_names, random_state=0).explain(
@@ -80,7 +115,7 @@ def group_counterfactuals(dataset, train, test, model) -> None:
 
 
 def causal_recourse() -> None:
-    print("== 3. Actionable recourse over a structural causal model")
+    print("== 4. Actionable recourse over a structural causal model")
     dataset, scm = make_scm_loan_dataset(800, random_state=0)
     train, test = dataset.split(test_size=0.3, random_state=1)
     model = LogisticRegression(n_iter=1000, random_state=0).fit(train.X, train.y)
@@ -103,7 +138,7 @@ def causal_recourse() -> None:
 
 
 def mitigation(dataset, train, test, model) -> None:
-    print("== 4. Mitigation: recourse-equalizing training")
+    print("== 5. Mitigation: recourse-equalizing training")
     base_gap = recourse_gap_report(model, test.X, test.sensitive_values)
     regularized = RecourseRegularizedClassifier(recourse_weight=3.0, n_iter=1500,
                                                 random_state=0).fit(
@@ -121,6 +156,7 @@ def main() -> None:
     model = LogisticRegression(n_iter=1500, random_state=0).fit(train.X, train.y)
     print(f"loan model accuracy: {model.score(test.X, test.y):.3f}\n")
 
+    shared_pass_audit(dataset, train, test, model)
     individual_counterfactuals(dataset, train, test, model)
     group_counterfactuals(dataset, train, test, model)
     causal_recourse()

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..explanations.base import Counterfactual, ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import BaseCounterfactualGenerator
-from ..explanations.engine import CounterfactualEngine
+from ..explanations.session import AuditSession
 from ..fairness.groups import group_masks
 
 __all__ = ["GroupBurden", "BurdenResult", "BurdenExplainer"]
@@ -92,6 +92,12 @@ class BurdenExplainer:
         (error-based fairness), only false negatives (negatively classified
         members whose true label is favourable) are considered — this is the
         population the NAWB metric [73] amortizes over.
+    session:
+        An :class:`~fairexp.explanations.session.AuditSession` to share
+        counterfactual results and predict batches with other audits of the
+        same population (burden + NAWB + PreCoF through one session cost one
+        engine pass).  When omitted, a private session is created around
+        ``generator``.
     """
 
     info = ExplainerInfo(
@@ -103,9 +109,14 @@ class BurdenExplainer:
         multiplicity="multiple",
     )
 
-    def __init__(self, generator: BaseCounterfactualGenerator, *, error_based: bool = False) -> None:
-        self.generator = generator
-        self.engine = CounterfactualEngine(generator)
+    def __init__(self, generator: BaseCounterfactualGenerator | None = None, *,
+                 error_based: bool = False, session: AuditSession | None = None) -> None:
+        # A private session is refit-safe: no predict memo, and its result
+        # cache is dropped at the start of every explain().  A shared session
+        # pins a frozen model instead and keeps results across audits.
+        self.session, self._owns_session = AuditSession.ensure(generator, session)
+        self.generator = self.session.generator
+        self.engine = self.session.engine
         self.error_based = error_based
 
     def _selection_mask(self, predictions, y_true) -> np.ndarray:
@@ -120,7 +131,9 @@ class BurdenExplainer:
         """Return per-group burden on the given data."""
         X = np.asarray(X, dtype=float)
         sensitive = np.asarray(sensitive)
-        predictions = np.asarray(self.generator.model.predict(X))
+        if self._owns_session:
+            self.session.reset_results()
+        predictions = np.asarray(self.session.predict(X))
         selected = self._selection_mask(predictions, y_true)
         masks = group_masks(sensitive, protected_value=protected_value)
 
@@ -128,7 +141,7 @@ class BurdenExplainer:
         counterfactuals: dict[int, list[Counterfactual]] = {}
         for group_value, mask in ((1, masks.protected), (0, masks.reference)):
             member_idx = np.flatnonzero(mask & selected)
-            generated = self.engine.generate_for(X, member_idx)
+            generated = self.session.counterfactuals_for(X, member_idx)
             group_counterfactuals: list[Counterfactual] = [
                 generated[i] for i in member_idx if i in generated
             ]

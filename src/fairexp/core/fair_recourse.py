@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..causal.scm import StructuralCausalModel
+from ..exceptions import ValidationError
 from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..fairness.groups import group_masks
 from .actionable_recourse import CausalRecourseExplainer
@@ -62,13 +63,23 @@ class RecourseGapReport:
                        explanation_type="example", multiplicity="multiple"),
     capabilities=("fairness-explainer", "recourse"),
 )
-def recourse_gap_report(model, X, sensitive, *, protected_value=1) -> RecourseGapReport:
+def recourse_gap_report(model=None, X=None, sensitive=None, *, protected_value=1,
+                        session=None) -> RecourseGapReport:
     """Average distance-to-boundary of negatively classified members, per group.
 
     ``model`` must expose ``distance_to_boundary`` (linear models in
     :mod:`fairexp.models` and the recourse-regularized classifier do); for
     other models the negative margin ``0.5 - P(y=1|x)`` is used as a proxy.
+    With a ``session`` (:class:`~fairexp.explanations.session.AuditSession`)
+    and no explicit model, the audit reads predictions through the sweep's
+    shared counting adapter; an explicit model always wins over the session.
     """
+    if model is None and session is not None:
+        model = session.model
+    if model is None:
+        raise ValidationError("recourse_gap_report needs a model or a session")
+    if X is None or sensitive is None:
+        raise ValidationError("recourse_gap_report needs X and sensitive")
     X = np.asarray(X, dtype=float)
     sensitive = np.asarray(sensitive)
     predictions = np.asarray(model.predict(X))

@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..exceptions import ValidationError
 from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import ActionabilityConstraints
+from ..explanations.session import AuditSession
 from ..fairness.groups import group_masks
 from ..utils import check_random_state
 
@@ -99,6 +101,14 @@ class GlobeCEExplainer:
         Largest multiple of the direction tried per instance.
     n_scales:
         Number of scaling steps per instance.
+    session:
+        Optional :class:`~fairexp.explanations.session.AuditSession`.
+        Supplies defaults for whatever is omitted: with ``model=None`` the
+        audit scores candidates through the session's shared
+        counting/memoizing adapter (joining the sweep-wide predict
+        accounting), and ``background``/``constraints`` fall back to the
+        session generator's.  An explicitly passed model always wins and is
+        used as-is, outside the session's accounting.
     """
 
     info = ExplainerInfo(
@@ -112,8 +122,8 @@ class GlobeCEExplainer:
 
     def __init__(
         self,
-        model,
-        background: np.ndarray,
+        model=None,
+        background: np.ndarray | None = None,
         *,
         constraints: ActionabilityConstraints | None = None,
         feature_names=None,
@@ -121,7 +131,21 @@ class GlobeCEExplainer:
         max_scale: float = 4.0,
         n_scales: int = 20,
         random_state=None,
+        session: AuditSession | None = None,
     ) -> None:
+        if session is not None:
+            if model is None:
+                model = session.model
+            if session.generator is not None:
+                if background is None:
+                    background = session.generator.background
+                if constraints is None:
+                    constraints = session.generator.constraints
+        if model is None or background is None:
+            raise ValidationError(
+                "GlobeCEExplainer needs a model and background data "
+                "(directly or via a session built around a generator)"
+            )
         self.model = model
         self.background = np.asarray(background, dtype=float)
         self.constraints = constraints

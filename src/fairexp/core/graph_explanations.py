@@ -67,7 +67,8 @@ class EdgeSetExplanation:
         return self.base_bias - self.bias_after_removal
 
 
-@ExplainerRegistry.register("structural_bias", capabilities=("fairness-explainer", "graph"))
+@ExplainerRegistry.register("structural_bias", capabilities=("fairness-explainer", "graph"),
+                             modality="graph")
 class StructuralBiasExplainer:
     """Explain a GCN's bias through edge sets in each node's computational graph.
 
@@ -168,7 +169,8 @@ class NodeInfluenceResult:
         return [(int(self.node_ids[i]), float(self.influences[i])) for i in order]
 
 
-@ExplainerRegistry.register("node_influence", capabilities=("fairness-explainer", "graph"))
+@ExplainerRegistry.register("node_influence", capabilities=("fairness-explainer", "graph"),
+                             modality="graph")
 class NodeInfluenceExplainer:
     """Estimate each training node's influence on the GCN's statistical parity.
 
@@ -235,7 +237,8 @@ class GNNUERSResult:
         return self.base_gap - self.final_gap
 
 
-@ExplainerRegistry.register("gnnuers", capabilities=("fairness-explainer", "graph"))
+@ExplainerRegistry.register("gnnuers", capabilities=("fairness-explainer", "graph"),
+                             modality="graph", model_requirements=("recommend_all",))
 class GNNUERSExplainer:
     """Explain consumer-side unfairness of a graph recommender by edge perturbation.
 
@@ -326,6 +329,7 @@ class PathRecommendation:
     info=ExplainerInfo(stage="post-hoc", access="black-box", agnostic=True, coverage="both",
                        explanation_type="example", multiplicity="multiple"),
     capabilities=("fairness-explainer", "graph"),
+    modality="graph",
 )
 def fairness_aware_path_rerank(
     recommendations: list[PathRecommendation],

@@ -20,7 +20,7 @@ import numpy as np
 from ..exceptions import ValidationError
 from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import BaseCounterfactualGenerator
-from ..explanations.engine import CounterfactualEngine
+from ..explanations.session import AuditSession
 from ..fairness.groups import group_masks
 
 __all__ = ["NAWBGroupResult", "NAWBResult", "NAWBExplainer"]
@@ -67,6 +67,9 @@ class NAWBExplainer:
 
     Counterfactual generation for the false negatives of each group runs
     through the batched :class:`~fairexp.explanations.engine.CounterfactualEngine`.
+    With a shared :class:`~fairexp.explanations.session.AuditSession` the
+    false negatives are a subset of the rows a burden audit already
+    explained, so NAWB costs no additional engine pass at all.
     """
 
     info = ExplainerInfo(
@@ -78,9 +81,13 @@ class NAWBExplainer:
         multiplicity="multiple",
     )
 
-    def __init__(self, generator: BaseCounterfactualGenerator) -> None:
-        self.generator = generator
-        self.engine = CounterfactualEngine(generator)
+    def __init__(self, generator: BaseCounterfactualGenerator | None = None, *,
+                 session: AuditSession | None = None) -> None:
+        # Private sessions are refit-safe (see BurdenExplainer); shared ones
+        # pin a frozen model and keep results across audits.
+        self.session, self._owns_session = AuditSession.ensure(generator, session)
+        self.generator = self.session.generator
+        self.engine = self.session.engine
 
     def explain(self, X, y_true, sensitive, *, protected_value=1) -> NAWBResult:
         """Return per-group NAWB on labelled data."""
@@ -89,7 +96,9 @@ class NAWBExplainer:
         sensitive = np.asarray(sensitive)
         if X.shape[0] != y_true.shape[0]:
             raise ValidationError("X and y_true must align")
-        predictions = np.asarray(self.generator.model.predict(X))
+        if self._owns_session:
+            self.session.reset_results()
+        predictions = np.asarray(self.session.predict(X))
         masks = group_masks(sensitive, protected_value=protected_value)
         n_features = X.shape[1]
 
@@ -99,7 +108,7 @@ class NAWBExplainer:
             false_negatives = positive_label & (predictions == 0)
             fn_idx = np.flatnonzero(false_negatives)
 
-            generated = self.engine.generate_for(X, fn_idx)
+            generated = self.session.counterfactuals_for(X, fn_idx)
             distances = np.asarray(
                 [generated[i].distance for i in fn_idx if i in generated], dtype=float
             )

@@ -19,9 +19,10 @@ from typing import Sequence
 
 import numpy as np
 
+from ..exceptions import ValidationError
 from ..explanations.base import Counterfactual, ExplainerInfo, ExplainerRegistry
 from ..explanations.counterfactual import BaseCounterfactualGenerator
-from ..explanations.engine import CounterfactualEngine
+from ..explanations.session import AuditSession
 from ..fairness.groups import group_masks
 
 __all__ = ["AttributeChangeProfile", "PreCoFResult", "PreCoFExplainer"]
@@ -93,6 +94,10 @@ class PreCoFExplainer:
     sensitive_feature:
         Name of the sensitive attribute column (ignored in implicit mode if
         the column is absent).
+    session:
+        Optional shared :class:`~fairexp.explanations.session.AuditSession`;
+        when a burden/NAWB audit of the same population already ran through
+        it, PreCoF reuses their counterfactuals instead of generating anew.
     """
 
     info = ExplainerInfo(
@@ -106,14 +111,22 @@ class PreCoFExplainer:
 
     def __init__(
         self,
-        generator: BaseCounterfactualGenerator,
-        feature_names: Sequence[str],
-        sensitive_feature: str,
+        generator: BaseCounterfactualGenerator | None = None,
+        feature_names: Sequence[str] = (),
+        sensitive_feature: str = "",
         *,
         mode: str = "explicit",
+        session: AuditSession | None = None,
     ) -> None:
-        self.generator = generator
-        self.engine = CounterfactualEngine(generator)
+        if not feature_names:
+            raise ValidationError("PreCoFExplainer requires feature_names")
+        if not sensitive_feature:
+            raise ValidationError("PreCoFExplainer requires sensitive_feature")
+        # Private sessions are refit-safe (see BurdenExplainer); shared ones
+        # pin a frozen model and keep results across audits.
+        self.session, self._owns_session = AuditSession.ensure(generator, session)
+        self.generator = self.session.generator
+        self.engine = self.session.engine
         self.feature_names = list(feature_names)
         self.sensitive_feature = sensitive_feature
         self.mode = mode
@@ -146,17 +159,25 @@ class PreCoFExplainer:
         """Run the PreCoF analysis on the negatively classified members of each group."""
         X = np.asarray(X, dtype=float)
         sensitive = np.asarray(sensitive)
-        predictions = np.asarray(self.generator.model.predict(X))
+        if self._owns_session:
+            self.session.reset_results()
+        predictions = np.asarray(self.session.predict(X))
         negative = predictions == 0
         masks = group_masks(sensitive, protected_value=protected_value)
 
         protected_idx = np.flatnonzero(masks.protected & negative)
         reference_idx = np.flatnonzero(masks.reference & negative)
 
-        # One engine pass per group; the explicit-bias analysis below reuses
-        # the protected group's counterfactuals instead of re-generating them.
-        protected_counterfactuals = list(self.engine.generate_for(X, protected_idx).values())
-        reference_counterfactuals = list(self.engine.generate_for(X, reference_idx).values())
+        # One engine pass per group (shared through the session, so a burden
+        # audit of the same population already paid for these rows); the
+        # explicit-bias analysis below reuses the protected group's
+        # counterfactuals instead of re-generating them.
+        protected_counterfactuals = list(
+            self.session.counterfactuals_for(X, protected_idx).values()
+        )
+        reference_counterfactuals = list(
+            self.session.counterfactuals_for(X, reference_idx).values()
+        )
 
         protected_profile = self._profile(protected_counterfactuals)
         protected_profile.group = 1

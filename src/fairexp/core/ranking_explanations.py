@@ -79,7 +79,8 @@ class DexerResult:
         return [(e.attribute, e.shapley_gap) for e in ranked[:k]]
 
 
-@ExplainerRegistry.register("dexer", capabilities=("fairness-explainer", "ranking"))
+@ExplainerRegistry.register("dexer", capabilities=("fairness-explainer", "ranking"),
+                             modality="ranking", model_requirements=("rank",))
 class DexerExplainer:
     """Detect and explain biased representation of a group in a top-k ranking.
 

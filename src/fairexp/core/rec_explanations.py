@@ -60,7 +60,8 @@ class EdgeRemovalExplanation:
         )
 
 
-@ExplainerRegistry.register("edge_removal", capabilities=("fairness-explainer", "recommendation"))
+@ExplainerRegistry.register("edge_removal", capabilities=("fairness-explainer", "recommendation"),
+                             modality="recsys", model_requirements=("recommend_all",))
 class EdgeRemovalExplainer:
     """Counterfactual edge removals explaining recommendation bias.
 
@@ -162,7 +163,8 @@ class CFairERResult:
         return [self.attribute_names[a] for a in self.selected_attributes]
 
 
-@ExplainerRegistry.register("cfairer", capabilities=("fairness-explainer", "recommendation"))
+@ExplainerRegistry.register("cfairer", capabilities=("fairness-explainer", "recommendation"),
+                             modality="recsys", model_requirements=("recommend_all",))
 class CFairERExplainer:
     """Greedy attribute-level counterfactual explanation of exposure unfairness.
 
@@ -284,7 +286,8 @@ class CEFResult:
         return [(self.feature_names[j], float(self.explainability_score[j])) for j in order]
 
 
-@ExplainerRegistry.register("cef", capabilities=("fairness-explainer", "recommendation"))
+@ExplainerRegistry.register("cef", capabilities=("fairness-explainer", "recommendation"),
+                             modality="recsys", model_requirements=("recommend_all",))
 class CEFExplainer:
     """Explainable fairness in recommendation via minimal feature perturbations.
 

@@ -17,8 +17,10 @@ from typing import Sequence
 
 import numpy as np
 
+from ..exceptions import ValidationError
 from ..explanations.base import ExplainerInfo, ExplainerRegistry
 from ..explanations.rules import Predicate, discretize_features
+from ..explanations.session import AuditSession
 from ..fairness.groups import group_masks
 from .facts import Action
 
@@ -89,8 +91,8 @@ class RecourseSetExplainer:
 
     def __init__(
         self,
-        model,
-        candidate_actions: Sequence[Action],
+        model=None,
+        candidate_actions: Sequence[Action] = (),
         *,
         feature_names: Sequence[str],
         sensitive_index: int | None = None,
@@ -98,7 +100,17 @@ class RecourseSetExplainer:
         n_bins: int = 3,
         min_descriptor_support: float = 0.15,
         cost_weight: float = 0.02,
+        session: AuditSession | None = None,
     ) -> None:
+        # With a session and no explicit model, candidate scoring routes
+        # through the sweep's shared counting/memoizing adapter; an explicit
+        # model always wins and is used as-is, outside that accounting.
+        if model is None and session is not None:
+            model = session.model
+        if model is None:
+            raise ValidationError("RecourseSetExplainer needs a model or a session")
+        if not candidate_actions:
+            raise ValidationError("RecourseSetExplainer needs candidate_actions")
         self.model = model
         self.candidate_actions = list(candidate_actions)
         self.feature_names = list(feature_names)

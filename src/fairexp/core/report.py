@@ -20,6 +20,7 @@ from ..explanations.counterfactual import (
     ActionabilityConstraints,
     GrowingSpheresCounterfactual,
 )
+from ..explanations.session import AuditSession
 from ..fairness.group_metrics import GroupFairnessReport, group_fairness_report
 from .burden import BurdenExplainer, BurdenResult
 from .facts import FACTSExplainer, FACTSResult
@@ -99,6 +100,9 @@ class FairnessAuditor:
     max_explained:
         Cap on the number of individuals counterfactuals are generated for
         (keeps the audit fast on large test sets).
+    n_jobs:
+        Worker threads for the shared-pass audit session's sharded
+        counterfactual generation (results are bitwise-identical to 1).
     """
 
     def __init__(
@@ -106,10 +110,12 @@ class FairnessAuditor:
         *,
         include: tuple[str, ...] = ("burden", "nawb", "shap"),
         max_explained: int = 40,
+        n_jobs: int = 1,
         random_state=None,
     ) -> None:
         self.include = tuple(include)
         self.max_explained = max_explained
+        self.n_jobs = n_jobs
         self.random_state = random_state
 
     def audit(self, model, dataset: Dataset, *, train_dataset: Dataset | None = None
@@ -141,21 +147,24 @@ class FairnessAuditor:
         generator = GrowingSpheresCounterfactual(
             model, background_dataset.X, constraints=constraints, random_state=self.random_state
         )
+        # One shared-pass session: burden and NAWB consume the same
+        # population's counterfactual matrix, so it is computed once.
+        session = AuditSession(generator, n_jobs=self.n_jobs)
 
         burden = None
         if "burden" in self.include:
-            burden = BurdenExplainer(generator).explain(
+            burden = BurdenExplainer(session=session).explain(
                 audit_subset.X, audit_subset.sensitive_values
             )
         nawb = None
         if "nawb" in self.include:
-            nawb = NAWBExplainer(generator).explain(
+            nawb = NAWBExplainer(session=session).explain(
                 audit_subset.X, audit_subset.y, audit_subset.sensitive_values
             )
         attribution = None
         if "shap" in self.include:
             explainer = FairnessShapExplainer(
-                model,
+                session.model,
                 background_dataset.X,
                 feature_names=dataset.feature_names,
                 method="exact" if dataset.n_features <= 8 else "sampling",
@@ -165,7 +174,7 @@ class FairnessAuditor:
         facts = None
         if "facts" in self.include:
             facts_explainer = FACTSExplainer(
-                model,
+                session.model,
                 dataset.feature_names,
                 dataset.sensitive_index,
                 random_state=self.random_state,
@@ -180,5 +189,6 @@ class FairnessAuditor:
             nawb=nawb,
             fairness_attribution=attribution,
             facts=facts,
-            meta={"n_samples_audited": audit_subset.n_samples},
+            meta={"n_samples_audited": audit_subset.n_samples,
+                  **{f"session_{key}": value for key, value in session.stats().items()}},
         )

@@ -88,6 +88,9 @@ class Dataset:
     sensitive: str
     name: str = "dataset"
 
+    #: data modality advertised to ``ExplainerRegistry.is_compatible``
+    modality = "tabular"
+
     def __post_init__(self) -> None:
         self.X = np.asarray(self.X, dtype=float)
         self.y = np.asarray(self.y, dtype=int)

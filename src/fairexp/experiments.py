@@ -43,8 +43,7 @@ from .core import (
     render_taxonomy,
 )
 from .datasets import make_adult_like, make_loan_dataset, make_scm_loan_dataset
-from .exceptions import ValidationError
-from .explanations import ActionabilityConstraints, ExplainerRegistry
+from .explanations import ActionabilityConstraints, AuditSession, ExplainerRegistry
 from .fairness import statistical_parity_difference
 from .fairness.mitigation import (
     FairLogisticRegression,
@@ -98,6 +97,14 @@ def _generator_for(dataset, train, model, *, seed=0, name="growing_spheres"):
     constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
     generator_cls = ExplainerRegistry.get(name)
     return generator_cls(model, train.X, constraints=constraints, random_state=seed)
+
+
+def _session_for(dataset, train, model, *, seed=0, name="growing_spheres", n_jobs=1):
+    """One shared-pass :class:`AuditSession` per workload: every audit of the
+    workload draws counterfactuals and predictions from the same engine +
+    backend, so overlapping populations are explained once."""
+    return AuditSession(_generator_for(dataset, train, model, seed=seed, name=name),
+                        n_jobs=n_jobs)
 
 
 # --------------------------------------------------------------------------
@@ -156,11 +163,14 @@ def run_table1() -> dict:
 # --------------------------------------------------------------------------
 # E1 / E2 — burden and NAWB
 # --------------------------------------------------------------------------
-def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80) -> dict:
+def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80,
+                          n_jobs: int = 1) -> dict:
     """Burden [72] and NAWB [73] on a biased vs. an unbiased loan model.
 
-    Both explainers drive the batched counterfactual engine; the number of
-    ``model.predict`` invocations the whole audit needed is reported per
+    Both explainers share one :class:`AuditSession` per workload: burden
+    explains the negatively classified members, NAWB's false negatives are a
+    subset of those rows, so the sweep costs a single engine pass.  The
+    session-wide number of ``model.predict`` invocations is reported per
     workload so the benchmarks can track predict-call reduction.
     """
     results: dict[str, float] = {}
@@ -168,18 +178,19 @@ def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80) -> dict:
         dataset, train, test, model = _loan_workload(
             n_samples, direct_bias=direct_bias, recourse_gap=recourse_gap, seed=0
         )
-        generator = _generator_for(dataset, train, model)
+        session = _session_for(dataset, train, model, n_jobs=n_jobs)
         subset = test.subset(np.arange(min(audit_size, test.n_samples)))
-        burden_explainer = BurdenExplainer(generator)
-        burden = burden_explainer.explain(subset.X, subset.sensitive_values)
-        nawb = NAWBExplainer(generator).explain(subset.X, subset.y, subset.sensitive_values)
+        burden = BurdenExplainer(session=session).explain(subset.X, subset.sensitive_values)
+        nawb = NAWBExplainer(session=session).explain(subset.X, subset.y,
+                                                      subset.sensitive_values)
         results[f"burden_gap_{label}"] = burden.gap
         results[f"burden_ratio_{label}"] = burden.ratio
         results[f"nawb_gap_{label}"] = nawb.gap
         results[f"fnr_gap_{label}"] = (
             nawb.protected.false_negative_rate - nawb.reference.false_negative_rate
         )
-        results[f"predict_calls_{label}"] = burden_explainer.engine.predict_call_count
+        results[f"predict_calls_{label}"] = session.predict_call_count
+        results[f"cf_reused_{label}"] = session.stats()["n_results_reused"]
     return results
 
 
@@ -192,12 +203,15 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
     train, test = dataset.split(test_size=0.3, random_state=1)
     subset = test.subset(np.arange(min(audit_size, test.n_samples)))
 
-    # Explicit analysis: model sees the sensitive attribute, counterfactuals may flip it.
+    # Explicit analysis: model sees the sensitive attribute, counterfactuals may
+    # flip it.  One session per trained model (explicit vs. blind), since a
+    # session pins a frozen model.
     spheres_cls = ExplainerRegistry.get("growing_spheres")
     model_explicit = LogisticRegression(n_iter=1200, random_state=0).fit(train.X, train.y)
-    generator_explicit = spheres_cls(model_explicit, train.X, random_state=0)
+    session_explicit = AuditSession(spheres_cls(model_explicit, train.X, random_state=0))
     explicit = PreCoFExplainer(
-        generator_explicit, dataset.feature_names, dataset.sensitive, mode="explicit"
+        feature_names=dataset.feature_names, sensitive_feature=dataset.sensitive,
+        mode="explicit", session=session_explicit,
     ).explain(subset.X, subset.sensitive_values)
 
     # Implicit analysis: sensitive attribute removed from training (fairness through
@@ -206,9 +220,10 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
     X_sub_blind, blind_specs = subset.features_without_sensitive()
     blind_names = [spec.name for spec in blind_specs]
     model_blind = LogisticRegression(n_iter=1200, random_state=0).fit(X_train_blind, train.y)
-    generator_blind = spheres_cls(model_blind, X_train_blind, random_state=0)
+    session_blind = AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0))
     implicit = PreCoFExplainer(
-        generator_blind, blind_names, dataset.sensitive, mode="implicit"
+        feature_names=blind_names, sensitive_feature=dataset.sensitive,
+        mode="implicit", session=session_blind,
     ).explain(X_sub_blind, subset.sensitive_values)
     implicit_top = implicit.implicit_bias_attributes(3)
 
@@ -218,6 +233,8 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
         "implicit_top_attribute": implicit_top[0][0] if implicit_top else "",
         "implicit_top_gap": implicit_top[0][1] if implicit_top else 0.0,
         "proxy_gap": implicit.frequency_gap.get("occupation_score", 0.0),
+        "predict_calls_explicit": session_explicit.predict_call_count,
+        "predict_calls_implicit": session_blind.predict_call_count,
     }
 
 
@@ -227,7 +244,10 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
 def run_e4_facts(n_samples: int = 700) -> dict:
     """FACTS [77]: equal effectiveness / equal choice of recourse across subgroups."""
     dataset, train, test, model = _loan_workload(n_samples)
-    explainer = FACTSExplainer(model, dataset.feature_names, dataset.sensitive_index,
+    # Generator-less session: FACTS never asks for counterfactuals, but its
+    # action scoring routes through the session's counting/memoizing adapter.
+    session = AuditSession(model=model)
+    explainer = FACTSExplainer(session.model, dataset.feature_names, dataset.sensitive_index,
                                random_state=0)
     result = explainer.explain(test.X, test.sensitive_values)
     top = result.top_biased(3)
@@ -238,6 +258,7 @@ def run_e4_facts(n_samples: int = 700) -> dict:
         "n_subgroups_audited": len(result.subgroups),
         "max_subgroup_effectiveness_gap": top[0].effectiveness_gap if top else 0.0,
         "is_fair": result.is_fair(),
+        "predict_calls": session.predict_call_count,
     }
 
 
@@ -248,32 +269,33 @@ def run_e5_group_counterfactuals(n_samples: int = 600) -> dict:
     """GLOBE-CE [75], CF trees [76] and recourse sets [74] + CF search ablation."""
     dataset, train, test, model = _loan_workload(n_samples)
     constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
+    # One session per workload: GLOBE-CE, the CF tree and the recourse set all
+    # score candidates through the same counting/memoizing adapter.
+    session = _session_for(dataset, train, model)
 
-    globe = GlobeCEExplainer(model, train.X, constraints=constraints,
-                             feature_names=dataset.feature_names, random_state=0).explain(
-        test.X, test.sensitive_values
-    )
+    globe = GlobeCEExplainer(feature_names=dataset.feature_names, random_state=0,
+                             session=session).explain(test.X, test.sensitive_values)
 
-    facts = FACTSExplainer(model, dataset.feature_names, dataset.sensitive_index,
+    facts = FACTSExplainer(session.model, dataset.feature_names, dataset.sensitive_index,
                            random_state=0)
-    actions = facts._candidate_actions(train.X, model.predict(train.X))
-    tree = CounterfactualExplanationTree(model, actions, feature_names=dataset.feature_names,
+    actions = facts._candidate_actions(train.X, session.predict(train.X))
+    tree = CounterfactualExplanationTree(session.model, actions,
+                                         feature_names=dataset.feature_names,
                                          max_depth=2).fit(test.X)
     tree_audit = tree.audit(test.X, test.sensitive_values)
     recourse_set = RecourseSetExplainer(
-        model, actions, feature_names=dataset.feature_names,
-        sensitive_index=dataset.sensitive_index,
+        candidate_actions=actions, feature_names=dataset.feature_names,
+        sensitive_index=dataset.sensitive_index, session=session,
     ).explain(test.X, test.sensitive_values)
 
-    # Ablation: every registered counterfactual search strategy (distance and
-    # sparsity of the CFs), discovered through the explainer registry.
+    # Ablation: every *compatible* counterfactual search strategy (distance and
+    # sparsity of the CFs), auto-selected through the registry's structured
+    # compatibility check instead of a hard-coded list + try/except.
     ablation: dict[str, float] = {}
-    rejected = test.X[model.predict(test.X) == 0][:20]
-    for entry in ExplainerRegistry.with_capability("counterfactual-generator"):
-        try:
-            generator = entry.obj(model, train.X, constraints=constraints, random_state=0)
-        except ValidationError:
-            continue  # e.g. gradient generators on models without gradient_input
+    rejected = test.X[session.predict(test.X) == 0][:20]
+    for entry in ExplainerRegistry.compatible(capability="counterfactual-generator",
+                                              model=model, dataset=dataset):
+        generator = entry.obj(model, train.X, constraints=constraints, random_state=0)
         counterfactuals = generator.generate_batch(rejected)
         ablation[f"cf_{entry.name}_mean_distance"] = (
             float(np.mean([c.distance for c in counterfactuals])) if counterfactuals else np.inf
@@ -292,6 +314,7 @@ def run_e5_group_counterfactuals(n_samples: int = 600) -> dict:
         "recourse_set_n_rules": len(recourse_set.rules),
         "recourse_set_coverage": recourse_set.total_coverage,
         "recourse_set_coverage_gap": recourse_set.coverage_gap,
+        "predict_calls": session.predict_call_count,
         **ablation,
     }
 
@@ -304,14 +327,17 @@ def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
     dataset, scm = make_scm_loan_dataset(n_samples, random_state=0)
     train, test = dataset.split(test_size=0.3, random_state=1)
     model = LogisticRegression(n_iter=1000, random_state=0).fit(train.X, train.y)
+    # Generator-less session: the flipset grid search repeats many small
+    # intervention matrices, which the session's memoizing backend coalesces.
+    session = AuditSession(model=model)
     explainer = CausalRecourseExplainer(
-        model, scm, dataset.feature_names,
+        session.model, scm, dataset.feature_names,
         actionable=["education", "income", "savings"],
         scales={"education": 2.0, "income": 10.0, "savings": 5.0},
         value_ranges={"education": (4, 20), "income": (5, 200), "savings": (0, 100)},
         grid_size=6,
     )
-    rejected = test.X[model.predict(test.X) == 0][:audit_size]
+    rejected = test.X[session.predict(test.X) == 0][:audit_size]
     causal_costs, independent_costs = [], []
     for row in rejected:
         causal_costs.append(explainer.recourse_cost(row))
@@ -327,6 +353,7 @@ def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
         "fraction_strictly_cheaper": float(
             np.mean(independent_costs[finite] - causal_costs[finite] > 1e-9)
         ),
+        "predict_calls": session.predict_call_count,
     }
 
 
@@ -336,7 +363,9 @@ def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
 def run_e7_fair_recourse(n_samples: int = 600) -> dict:
     """Equalizing recourse [79] and fair causal recourse [80]."""
     dataset, train, test, model = _loan_workload(n_samples)
-    base_report = recourse_gap_report(model, test.X, test.sensitive_values)
+    base_session = AuditSession(model=model)
+    base_report = recourse_gap_report(X=test.X, sensitive=test.sensitive_values,
+                                      session=base_session)
 
     regularized = RecourseRegularizedClassifier(recourse_weight=3.0, n_iter=1200,
                                                 random_state=0).fit(
@@ -364,6 +393,7 @@ def run_e7_fair_recourse(n_samples: int = 600) -> dict:
         "accuracy_regularized": regularized.score(test.X, test.y),
         "causal_recourse_unfairness": causal.mean_unfairness,
         "causal_fraction_disadvantaged": causal.fraction_disadvantaged,
+        "predict_calls_base": base_session.predict_call_count,
     }
 
 
@@ -375,11 +405,16 @@ def run_e8_fairness_shap(n_samples: int = 600, audit_size: int = 120) -> dict:
     dataset, train, test, model = _loan_workload(n_samples)
     subset = test.subset(np.arange(min(audit_size, test.n_samples)))
 
-    exact = FairnessShapExplainer(model, train.X[:80], feature_names=dataset.feature_names,
+    # The exact and sampled Shapley passes evaluate many identical coalition
+    # matrices; one generator-less session memoizes them across both runs.
+    session = AuditSession(model=model)
+    exact = FairnessShapExplainer(session.model, train.X[:80],
+                                  feature_names=dataset.feature_names,
                                   method="exact", n_background=8, random_state=0).explain(
         subset.X, subset.sensitive_values
     )
-    sampled = FairnessShapExplainer(model, train.X[:80], feature_names=dataset.feature_names,
+    sampled = FairnessShapExplainer(session.model, train.X[:80],
+                                    feature_names=dataset.feature_names,
                                     method="sampling", n_permutations=60, n_background=8,
                                     random_state=0).explain(subset.X, subset.sensitive_values)
     sampling_error = float(np.max(np.abs(exact.values - sampled.values)))

@@ -5,9 +5,18 @@ Feature-based (Shapley, permutation importance, PDP/ICE), example-based
 approximation-based (local surrogates, global surrogate trees, anchors)
 explanation methods, all operating on the from-scratch models in
 :mod:`fairexp.models` or on any object exposing ``predict``/``predict_proba``.
+
+The counterfactual hot path is layered session → engine → backend:
+:class:`AuditSession` (``session.py``) shares each population's
+counterfactual matrix across audits, :class:`CounterfactualEngine`
+(``engine.py``) batches and shards the search, and the
+:class:`PredictBackend` protocol (``backends.py``) dispatches the coalesced
+predict batches (vectorized NumPy by default; memoizing / ONNX / remote
+backends behind the same counting interface).
 """
 
 from .base import (
+    CompatibilityCheck,
     Counterfactual,
     ExampleExplanation,
     ExplainerInfo,
@@ -24,7 +33,15 @@ from .counterfactual import (
     RandomSearchCounterfactual,
     counterfactual_distance,
 )
-from .engine import BatchModelAdapter, CounterfactualEngine
+from .backends import (
+    CallablePredictBackend,
+    MemoizingPredictBackend,
+    NumpyPredictBackend,
+    PredictBackend,
+    ensure_backend,
+)
+from .engine import BatchModelAdapter, CounterfactualEngine, shard_indices
+from .session import AuditSession
 from .examples import (
     ExampleBasedExplainer,
     contrastive_example,
@@ -63,8 +80,16 @@ __all__ = [
     "ExplainerInfo",
     "ExplainerRegistry",
     "RegisteredExplainer",
+    "CompatibilityCheck",
+    "AuditSession",
     "BatchModelAdapter",
     "CounterfactualEngine",
+    "PredictBackend",
+    "NumpyPredictBackend",
+    "CallablePredictBackend",
+    "MemoizingPredictBackend",
+    "ensure_backend",
+    "shard_indices",
     "FeatureAttribution",
     "Counterfactual",
     "RuleExplanation",

@@ -19,6 +19,7 @@ import numpy as np
 
 __all__ = [
     "ExplainerInfo",
+    "CompatibilityCheck",
     "RegisteredExplainer",
     "ExplainerRegistry",
     "FeatureAttribution",
@@ -57,6 +58,25 @@ class ExplainerInfo:
 
 
 @dataclass(frozen=True)
+class CompatibilityCheck:
+    """Outcome of a structured explainer/model/dataset compatibility check.
+
+    Truthiness follows :attr:`compatible`, so entries can be filtered with a
+    plain ``if entry.is_compatible(model, dataset):``; :attr:`reasons` lists
+    every failed requirement for diagnostics.
+    """
+
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def compatible(self) -> bool:
+        return not self.reasons
+
+    def __bool__(self) -> bool:
+        return self.compatible
+
+
+@dataclass(frozen=True)
 class RegisteredExplainer:
     """One registry entry: an explainer (class or function) plus metadata.
 
@@ -72,12 +92,21 @@ class RegisteredExplainer:
         Free-form flags such as ``"counterfactual-generator"``,
         ``"fairness-explainer"`` or ``"requires-gradient"`` that callers use
         to parameterize over compatible explainers.
+    modality:
+        Data modality the explainer operates on: ``"tabular"`` (default),
+        ``"graph"``, ``"recsys"`` or ``"ranking"``.
+    model_requirements:
+        Attributes the audited model must expose (``("predict",)`` by
+        default; e.g. ``("predict", "gradient_input")`` for gradient-access
+        explainers).
     """
 
     name: str
     obj: Any
     info: ExplainerInfo | None
     capabilities: frozenset[str]
+    modality: str = "tabular"
+    model_requirements: tuple[str, ...] = ("predict",)
 
     @property
     def path(self) -> str:
@@ -87,6 +116,27 @@ class RegisteredExplainer:
         if module.startswith(prefix):
             module = module[len(prefix):]
         return f"{module}.{self.obj.__qualname__}"
+
+    def is_compatible(self, model=None, dataset=None) -> CompatibilityCheck:
+        """Structured check that this explainer applies to ``model``/``dataset``.
+
+        ``model`` is checked against :attr:`model_requirements`; ``dataset``
+        against :attr:`modality` (a dataset advertises its modality through a
+        ``modality`` attribute, defaulting to ``"tabular"``).  Either
+        argument may be ``None`` to skip that half of the check.
+        """
+        reasons: list[str] = []
+        if model is not None:
+            for attr in self.model_requirements:
+                if not hasattr(model, attr):
+                    reasons.append(f"model lacks required attribute {attr!r}")
+        if dataset is not None:
+            modality = getattr(dataset, "modality", "tabular")
+            if modality != self.modality:
+                reasons.append(
+                    f"explainer expects {self.modality!r} data, dataset is {modality!r}"
+                )
+        return CompatibilityCheck(tuple(reasons))
 
 
 class ExplainerRegistry:
@@ -107,14 +157,22 @@ class ExplainerRegistry:
         *,
         info: ExplainerInfo | None = None,
         capabilities: Sequence[str] = (),
+        modality: str = "tabular",
+        model_requirements: Sequence[str] | None = None,
     ) -> Callable:
         """Class/function decorator adding the object to the registry."""
+        if model_requirements is None:
+            model_requirements = ("predict",)
+            if "requires-gradient" in capabilities:
+                model_requirements = ("predict", "gradient_input")
 
         def decorator(obj):
             entry_info = info if info is not None else getattr(obj, "info", None)
             entry = RegisteredExplainer(
                 name=name, obj=obj, info=entry_info,
                 capabilities=frozenset(capabilities),
+                modality=modality,
+                model_requirements=tuple(model_requirements),
             )
             existing = cls._entries.get(name)
             if existing is not None and existing.obj is not obj:
@@ -150,6 +208,20 @@ class ExplainerRegistry:
     def with_capability(cls, capability: str) -> list[RegisteredExplainer]:
         """All entries carrying ``capability``, sorted by name."""
         return [e for e in cls.entries() if capability in e.capabilities]
+
+    @classmethod
+    def compatible(cls, *, model=None, dataset=None,
+                   capability: str | None = None) -> list[RegisteredExplainer]:
+        """All entries structurally compatible with ``model`` / ``dataset``.
+
+        This is what the experiment runners use to auto-select every
+        applicable explainer for a workload instead of hard-coding lists:
+        capability narrows the family (e.g. ``"counterfactual-generator"``),
+        :meth:`RegisteredExplainer.is_compatible` filters on model
+        requirements and data modality.
+        """
+        entries = cls.with_capability(capability) if capability else cls.entries()
+        return [e for e in entries if e.is_compatible(model, dataset)]
 
     @classmethod
     def resolve_path(cls, dotted: str):

@@ -8,11 +8,19 @@ the two pieces that coalesce that work into large vectorized predict batches:
 
 * :class:`BatchModelAdapter` — wraps any classifier, counts and (optionally)
   caches ``predict`` calls so benchmarks can track the predict-call
-  trajectory, not just wall time;
+  trajectory, not just wall time.  Dispatch itself lives behind the
+  :class:`~fairexp.explanations.backends.PredictBackend` protocol
+  (vectorized NumPy by default; ONNX / remote backends slot in behind the
+  same counting interface);
 * :class:`CounterfactualEngine` — drives a generator's cross-instance
-  ``generate_batch_aligned`` kernel and maps results back onto caller
-  indices, which is what the core fairness explainers
+  ``generate_batch_aligned`` kernel — optionally sharded across a worker
+  pool (``n_jobs``) with bitwise-identical merged results — and maps results
+  back onto caller indices, which is what the core fairness explainers
   (:class:`~fairexp.core.burden.BurdenExplainer` and friends) build on.
+
+One layer up, :class:`~fairexp.explanations.session.AuditSession` owns one
+adapter + engine pair and shares each population's counterfactual matrix
+across every audit that requests it (session → engine → backend).
 
 With an integer ``random_state`` the engine path reproduces the sequential
 per-instance path exactly: every instance consumes its own freshly seeded
@@ -26,10 +34,14 @@ trajectory amplifies to ~1e-13).
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
 
+from ..exceptions import ValidationError
+from .backends import MemoizingPredictBackend, NumpyPredictBackend, ensure_backend
 from .base import Counterfactual
 
 __all__ = [
@@ -37,21 +49,36 @@ __all__ = [
     "CounterfactualEngine",
     "greedy_sparsify_batch",
     "lockstep_candidate_search",
+    "shard_indices",
 ]
 
 
 class BatchModelAdapter:
     """Counting / caching proxy around a classifier's prediction interface.
 
+    Predict dispatch is delegated to a :class:`~fairexp.explanations.backends.PredictBackend`
+    stack: a :class:`~fairexp.explanations.backends.NumpyPredictBackend` by
+    default, optionally wrapped in a
+    :class:`~fairexp.explanations.backends.MemoizingPredictBackend` when
+    ``cache=True``.  The adapter itself only re-exports the backend's
+    counters under their historical names and forwards every non-``predict``
+    attribute to the wrapped model, so it stays a drop-in replacement for the
+    model everywhere an audit expects one.
+
     Parameters
     ----------
     model:
         Any object exposing ``predict`` (and optionally ``predict_proba`` /
-        ``gradient_input``).
+        ``gradient_input``).  May be omitted when ``backend`` is given.
+    backend:
+        An explicit :class:`~fairexp.explanations.backends.PredictBackend`
+        (e.g. a :class:`~fairexp.explanations.backends.CallablePredictBackend`
+        over an ONNX session or remote service).  Defaults to the vectorized
+        NumPy backend over ``model``.
     cache:
-        When ``True``, repeated ``predict`` calls on an identical matrix are
-        served from a small memo instead of re-invoking the model.  Cache
-        hits do not count as predict calls.
+        When ``True``, the backend is wrapped in a memoizing backend so
+        repeated ``predict`` calls on an identical matrix are served from a
+        memo.  Cache hits do not count as predict calls.
     max_cache_rows:
         Matrices with more rows than this are never cached (hashing huge
         candidate batches would cost more than the predict it saves).
@@ -61,7 +88,7 @@ class BatchModelAdapter:
     Attributes
     ----------
     predict_call_count:
-        Number of ``predict`` invocations forwarded to the wrapped model —
+        Number of ``predict`` invocations forwarded to the backend —
         the quantity the benchmarks record in ``benchmark.extra_info``.
     predict_row_count:
         Total number of rows across forwarded ``predict`` calls.
@@ -69,35 +96,32 @@ class BatchModelAdapter:
         Number of ``predict`` requests served from the memo.
     """
 
-    def __init__(self, model, *, cache: bool = True, max_cache_rows: int = 2048,
-                 max_cache_entries: int = 256) -> None:
+    def __init__(self, model=None, *, backend=None, cache: bool = True,
+                 max_cache_rows: int = 2048, max_cache_entries: int = 256) -> None:
+        if backend is None:
+            if model is None:
+                raise ValidationError("BatchModelAdapter needs a model or a backend")
+            backend = NumpyPredictBackend(model)
+        else:
+            backend = ensure_backend(backend)
+            if model is None:
+                model = getattr(backend, "model", None)
+        if cache and not isinstance(backend, MemoizingPredictBackend):
+            backend = MemoizingPredictBackend(backend, max_rows=max_cache_rows,
+                                              max_entries=max_cache_entries)
         self.model = model
-        self.cache = cache
-        self.max_cache_rows = max_cache_rows
-        self.max_cache_entries = max_cache_entries
-        self.predict_call_count = 0
-        self.predict_row_count = 0
-        self.cache_hit_count = 0
-        self._memo: dict[tuple, np.ndarray] = {}
+        self.backend = backend
+
+    @property
+    def cache(self) -> bool:
+        """Whether predictions are memoized — derived from the backend stack,
+        so it cannot drift from what ``predict`` actually does (swap the
+        backend to change it)."""
+        return isinstance(self.backend, MemoizingPredictBackend)
 
     # ------------------------------------------------------------- interface
     def predict(self, X) -> np.ndarray:
-        X = np.atleast_2d(np.asarray(X, dtype=float))
-        key = None
-        if self.cache and X.shape[0] <= self.max_cache_rows:
-            key = (X.shape, X.tobytes())
-            hit = self._memo.get(key)
-            if hit is not None:
-                self.cache_hit_count += 1
-                return hit.copy()
-        self.predict_call_count += 1
-        self.predict_row_count += int(X.shape[0])
-        result = np.asarray(self.model.predict(X))
-        if key is not None:
-            if len(self._memo) >= self.max_cache_entries:
-                self._memo.clear()
-            self._memo[key] = result.copy()
-        return result
+        return self.backend.predict(X)
 
     def __getattr__(self, name):
         # Forward everything else (predict_proba, gradient_input, score,
@@ -105,14 +129,34 @@ class BatchModelAdapter:
         # replacement for the wrapped model.  Forwarding instead of defining
         # the optional methods keeps ``hasattr``-based capability checks
         # (e.g. GradientCounterfactual requiring ``gradient_input``) honest.
-        return getattr(self.model, name)
+        if name in ("model", "backend"):
+            raise AttributeError(name)
+        model = self.model
+        if model is None:
+            raise AttributeError(name)
+        return getattr(model, name)
 
     # ------------------------------------------------------------ accounting
+    @property
+    def predict_call_count(self) -> int:
+        return self.backend.call_count
+
+    @property
+    def predict_row_count(self) -> int:
+        return self.backend.row_count
+
+    @property
+    def cache_hit_count(self) -> int:
+        return getattr(self.backend, "cache_hit_count", 0)
+
+    def clear_memo(self) -> None:
+        """Drop memoized predictions (no-op without a memoizing backend)."""
+        clear = getattr(self.backend, "clear_memo", None)
+        if clear is not None:
+            clear()
+
     def reset_counts(self) -> None:
-        self.predict_call_count = 0
-        self.predict_row_count = 0
-        self.cache_hit_count = 0
-        self._memo.clear()
+        self.backend.reset_counts()
 
 
 def greedy_sparsify_batch(generator, X_rows: np.ndarray, candidates: np.ndarray) -> np.ndarray:
@@ -234,6 +278,19 @@ def lockstep_candidate_search(
     return results
 
 
+def shard_indices(n_items: int, n_shards: int) -> list[np.ndarray]:
+    """Deterministic contiguous shards of ``range(n_items)``.
+
+    ``np.array_split`` semantics (shard sizes differ by at most one), with
+    empty shards dropped.  The split depends only on ``(n_items, n_shards)``
+    so a sharded run is reproducible, and because every lockstep kernel
+    seeds each instance's random stream independently, per-shard results are
+    bitwise-identical to the unsharded pass.
+    """
+    n_shards = max(1, min(int(n_shards), int(n_items))) if n_items else 1
+    return [shard for shard in np.array_split(np.arange(n_items), n_shards) if shard.size]
+
+
 class CounterfactualEngine:
     """Batched front-end over a counterfactual generator.
 
@@ -250,10 +307,21 @@ class CounterfactualEngine:
         if the underlying model were refit in place between audits.  Callers
         who know their model is frozen can pre-wrap with
         ``BatchModelAdapter(model, cache=True)`` themselves.
+    n_jobs:
+        Number of worker threads :meth:`generate_aligned` splits its
+        work-list across.  ``1`` (the default) runs the single lockstep
+        batch; ``-1`` uses one worker per CPU.  Shards are deterministic
+        (:func:`shard_indices`) and each instance owns its freshly seeded
+        random stream, so the merged results are bitwise-identical to
+        ``n_jobs=1`` — only the predict batching (and hence the call count)
+        changes.  Backends are thread-safe, so shards may share one adapter.
+        Generators seeded with a shared ``np.random.Generator`` instance
+        always run the sequential pass (one stream cannot be sharded).
     """
 
-    def __init__(self, generator, *, adapt_model: bool = True) -> None:
+    def __init__(self, generator, *, adapt_model: bool = True, n_jobs: int = 1) -> None:
         self.generator = generator
+        self.n_jobs = n_jobs
         if adapt_model and not isinstance(generator.model, BatchModelAdapter):
             generator.model = BatchModelAdapter(generator.model, cache=False)
 
@@ -269,9 +337,42 @@ class CounterfactualEngine:
         return adapter.predict_call_count if adapter is not None else 0
 
     # ------------------------------------------------------------ generation
+    def _resolve_n_jobs(self, n_rows: int) -> int:
+        # A np.random.Generator instance as random_state is ONE shared stream:
+        # per-instance draws consume it in sequence, so shards would both race
+        # on its (non-thread-safe) internal state and change the draw order.
+        # Integer / None seeds give every instance its own stream and shard
+        # deterministically; a Generator falls back to the sequential pass.
+        if isinstance(getattr(self.generator, "random_state", None), np.random.Generator):
+            return 1
+        n_jobs = self.n_jobs
+        if n_jobs is None:
+            n_jobs = 1
+        if n_jobs < 0:
+            n_jobs = os.cpu_count() or 1
+        return max(1, min(int(n_jobs), int(n_rows))) if n_rows else 1
+
     def generate_aligned(self, X) -> list[Counterfactual | None]:
-        """Counterfactuals for every row of ``X`` (``None`` where infeasible)."""
-        return self.generator.generate_batch_aligned(X)
+        """Counterfactuals for every row of ``X`` (``None`` where infeasible).
+
+        With ``n_jobs > 1`` the work-list is split into deterministic shards
+        executed on a thread pool against the shared (thread-safe) backend,
+        and the aligned per-shard results are merged back into caller order.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n_jobs = self._resolve_n_jobs(X.shape[0])
+        if n_jobs == 1:
+            return self.generator.generate_batch_aligned(X)
+        shards = shard_indices(X.shape[0], n_jobs)
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            parts = list(pool.map(
+                lambda shard: self.generator.generate_batch_aligned(X[shard]), shards
+            ))
+        results: list[Counterfactual | None] = [None] * X.shape[0]
+        for shard, part in zip(shards, parts):
+            for i, result in zip(shard, part):
+                results[int(i)] = result
+        return results
 
     def generate_for(self, X, indices) -> dict[int, Counterfactual]:
         """Counterfactuals for ``X[indices]``, keyed by the original row index.
@@ -284,7 +385,7 @@ class CounterfactualEngine:
         indices = np.asarray(indices, dtype=int)
         if indices.size == 0:
             return {}
-        results = self.generator.generate_batch_aligned(X[indices])
+        results = self.generate_aligned(X[indices])
         return {
             int(i): result for i, result in zip(indices, results) if result is not None
         }

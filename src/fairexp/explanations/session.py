@@ -1,0 +1,283 @@
+"""Shared-pass audit sessions.
+
+The paper's counterfactual-based fairness audits (burden [72], NAWB [73],
+PreCoF [71], and the recourse audits) all consume counterfactuals over the
+*same* population: burden explains every negatively classified individual,
+NAWB the false negatives (a subset), PreCoF the negatives again.  Run
+independently, each audit pays for its own engine pass.
+
+:class:`AuditSession` removes that duplication with result-level sharing:
+
+* the session owns **one** :class:`~fairexp.explanations.engine.BatchModelAdapter`
+  (with a memoizing predict backend), so every audit's predictions route
+  through the same counting/caching interface;
+* each population's counterfactual matrix is computed **once** — the first
+  audit to request rows triggers a (optionally sharded, ``n_jobs``) engine
+  pass, later audits requesting overlapping rows are served from the
+  session's result cache, including rows whose search was infeasible;
+* predict-call accounting is session-wide, which is what the benchmarks
+  assert on: a burden+NAWB+PreCoF sweep through one session issues strictly
+  fewer predict calls than three independent audits.
+
+The layering is session → engine → backend: the session decides *what* to
+explain and shares results, the engine decides *how* to batch/shard the
+search, the backend decides *where* predict batches run.
+
+A session pins its model: the wrapped model must stay frozen for the
+session's lifetime (refitting it in place would serve stale predictions and
+stale counterfactuals).  Refit workflows should create a fresh session per
+fit, or call :meth:`AuditSession.reset`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .backends import MemoizingPredictBackend
+from .base import Counterfactual
+from .engine import BatchModelAdapter, CounterfactualEngine
+
+__all__ = ["AuditSession"]
+
+
+class AuditSession:
+    """One shared adapter + engine + counterfactual-result cache for a sweep of audits.
+
+    Parameters
+    ----------
+    generator:
+        A :class:`~fairexp.explanations.counterfactual.BaseCounterfactualGenerator`
+        whose model the session takes ownership of.  Optional: a session
+        built with only ``model`` still shares predictions (for audits that
+        never generate counterfactuals, e.g. GLOBE-CE or recourse sets) but
+        raises on :meth:`counterfactuals_for`.
+    model:
+        The classifier under audit; defaults to ``generator.model``.  Either
+        ``generator`` or ``model`` must be given.
+    n_jobs:
+        Worker threads for sharded counterfactual generation (forwarded to
+        :class:`~fairexp.explanations.engine.CounterfactualEngine`).
+    cache_predictions:
+        When ``True`` (default), the adapter memoizes repeated predict
+        matrices — audits scoring the same population only pay once.
+        ``False`` skips installing a memo on adapters this session creates
+        (an inherited adapter's memo is left alone — it may belong to a live
+        shared session); refit workflows should call :meth:`reset_results`
+        after each refit, which drops cached results and any memo.
+    max_populations:
+        Bound on distinct populations whose results are kept; the oldest
+        population is evicted beyond it (one audit sweep touches a handful,
+        so the default only matters for long-lived multi-population sessions).
+    """
+
+    def __init__(self, generator=None, *, model=None, n_jobs: int = 1,
+                 cache_predictions: bool = True, max_populations: int = 32) -> None:
+        if generator is None and model is None:
+            raise ValidationError("AuditSession needs a generator or a model")
+        if generator is not None and model is not None and model is not generator.model \
+                and model is not getattr(generator.model, "model", None):
+            raise ValidationError(
+                "conflicting arguments: the generator already carries its model; "
+                "pass one or the other"
+            )
+        self.generator = generator
+        self.max_populations = max_populations
+        self.n_jobs = n_jobs
+        if generator is not None:
+            if not isinstance(generator.model, BatchModelAdapter):
+                generator.model = BatchModelAdapter(generator.model,
+                                                    cache=cache_predictions)
+            self._adapter = generator.model
+            self.engine = CounterfactualEngine(generator, n_jobs=n_jobs)
+        else:
+            self._adapter = (model if isinstance(model, BatchModelAdapter)
+                             else BatchModelAdapter(model, cache=cache_predictions))
+            self.engine = None
+        self._reconcile_cache(cache_predictions)
+        self.result_reuse_count = 0
+        # population key -> {row index -> Counterfactual | None (infeasible)}
+        self._results: dict[str, dict[int, Counterfactual | None]] = {}
+
+    @classmethod
+    def ensure(cls, generator, session: "AuditSession | None"
+               ) -> tuple["AuditSession", bool]:
+        """Resolve an explainer's ``(generator, session)`` constructor pair.
+
+        Returns ``(session, owns_session)``: without a session, a private
+        refit-safe one (no predict memo; results dropped per ``explain``) is
+        built around ``generator``.  Passing both a session and a *different*
+        generator is a conflict and raises, instead of silently auditing with
+        the session's search configuration.
+        """
+        if session is None:
+            return cls(generator, cache_predictions=False), True
+        if session.generator is None:
+            # Counterfactual explainers always need the engine; fail at
+            # construction rather than mid-audit.
+            raise ValidationError(
+                "this session was built without a generator (predict sharing "
+                "only); build the AuditSession around a generator to share "
+                "its counterfactuals"
+            )
+        if generator is None or generator is session.generator:
+            return session, False
+        raise ValidationError(
+            "conflicting arguments: pass either a generator or a session "
+            "(the session already carries its own generator)"
+        )
+
+    def _reconcile_cache(self, cache_predictions: bool) -> None:
+        """Make an inherited adapter honour this session's cache setting.
+
+        The generator's model may already be wrapped (by an earlier engine or
+        session) without a memo; requesting ``cache_predictions`` upgrades the
+        backend stack in place, preserving the counting backend and its
+        totals.  The reverse is deliberately NOT done: an inherited memo may
+        belong to a live shared session, and stripping it here would silently
+        disable that session's predict sharing.  Refit safety without a memo
+        guarantee comes from :meth:`reset_results`, which clears both the
+        result cache and any memo — private explainer sessions call it at
+        the start of every ``explain``.
+        """
+        backend = self._adapter.backend
+        if cache_predictions and not isinstance(backend, MemoizingPredictBackend):
+            self._adapter.backend = MemoizingPredictBackend(backend)
+
+    # ---------------------------------------------------------------- access
+    @property
+    def model(self) -> BatchModelAdapter:
+        """The shared counting adapter — hand this to audits expecting a model."""
+        return self._adapter
+
+    @property
+    def adapter(self) -> BatchModelAdapter:
+        return self._adapter
+
+    @property
+    def predict_call_count(self) -> int:
+        return self._adapter.predict_call_count
+
+    @property
+    def predict_row_count(self) -> int:
+        return self._adapter.predict_row_count
+
+    @property
+    def cache_hit_count(self) -> int:
+        return self._adapter.cache_hit_count
+
+    def predict(self, X) -> np.ndarray:
+        """Model predictions through the session's counting (memoizing) backend."""
+        return self._adapter.predict(X)
+
+    # ------------------------------------------------------- result sharing
+    @staticmethod
+    def population_key(X) -> str:
+        """Stable fingerprint of a population matrix (shape + content hash)."""
+        X = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=float)))
+        digest = hashlib.sha1(X.tobytes()).hexdigest()
+        return f"{X.shape[0]}x{X.shape[1]}:{digest}"
+
+    def counterfactuals_for(self, X, indices) -> dict[int, Counterfactual]:
+        """Counterfactuals for ``X[indices]``, keyed by row index, shared across audits.
+
+        Rows already explained for this population (by *any* earlier audit
+        in the session) are served from the result cache — including rows
+        whose search exhausted its budget, which are remembered as
+        infeasible and never retried.  Only genuinely new rows trigger an
+        engine pass.  Rows without a feasible counterfactual are absent from
+        the returned mapping, mirroring
+        :meth:`~fairexp.explanations.engine.CounterfactualEngine.generate_for`.
+        """
+        if self.engine is None:
+            raise ValidationError(
+                "this AuditSession was built without a counterfactual generator"
+            )
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            return {}
+        key = self.population_key(X)
+        if key not in self._results and len(self._results) >= self.max_populations:
+            # Bound the result cache like the predict memo: evict the oldest
+            # population (audits of one sweep share a handful of populations;
+            # unbounded growth only hurts long-lived multi-population sessions).
+            self._results.pop(next(iter(self._results)))
+        cache = self._results.setdefault(key, {})
+        # Dedupe while preserving order: a duplicated index must not trigger
+        # (or pay for) two searches of the same row.
+        distinct = list(dict.fromkeys(int(i) for i in indices))
+        missing = np.asarray([i for i in distinct if i not in cache], dtype=int)
+        self.result_reuse_count += len(distinct) - int(missing.size)
+        if missing.size:
+            for i, result in zip(missing, self.engine.generate_aligned(X[missing])):
+                cache[int(i)] = result
+        return {
+            int(i): cache[int(i)] for i in indices if cache[int(i)] is not None
+        }
+
+    def precompute(self, X) -> int:
+        """Warm the session for ``X``: one engine pass over every row not yet
+        predicted as the generator's target class.  Returns the number of
+        rows explained.
+
+        Calling this first makes every subsequent audit of the population a
+        pure cache read regardless of which subset it selects.  (The target
+        class is always the generator's — generation and selection must
+        agree, or the cache would hold wrong-direction counterfactuals.)
+        """
+        if self.engine is None:
+            raise ValidationError(
+                "this AuditSession was built without a counterfactual generator"
+            )
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        pending = np.flatnonzero(self.predict(X) != self.generator.target_class)
+        self.counterfactuals_for(X, pending)
+        return int(pending.size)
+
+    # ------------------------------------------------------------ accounting
+    def stats(self) -> dict[str, int]:
+        """Session-wide sharing statistics (for benchmarks and reports)."""
+        n_cached = sum(len(rows) for rows in self._results.values())
+        n_infeasible = sum(
+            1 for rows in self._results.values() for r in rows.values() if r is None
+        )
+        return {
+            "n_populations": len(self._results),
+            "n_counterfactuals_cached": n_cached - n_infeasible,
+            "n_infeasible_cached": n_infeasible,
+            # Rows served from the result cache instead of a fresh engine
+            # pass — the honest measure of cross-audit sharing (stays 0 if
+            # the sharing mechanism silently breaks).
+            "n_results_reused": self.result_reuse_count,
+            "predict_call_count": self.predict_call_count,
+            "predict_row_count": self.predict_row_count,
+            "predict_cache_hits": self._adapter.cache_hit_count,
+        }
+
+    def reset_results(self) -> None:
+        """Drop the shared results (counterfactuals AND memoized predictions)
+        but keep the predict counters.
+
+        Explainers that own a private session call this at the start of every
+        ``explain`` so a model refit in place between audits is picked up —
+        result-level sharing across calls is an opt-in of *shared* sessions,
+        whose model is pinned for the session's lifetime.
+
+        The memo clear deliberately extends to a memo inherited from another
+        session over the same generator: there is no way to tell whether that
+        session is still live, and a cleared memo merely costs re-predicts,
+        while a stale one would silently corrupt audit results after a refit.
+        Correctness wins; keep sweeps on one shared session to keep the memo
+        warm.
+        """
+        self._results.clear()
+        self._adapter.clear_memo()
+
+    def reset(self) -> None:
+        """Drop all shared results and zero the predict counters."""
+        self._results.clear()
+        self._adapter.reset_counts()
+        self.result_reuse_count = 0

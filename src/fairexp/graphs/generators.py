@@ -32,6 +32,9 @@ class AttributedGraph:
     labels: np.ndarray
     meta: dict = field(default_factory=dict)
 
+    #: data modality advertised to ``ExplainerRegistry.is_compatible``
+    modality = "graph"
+
     def __post_init__(self) -> None:
         self.adjacency = np.asarray(self.adjacency, dtype=float)
         self.features = np.asarray(self.features, dtype=float)

@@ -31,6 +31,9 @@ class RankedCandidates:
     scores: np.ndarray | None = None
     order: np.ndarray | None = None
 
+    #: data modality advertised to ``ExplainerRegistry.is_compatible``
+    modality = "ranking"
+
     def __post_init__(self) -> None:
         self.X = np.asarray(self.X, dtype=float)
         self.groups = np.asarray(self.groups, dtype=int)

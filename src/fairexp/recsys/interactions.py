@@ -33,6 +33,9 @@ class InteractionMatrix:
     user_groups: np.ndarray | None = None
     meta: dict = field(default_factory=dict)
 
+    #: data modality advertised to ``ExplainerRegistry.is_compatible``
+    modality = "recsys"
+
     def __post_init__(self) -> None:
         self.matrix = np.asarray(self.matrix, dtype=float)
         self.item_groups = np.asarray(self.item_groups, dtype=int)

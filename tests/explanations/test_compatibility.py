@@ -1,0 +1,89 @@
+"""Tests for the registry's structured compatibility checks."""
+
+import numpy as np
+import pytest
+
+import fairexp.core  # noqa: F401  (registers every explainer)
+from fairexp.datasets import make_loan_dataset
+from fairexp.explanations import ExplainerRegistry
+from fairexp.explanations.base import CompatibilityCheck
+from fairexp.graphs import make_biased_sbm
+from fairexp.models import LogisticRegression, RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def loan():
+    dataset = make_loan_dataset(300, random_state=0)
+    model = LogisticRegression(n_iter=300, random_state=0).fit(dataset.X, dataset.y)
+    return dataset, model
+
+
+class TestCompatibilityCheck:
+    def test_truthiness(self):
+        assert CompatibilityCheck(())
+        assert not CompatibilityCheck(("model lacks predict",))
+
+    def test_gradient_entry_requires_gradient_input(self, loan):
+        dataset, model = loan
+        entry = ExplainerRegistry.entry("gradient")
+        assert entry.model_requirements == ("predict", "gradient_input")
+        assert entry.is_compatible(model, dataset)
+
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(
+            dataset.X[:100], dataset.y[:100]
+        )
+        check = entry.is_compatible(forest, dataset)
+        assert not check
+        assert any("gradient_input" in reason for reason in check.reasons)
+
+    def test_modality_mismatch_is_reported(self, loan):
+        dataset, model = loan
+        graph = make_biased_sbm(30, random_state=0)
+        entry = ExplainerRegistry.entry("burden")
+        assert entry.is_compatible(model, dataset)
+        check = entry.is_compatible(model, graph)
+        assert not check
+        assert any("graph" in reason for reason in check.reasons)
+
+    def test_graph_explainers_reject_tabular_data(self, loan):
+        dataset, _ = loan
+        entry = ExplainerRegistry.entry("structural_bias")
+        assert entry.modality == "graph"
+        assert not entry.is_compatible(dataset=dataset)
+        assert entry.is_compatible(dataset=make_biased_sbm(30, random_state=0))
+
+    def test_none_arguments_skip_their_half(self):
+        entry = ExplainerRegistry.entry("gradient")
+        assert entry.is_compatible()  # nothing to check -> compatible
+
+
+class TestRegistryCompatibleQuery:
+    def test_auto_selects_all_generators_for_gradient_model(self, loan):
+        dataset, model = loan
+        names = {e.name for e in ExplainerRegistry.compatible(
+            capability="counterfactual-generator", model=model, dataset=dataset
+        )}
+        assert {"random_search", "growing_spheres", "gradient"} <= names
+
+    def test_excludes_gradient_generator_for_forest(self, loan):
+        dataset, _ = loan
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(
+            dataset.X[:100], dataset.y[:100]
+        )
+        names = {e.name for e in ExplainerRegistry.compatible(
+            capability="counterfactual-generator", model=forest, dataset=dataset
+        )}
+        assert "gradient" not in names
+        assert {"random_search", "growing_spheres"} <= names
+
+    def test_modality_partitions_fairness_explainers(self, loan):
+        dataset, _ = loan
+        tabular = {e.name for e in ExplainerRegistry.compatible(
+            capability="fairness-explainer", dataset=dataset
+        )}
+        graph = {e.name for e in ExplainerRegistry.compatible(
+            capability="fairness-explainer", dataset=make_biased_sbm(30, random_state=0)
+        )}
+        assert "burden" in tabular and "burden" not in graph
+        assert "structural_bias" in graph and "structural_bias" not in tabular
+        assert "dexer" not in tabular and "dexer" not in graph
