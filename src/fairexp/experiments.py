@@ -6,6 +6,15 @@ generators, runs the relevant fairexp components, and returns a flat
 dictionary of the numbers the benchmark harness asserts on and that
 EXPERIMENTS.md records.  ``n_samples`` scales every workload so the same code
 serves both the fast benchmark configuration and larger runs.
+
+The counterfactual-heavy runners (E1–E9) opt into the cross-process
+persistent result store when ``FAIREXP_STORE_DIR`` is set: every
+counterfactual-generating :class:`~fairexp.explanations.AuditSession` they
+build is handed a :class:`~fairexp.explanations.CounterfactualStore` rooted
+there, so a repeated run (CI re-run, dashboard refresh) warm-starts from the
+matrices a previous process already computed.  (Generator-less sessions —
+E4/E6/E7/E8's prediction-sharing ones — have no counterfactuals to persist
+and take no store.)  Leave the variable unset to keep every run cold.
 """
 
 from __future__ import annotations
@@ -43,7 +52,12 @@ from .core import (
     render_taxonomy,
 )
 from .datasets import make_adult_like, make_loan_dataset, make_scm_loan_dataset
-from .explanations import ActionabilityConstraints, AuditSession, ExplainerRegistry
+from .explanations import (
+    ActionabilityConstraints,
+    AuditSession,
+    CounterfactualStore,
+    ExplainerRegistry,
+)
 from .fairness import statistical_parity_difference
 from .fairness.mitigation import (
     FairLogisticRegression,
@@ -99,12 +113,22 @@ def _generator_for(dataset, train, model, *, seed=0, name="growing_spheres"):
     return generator_cls(model, train.X, constraints=constraints, random_state=seed)
 
 
+def _experiment_store():
+    """The cross-process store the E1–E9 sessions share, or ``None``.
+
+    Resolved per call (not at import time) so tests and CI steps can flip
+    ``FAIREXP_STORE_DIR`` between runs.
+    """
+    return CounterfactualStore.from_env()
+
+
 def _session_for(dataset, train, model, *, seed=0, name="growing_spheres", n_jobs=1):
     """One shared-pass :class:`AuditSession` per workload: every audit of the
     workload draws counterfactuals and predictions from the same engine +
-    backend, so overlapping populations are explained once."""
+    backend, so overlapping populations are explained once — and, with
+    ``FAIREXP_STORE_DIR`` set, across processes too."""
     return AuditSession(_generator_for(dataset, train, model, seed=seed, name=name),
-                        n_jobs=n_jobs)
+                        n_jobs=n_jobs, store=_experiment_store())
 
 
 # --------------------------------------------------------------------------
@@ -208,7 +232,8 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
     # session pins a frozen model.
     spheres_cls = ExplainerRegistry.get("growing_spheres")
     model_explicit = LogisticRegression(n_iter=1200, random_state=0).fit(train.X, train.y)
-    session_explicit = AuditSession(spheres_cls(model_explicit, train.X, random_state=0))
+    session_explicit = AuditSession(spheres_cls(model_explicit, train.X, random_state=0),
+                                    store=_experiment_store())
     explicit = PreCoFExplainer(
         feature_names=dataset.feature_names, sensitive_feature=dataset.sensitive,
         mode="explicit", session=session_explicit,
@@ -220,7 +245,8 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
     X_sub_blind, blind_specs = subset.features_without_sensitive()
     blind_names = [spec.name for spec in blind_specs]
     model_blind = LogisticRegression(n_iter=1200, random_state=0).fit(X_train_blind, train.y)
-    session_blind = AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0))
+    session_blind = AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0),
+                                 store=_experiment_store())
     implicit = PreCoFExplainer(
         feature_names=blind_names, sensitive_feature=dataset.sensitive,
         mode="implicit", session=session_blind,
@@ -363,6 +389,8 @@ def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
 def run_e7_fair_recourse(n_samples: int = 600) -> dict:
     """Equalizing recourse [79] and fair causal recourse [80]."""
     dataset, train, test, model = _loan_workload(n_samples)
+    # Generator-less session: prediction sharing only (no counterfactuals
+    # to persist, so no store is attached).
     base_session = AuditSession(model=model)
     base_report = recourse_gap_report(X=test.X, sensitive=test.sensitive_values,
                                       session=base_session)

@@ -6,13 +6,16 @@ approximation-based (local surrogates, global surrogate trees, anchors)
 explanation methods, all operating on the from-scratch models in
 :mod:`fairexp.models` or on any object exposing ``predict``/``predict_proba``.
 
-The counterfactual hot path is layered session → engine → backend:
+The counterfactual hot path is layered session → engine → backend → store:
 :class:`AuditSession` (``session.py``) shares each population's
 counterfactual matrix across audits, :class:`CounterfactualEngine`
-(``engine.py``) batches and shards the search, and the
-:class:`PredictBackend` protocol (``backends.py``) dispatches the coalesced
-predict batches (vectorized NumPy by default; memoizing / ONNX / remote
-backends behind the same counting interface).
+(``engine.py``) batches and shards the search (threads or processes,
+GIL-aware), the :class:`PredictBackend` protocol (``backends.py``)
+dispatches the coalesced predict batches (vectorized NumPy by default;
+memoizing / ONNX / remote backends behind the same counting interface), and
+:class:`CounterfactualStore` (``store.py``) persists each population's
+results across processes under a (population, model, config) fingerprint.
+See ``docs/architecture.md`` and ``docs/api/`` for the full reference.
 """
 
 from .base import (
@@ -40,8 +43,9 @@ from .backends import (
     PredictBackend,
     ensure_backend,
 )
-from .engine import BatchModelAdapter, CounterfactualEngine, shard_indices
+from .engine import BatchModelAdapter, CounterfactualEngine, generator_config, shard_indices
 from .session import AuditSession
+from .store import CounterfactualStore, model_signature, population_fingerprint
 from .examples import (
     ExampleBasedExplainer,
     contrastive_example,
@@ -84,6 +88,10 @@ __all__ = [
     "AuditSession",
     "BatchModelAdapter",
     "CounterfactualEngine",
+    "CounterfactualStore",
+    "generator_config",
+    "model_signature",
+    "population_fingerprint",
     "PredictBackend",
     "NumpyPredictBackend",
     "CallablePredictBackend",

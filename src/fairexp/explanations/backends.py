@@ -44,15 +44,23 @@ class PredictBackend(Protocol):
     Implementations must set ``is_predict_backend = True`` (how
     :func:`ensure_backend` distinguishes a backend from a bare model, since
     both expose ``predict``) and maintain ``call_count`` / ``row_count``
-    across threads.
+    across threads.  ``releases_gil`` declares whether ``predict`` spends its
+    time outside the GIL (vectorized NumPy does; pure-Python callables and
+    GIL-holding extension predictors do not) — the engine reads it to choose
+    between thread- and process-based sharding.
     """
 
     is_predict_backend: bool
     name: str
+    releases_gil: bool
 
-    def predict(self, X) -> np.ndarray: ...
+    def predict(self, X) -> np.ndarray:
+        """Labels for a candidate matrix ``X``, counted as one call."""
+        ...
 
-    def reset_counts(self) -> None: ...
+    def reset_counts(self) -> None:
+        """Zero the call/row counters (and drop any memo)."""
+        ...
 
 
 class NumpyPredictBackend:
@@ -68,6 +76,10 @@ class NumpyPredictBackend:
 
     is_predict_backend = True
     name = "numpy"
+    # Vectorized NumPy predict spends its time in BLAS/ufunc loops, which
+    # release the GIL — thread-sharding scales, so the engine's "auto"
+    # executor keeps the cheap thread pool.
+    releases_gil = True
 
     def __init__(self, model) -> None:
         self.model = model
@@ -83,6 +95,7 @@ class NumpyPredictBackend:
         return np.asarray(self.model.predict(X))
 
     def predict(self, X) -> np.ndarray:
+        """Labels for ``X`` via one counted vectorized model call."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         with self._lock:
             self.call_count += 1
@@ -90,9 +103,22 @@ class NumpyPredictBackend:
         return self._run(X)
 
     def reset_counts(self) -> None:
+        """Zero the call/row counters."""
         with self._lock:
             self.call_count = 0
             self.row_count = 0
+
+    def add_counts(self, calls: int, rows: int) -> None:
+        """Fold externally observed predict work into this backend's counters.
+
+        The engine's process-sharded path runs each shard against a fresh
+        backend inside the worker; the parent calls this with the workers'
+        totals so session-wide accounting stays honest across process
+        boundaries.
+        """
+        with self._lock:
+            self.call_count += int(calls)
+            self.row_count += int(rows)
 
 
 class CallablePredictBackend(NumpyPredictBackend):
@@ -101,12 +127,28 @@ class CallablePredictBackend(NumpyPredictBackend):
     This is the slot for out-of-process predictors — an ONNX runtime
     session, a compiled kernel, or a remote scoring endpoint — anything that
     maps a candidate matrix to labels without exposing a model object.
+
+    Parameters
+    ----------
+    fn:
+        The predict callable mapping an ``(n, d)`` matrix to ``n`` labels.
+    name:
+        Display name for diagnostics.
+    releases_gil:
+        Whether ``fn`` releases the GIL while it runs.  Defaults to
+        ``False`` — an arbitrary Python callable holds the GIL, so
+        thread-sharding it would serialize; the engine's ``executor="auto"``
+        responds by sharding across processes instead.  Set ``True`` for
+        callables that genuinely drop the GIL (ONNX runtime sessions,
+        network-bound remote scorers).
     """
 
-    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], *, name: str = "callable") -> None:
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], *, name: str = "callable",
+                 releases_gil: bool = False) -> None:
         super().__init__(model=None)
         self.fn = fn
         self.name = name
+        self.releases_gil = releases_gil
 
     def _run(self, X: np.ndarray) -> np.ndarray:
         return np.asarray(self.fn(X))
@@ -151,18 +193,38 @@ class MemoizingPredictBackend:
     # ------------------------------------------------------------ delegation
     @property
     def model(self):
+        """The inner backend's model, if it exposes one."""
         return getattr(self.inner, "model", None)
 
     @property
     def call_count(self) -> int:
+        """Forwarded (non-memo) predict invocations, from the inner backend."""
         return self.inner.call_count
 
     @property
     def row_count(self) -> int:
+        """Total rows across forwarded predict calls, from the inner backend."""
         return self.inner.row_count
+
+    @property
+    def releases_gil(self) -> bool:
+        """Memoization adds no GIL-bound work; the inner backend decides."""
+        return getattr(self.inner, "releases_gil", True)
+
+    def add_counts(self, calls: int, rows: int) -> None:
+        """Forward externally observed predict work to the inner counters.
+
+        No-op when the inner backend is a third-party implementation without
+        count folding — dropped accounting beats a crashed audit.
+        """
+        add = getattr(self.inner, "add_counts", None)
+        if add is not None:
+            add(calls, rows)
 
     # ------------------------------------------------------------- interface
     def predict(self, X) -> np.ndarray:
+        """Labels for ``X`` — from the memo when an identical matrix was
+        already evaluated, otherwise via the (counted) inner backend."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         key = None
         if X.shape[0] <= self.max_rows:
@@ -191,6 +253,7 @@ class MemoizingPredictBackend:
             self._memo.clear()
 
     def reset_counts(self) -> None:
+        """Zero every counter and drop the memo (inner backend included)."""
         with self._lock:
             self.cache_hit_count = 0
             self._memo.clear()

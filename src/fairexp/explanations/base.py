@@ -70,6 +70,7 @@ class CompatibilityCheck:
 
     @property
     def compatible(self) -> bool:
+        """``True`` when no requirement failed."""
         return not self.reasons
 
     def __bool__(self) -> bool:
@@ -185,6 +186,7 @@ class ExplainerRegistry:
 
     @classmethod
     def entry(cls, name: str) -> RegisteredExplainer:
+        """Return the full registry entry for ``name`` (raises ``KeyError``)."""
         if name not in cls._entries:
             raise KeyError(
                 f"no explainer registered as {name!r}; known: {sorted(cls._entries)}"
@@ -198,10 +200,12 @@ class ExplainerRegistry:
 
     @classmethod
     def names(cls) -> list[str]:
+        """Sorted names of every registered explainer."""
         return sorted(cls._entries)
 
     @classmethod
     def entries(cls) -> list[RegisteredExplainer]:
+        """Every registry entry, ordered by name."""
         return [cls._entries[name] for name in cls.names()]
 
     @classmethod
@@ -262,6 +266,7 @@ class FeatureAttribution:
         self.values = np.asarray(self.values, dtype=float)
 
     def as_dict(self) -> dict[str, float]:
+        """Attribution values keyed by feature name."""
         return {name: float(v) for name, v in zip(self.feature_names, self.values)}
 
     def top(self, k: int = 3) -> list[tuple[str, float]]:
@@ -270,6 +275,7 @@ class FeatureAttribution:
         return [(self.feature_names[i], float(self.values[i])) for i in order]
 
     def total(self) -> float:
+        """Sum of all attribution values."""
         return float(self.values.sum())
 
 

@@ -63,6 +63,7 @@ class ActionabilityConstraints:
 
     @classmethod
     def unconstrained(cls, n_features: int) -> "ActionabilityConstraints":
+        """Constraints allowing every feature to move freely."""
         return cls(
             immutable=np.zeros(n_features, dtype=bool),
             lower=np.full(n_features, -np.inf),
@@ -302,6 +303,7 @@ class RandomSearchCounterfactual(BaseCounterfactualGenerator):
         return x[None, :] + noise
 
     def generate(self, x: np.ndarray) -> Counterfactual:
+        """One counterfactual for ``x`` via widening rejection sampling."""
         x = np.asarray(x, dtype=float).ravel()
         rng = check_random_state(self.random_state)
         for step in range(self.n_radii):
@@ -320,6 +322,7 @@ class RandomSearchCounterfactual(BaseCounterfactualGenerator):
         raise InfeasibleRecourseError("random search found no counterfactual within the radius")
 
     def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
+        """Row-aligned counterfactuals via the cross-instance lockstep kernel."""
         return lockstep_candidate_search(self, X, self._draw, self.n_radii)
 
 
@@ -358,6 +361,7 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
         return self._sample_shell(rng, x, inner, outer)
 
     def generate(self, x: np.ndarray) -> Counterfactual:
+        """One counterfactual for ``x`` via expanding L2 shells."""
         x = np.asarray(x, dtype=float).ravel()
         rng = check_random_state(self.random_state)
         for step in range(self.max_shells):
@@ -376,6 +380,7 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
         raise InfeasibleRecourseError("growing spheres exhausted the search radius")
 
     def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
+        """Row-aligned counterfactuals via the cross-instance lockstep kernel."""
         return lockstep_candidate_search(self, X, self._draw, self.max_shells)
 
 
@@ -416,6 +421,7 @@ class GradientCounterfactual(BaseCounterfactualGenerator):
         return target_rows.mean(axis=0) if target_rows.shape[0] else self.background.mean(axis=0)
 
     def generate(self, x: np.ndarray) -> Counterfactual:
+        """One counterfactual for ``x`` via gradient ascent on the target class."""
         x = np.asarray(x, dtype=float).ravel()
         candidate = x.copy()
         sign = 1.0 if self.target_class == 1 else -1.0

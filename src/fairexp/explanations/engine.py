@@ -34,19 +34,29 @@ trajectory amplifies to ~1e-13).
 
 from __future__ import annotations
 
+import inspect
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
 
 from ..exceptions import ValidationError
-from .backends import MemoizingPredictBackend, NumpyPredictBackend, ensure_backend
+from .backends import (
+    CallablePredictBackend,
+    MemoizingPredictBackend,
+    NumpyPredictBackend,
+    ensure_backend,
+)
 from .base import Counterfactual
 
 __all__ = [
     "BatchModelAdapter",
     "CounterfactualEngine",
+    "effective_backend",
+    "generator_config",
+    "generator_config_is_faithful",
     "greedy_sparsify_batch",
     "lockstep_candidate_search",
     "shard_indices",
@@ -121,6 +131,8 @@ class BatchModelAdapter:
 
     # ------------------------------------------------------------- interface
     def predict(self, X) -> np.ndarray:
+        """Labels for ``X`` through the counting (and optionally memoizing)
+        backend stack."""
         return self.backend.predict(X)
 
     def __getattr__(self, name):
@@ -139,14 +151,17 @@ class BatchModelAdapter:
     # ------------------------------------------------------------ accounting
     @property
     def predict_call_count(self) -> int:
+        """Number of predict invocations forwarded to the backend."""
         return self.backend.call_count
 
     @property
     def predict_row_count(self) -> int:
+        """Total rows across forwarded predict calls."""
         return self.backend.row_count
 
     @property
     def cache_hit_count(self) -> int:
+        """Predict requests served from the backend's memo (0 without one)."""
         return getattr(self.backend, "cache_hit_count", 0)
 
     def clear_memo(self) -> None:
@@ -156,6 +171,7 @@ class BatchModelAdapter:
             clear()
 
     def reset_counts(self) -> None:
+        """Zero the backend's counters (and drop its memo, if any)."""
         self.backend.reset_counts()
 
 
@@ -291,6 +307,140 @@ def shard_indices(n_items: int, n_shards: int) -> list[np.ndarray]:
     return [shard for shard in np.array_split(np.arange(n_items), n_shards) if shard.size]
 
 
+def _iter_init_parameters(generator):
+    """Named ``__init__`` parameters across the generator's MRO (deduped)."""
+    seen: set[str] = set()
+    for klass in type(generator).__mro__:
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        for name, parameter in inspect.signature(init).parameters.items():
+            if name in ("self", "model", "background") or name in seen:
+                continue
+            if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
+                                  inspect.Parameter.VAR_KEYWORD):
+                continue
+            seen.add(name)
+            yield name
+
+
+def generator_config(generator) -> dict:
+    """Constructor parameters of a counterfactual generator, by introspection.
+
+    Walks the generator class's MRO collecting every named ``__init__``
+    parameter (skipping ``self`` / ``model`` / ``background`` and var-args)
+    and reads the attribute of the same name off the instance — the
+    generators all store their constructor arguments verbatim.  The mapping
+    is what the process-sharded executor ships to workers to rebuild the
+    generator, and what the persistent store folds into a population
+    fingerprint (so changing any search parameter busts the cache).
+
+    Callers that need a *faithful* reconstruction must first check
+    :func:`generator_config_is_faithful`: a generator storing a constructor
+    argument under a different attribute name (or not at all) yields a
+    config with that parameter missing, which would rebuild with the default
+    and fingerprint two different configurations identically.
+    """
+    return {
+        name: getattr(generator, name)
+        for name in _iter_init_parameters(generator)
+        if hasattr(generator, name)
+    }
+
+
+def generator_config_is_faithful(generator) -> bool:
+    """Whether every ``__init__`` parameter is recoverable off the instance.
+
+    ``False`` means :func:`generator_config` is lossy for this class — the
+    process executor then falls back to thread-sharding (workers could not
+    rebuild the generator exactly) and the persistent store skips the
+    population (the fingerprint could not see the missing parameter).
+    """
+    return all(hasattr(generator, name) for name in _iter_init_parameters(generator))
+
+
+def effective_backend(model):
+    """The backend actually evaluating predict misses for ``model``.
+
+    Unwraps the :class:`BatchModelAdapter` and any memoizing layer; ``None``
+    for a bare (unadapted) model, whose predict is called directly.
+    """
+    if not isinstance(model, BatchModelAdapter):
+        return None
+    backend = model.backend
+    if isinstance(backend, MemoizingPredictBackend):
+        backend = backend.inner
+    return backend
+
+
+def _process_shard_spec(generator) -> dict | None:
+    """Picklable recipe rebuilding ``generator`` inside a worker process.
+
+    The recipe preserves the *effective predict dispatch*, not just the
+    model object: a generator driven through a
+    :class:`~fairexp.explanations.backends.CallablePredictBackend` (ONNX
+    export, remote scorer) ships the callable, so workers score candidates
+    against the same decision boundary the sequential pass would — never
+    silently against the bare model's.
+
+    Returns ``None`` when no faithful recipe exists — an unrecognized
+    third-party backend, a closure that refuses to pickle, a shared random
+    stream — in which case the engine falls back to thread-sharding against
+    the shared backend rather than risking a divergent (or failed) audit.
+    """
+    if not generator_config_is_faithful(generator):
+        return None  # a lossy rebuild would silently diverge; stay on threads
+    model = generator.model
+    backend = effective_backend(model)
+    if isinstance(model, BatchModelAdapter):
+        model = model.model
+    spec = {
+        "cls": type(generator),
+        "model": model,
+        "fn": None,
+        "fn_name": None,
+        "background": np.asarray(generator.background, dtype=float),
+        "params": generator_config(generator),
+    }
+    if backend is None or type(backend) is NumpyPredictBackend:
+        if model is None:
+            return None
+    elif type(backend) is CallablePredictBackend:
+        spec["fn"] = backend.fn
+        spec["fn_name"] = backend.name
+    else:
+        return None  # unknown dispatch semantics: keep the shared backend
+    if isinstance(spec["params"].get("random_state"), np.random.Generator):
+        return None  # one shared stream cannot be split across processes
+    try:
+        pickle.dumps(spec)
+    except Exception:
+        return None
+    return spec
+
+
+def _run_process_shard(spec: dict, X_shard: np.ndarray
+                       ) -> tuple[list[Counterfactual | None], int, int]:
+    """Worker entry point: rebuild the generator, run one shard, report counts.
+
+    The worker wraps the rebuilt dispatch (bare model, or the shipped
+    callable backend) in a fresh counting adapter so the parent can fold the
+    shard's predict work back into its own backend
+    (:meth:`~fairexp.explanations.backends.NumpyPredictBackend.add_counts`).
+    Because every instance seeds its own random stream from the same integer
+    seed, the shard's results are bitwise-identical to the rows it would
+    produce inside the sequential pass.
+    """
+    if spec["fn"] is not None:
+        backend = CallablePredictBackend(spec["fn"], name=spec["fn_name"] or "callable")
+        adapter = BatchModelAdapter(spec["model"], backend=backend, cache=False)
+    else:
+        adapter = BatchModelAdapter(spec["model"], cache=False)
+    generator = spec["cls"](adapter, spec["background"], **spec["params"])
+    results = generator.generate_batch_aligned(X_shard)
+    return results, adapter.predict_call_count, adapter.predict_row_count
+
+
 class CounterfactualEngine:
     """Batched front-end over a counterfactual generator.
 
@@ -308,7 +458,7 @@ class CounterfactualEngine:
         who know their model is frozen can pre-wrap with
         ``BatchModelAdapter(model, cache=True)`` themselves.
     n_jobs:
-        Number of worker threads :meth:`generate_aligned` splits its
+        Number of workers :meth:`generate_aligned` splits its
         work-list across.  ``1`` (the default) runs the single lockstep
         batch; ``-1`` uses one worker per CPU.  Shards are deterministic
         (:func:`shard_indices`) and each instance owns its freshly seeded
@@ -317,22 +467,41 @@ class CounterfactualEngine:
         changes.  Backends are thread-safe, so shards may share one adapter.
         Generators seeded with a shared ``np.random.Generator`` instance
         always run the sequential pass (one stream cannot be sharded).
+    executor:
+        How sharded work runs: ``"thread"`` (a thread pool against the
+        shared backend — right when predict releases the GIL),
+        ``"process"`` (a process pool; each worker rebuilds the generator
+        from a picklable shard spec and its predict counts are folded back
+        into the parent backend — right when predict holds the GIL), or
+        ``"auto"`` (the default: consult the backend's ``releases_gil``
+        declaration and pick processes exactly when it is ``False``).
+        Process sharding quietly falls back to threads when no picklable
+        shard spec exists (no reachable bare model, or unpicklable
+        constructor arguments).
     """
 
-    def __init__(self, generator, *, adapt_model: bool = True, n_jobs: int = 1) -> None:
+    def __init__(self, generator, *, adapt_model: bool = True, n_jobs: int = 1,
+                 executor: str = "auto") -> None:
+        if executor not in ("auto", "thread", "process"):
+            raise ValidationError(
+                f"executor must be 'auto', 'thread' or 'process', got {executor!r}"
+            )
         self.generator = generator
         self.n_jobs = n_jobs
+        self.executor = executor
         if adapt_model and not isinstance(generator.model, BatchModelAdapter):
             generator.model = BatchModelAdapter(generator.model, cache=False)
 
     # ------------------------------------------------------------ properties
     @property
     def adapter(self) -> BatchModelAdapter | None:
+        """The generator's counting adapter, if its model is wrapped in one."""
         model = self.generator.model
         return model if isinstance(model, BatchModelAdapter) else None
 
     @property
     def predict_call_count(self) -> int:
+        """Predict calls counted by the generator's adapter (0 without one)."""
         adapter = self.adapter
         return adapter.predict_call_count if adapter is not None else 0
 
@@ -352,27 +521,75 @@ class CounterfactualEngine:
             n_jobs = os.cpu_count() or 1
         return max(1, min(int(n_jobs), int(n_rows))) if n_rows else 1
 
+    def _resolve_executor(self) -> str:
+        """``"thread"`` or ``"process"`` for this engine's sharded passes."""
+        if self.executor != "auto":
+            return self.executor
+        adapter = self.adapter
+        backend = adapter.backend if adapter is not None else None
+        releases_gil = getattr(backend, "releases_gil", True)
+        return "thread" if releases_gil else "process"
+
     def generate_aligned(self, X) -> list[Counterfactual | None]:
         """Counterfactuals for every row of ``X`` (``None`` where infeasible).
 
         With ``n_jobs > 1`` the work-list is split into deterministic shards
-        executed on a thread pool against the shared (thread-safe) backend,
-        and the aligned per-shard results are merged back into caller order.
+        executed on a worker pool — threads against the shared (thread-safe)
+        backend, or processes rebuilding the generator from a picklable
+        shard spec (see the ``executor`` parameter) — and the aligned
+        per-shard results are merged back into caller order.
         """
         X = np.atleast_2d(np.asarray(X, dtype=float))
         n_jobs = self._resolve_n_jobs(X.shape[0])
         if n_jobs == 1:
             return self.generator.generate_batch_aligned(X)
         shards = shard_indices(X.shape[0], n_jobs)
-        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
-            parts = list(pool.map(
-                lambda shard: self.generator.generate_batch_aligned(X[shard]), shards
-            ))
+        if self._resolve_executor() == "process":
+            parts = self._run_shards_in_processes(X, shards)
+        else:
+            parts = None
+        if parts is None:
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                parts = list(pool.map(
+                    lambda shard: self.generator.generate_batch_aligned(X[shard]), shards
+                ))
         results: list[Counterfactual | None] = [None] * X.shape[0]
         for shard, part in zip(shards, parts):
             for i, result in zip(shard, part):
                 results[int(i)] = result
         return results
+
+    def _run_shards_in_processes(self, X: np.ndarray, shards: list[np.ndarray]
+                                 ) -> list[list[Counterfactual | None]] | None:
+        """Run shards on a process pool; ``None`` means fall back to threads.
+
+        Each worker rebuilds the generator from the shard spec, so the
+        parent's model object (and its locks) never crosses the process
+        boundary; the workers' predict counts are folded back into the
+        parent backend so session-wide accounting survives the hop.
+        """
+        spec = _process_shard_spec(self.generator)
+        if spec is None:
+            return None
+        try:
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                outcomes = list(pool.map(
+                    _run_process_shard, [spec] * len(shards),
+                    [X[shard] for shard in shards]
+                ))
+        except Exception:
+            # The parent-side pickle check can pass while workers still fail
+            # to rebuild the spec — e.g. classes defined in __main__ under
+            # the spawn start method, or a broken pool.  Honour the
+            # documented quiet-fallback contract instead of crashing an
+            # audit that the thread path can serve.
+            return None
+        parts = [outcome[0] for outcome in outcomes]
+        adapter = self.adapter
+        backend = adapter.backend if adapter is not None else None
+        if backend is not None and hasattr(backend, "add_counts"):
+            backend.add_counts(sum(o[1] for o in outcomes), sum(o[2] for o in outcomes))
+        return parts
 
     def generate_for(self, X, indices) -> dict[int, Counterfactual]:
         """Counterfactuals for ``X[indices]``, keyed by the original row index.

@@ -123,14 +123,17 @@ class ExampleBasedExplainer:
         self.predictions = None if predictions is None else np.asarray(predictions)
 
     def prototypes(self, n_prototypes: int = 5) -> ExampleExplanation:
+        """Representative prototypes of the reference data (k-medoids style)."""
         return select_prototypes(self.X_reference, n_prototypes=n_prototypes)
 
     def neighbors(self, x, n_neighbors: int = 5) -> ExampleExplanation:
+        """The reference points closest to ``x`` (with labels when known)."""
         return nearest_neighbor_explanation(
             x, self.X_reference, self.y_reference, n_neighbors=n_neighbors
         )
 
     def contrastive(self, x, target_class: int = 1) -> ExampleExplanation:
+        """The closest reference point predicted as ``target_class``."""
         if self.predictions is None:
             raise ValidationError("predictions are required for contrastive examples")
         return contrastive_example(x, self.X_reference, self.predictions,

@@ -110,6 +110,7 @@ class PermutationImportanceExplainer:
         self.random_state = random_state
 
     def explain(self, X, y) -> FeatureAttribution:
+        """Permutation importances of every feature on ``(X, y)``."""
         return permutation_importance(
             self.model, X, y,
             n_repeats=self.n_repeats, feature_names=self.feature_names,

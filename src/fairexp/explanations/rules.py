@@ -39,6 +39,7 @@ class Predicate:
     high: float | None
 
     def mask(self, X: np.ndarray) -> np.ndarray:
+        """Boolean mask of the rows of ``X`` satisfying this predicate."""
         values = X[:, self.feature]
         result = np.ones(X.shape[0], dtype=bool)
         if self.low is not None:
@@ -194,6 +195,7 @@ class AnchorExplainer:
         return self.background[idx].copy()
 
     def explain(self, x: np.ndarray) -> RuleExplanation:
+        """An anchor rule holding the model's prediction fixed around ``x``."""
         x = np.asarray(x, dtype=float).ravel()
         rng = check_random_state(self.random_state)
         target = int(np.asarray(self.model.predict(x[None, :]))[0])

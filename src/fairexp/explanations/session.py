@@ -21,7 +21,11 @@ independently, each audit pays for its own engine pass.
 
 The layering is session → engine → backend: the session decides *what* to
 explain and shares results, the engine decides *how* to batch/shard the
-search, the backend decides *where* predict batches run.
+search, the backend decides *where* predict batches run.  With a
+:class:`~fairexp.explanations.store.CounterfactualStore` attached the
+sharing additionally crosses process boundaries: each population's results
+are persisted under a fingerprint of (population, model, engine config), so
+a repeated sweep in a fresh process warm-starts with zero engine passes.
 
 A session pins its model: the wrapped model must stay frozen for the
 session's lifetime (refitting it in place would serve stale predictions and
@@ -39,6 +43,7 @@ from ..exceptions import ValidationError
 from .backends import MemoizingPredictBackend
 from .base import Counterfactual
 from .engine import BatchModelAdapter, CounterfactualEngine
+from .store import CounterfactualStore, population_fingerprint
 
 __all__ = ["AuditSession"]
 
@@ -58,8 +63,19 @@ class AuditSession:
         The classifier under audit; defaults to ``generator.model``.  Either
         ``generator`` or ``model`` must be given.
     n_jobs:
-        Worker threads for sharded counterfactual generation (forwarded to
+        Workers for sharded counterfactual generation (forwarded to
         :class:`~fairexp.explanations.engine.CounterfactualEngine`).
+    executor:
+        Sharded execution strategy, forwarded to the engine: ``"thread"``,
+        ``"process"``, or ``"auto"`` (pick processes when the predict
+        backend declares it holds the GIL).
+    store:
+        A :class:`~fairexp.explanations.store.CounterfactualStore` (or a
+        directory path coerced into one) persisting each population's
+        results across processes.  On the first touch of a population the
+        session seeds its in-memory cache from the store; after every
+        engine pass it publishes the merged rows back.  ``None`` (default)
+        keeps sharing in-process only.
     cache_predictions:
         When ``True`` (default), the adapter memoizes repeated predict
         matrices — audits scoring the same population only pay once.
@@ -74,6 +90,7 @@ class AuditSession:
     """
 
     def __init__(self, generator=None, *, model=None, n_jobs: int = 1,
+                 executor: str = "auto", store=None,
                  cache_predictions: bool = True, max_populations: int = 32) -> None:
         if generator is None and model is None:
             raise ValidationError("AuditSession needs a generator or a model")
@@ -86,20 +103,34 @@ class AuditSession:
         self.generator = generator
         self.max_populations = max_populations
         self.n_jobs = n_jobs
+        self.store = CounterfactualStore.ensure(store)
         if generator is not None:
             if not isinstance(generator.model, BatchModelAdapter):
                 generator.model = BatchModelAdapter(generator.model,
                                                     cache=cache_predictions)
             self._adapter = generator.model
-            self.engine = CounterfactualEngine(generator, n_jobs=n_jobs)
+            self.engine = CounterfactualEngine(generator, n_jobs=n_jobs,
+                                               executor=executor)
         else:
             self._adapter = (model if isinstance(model, BatchModelAdapter)
                              else BatchModelAdapter(model, cache=cache_predictions))
             self.engine = None
         self._reconcile_cache(cache_predictions)
         self.result_reuse_count = 0
+        self.store_row_hits = 0
+        # Predict calls attributable to engine generation passes (excludes
+        # the audits' own scoring traffic) — 0 on a fully warm start.
+        self.engine_predict_call_count = 0
         # population key -> {row index -> Counterfactual | None (infeasible)}
         self._results: dict[str, dict[int, Counterfactual | None]] = {}
+        # population key -> store fingerprint (None = not storable); cleared
+        # with the results, since a refit invalidates both.
+        self._store_fingerprints: dict[str, str | None] = {}
+        # Fingerprints this session has already published once: later
+        # publishes skip the disk read-back merge — the in-memory cache is a
+        # superset of this session's own last write (cross-process races
+        # stay last-writer-wins either way).
+        self._published_fingerprints: set[str] = set()
 
     @classmethod
     def ensure(cls, generator, session: "AuditSession | None"
@@ -154,18 +185,22 @@ class AuditSession:
 
     @property
     def adapter(self) -> BatchModelAdapter:
+        """The session's shared counting adapter (alias of :attr:`model`)."""
         return self._adapter
 
     @property
     def predict_call_count(self) -> int:
+        """Session-wide predict invocations forwarded to the backend."""
         return self._adapter.predict_call_count
 
     @property
     def predict_row_count(self) -> int:
+        """Session-wide rows across forwarded predict calls."""
         return self._adapter.predict_row_count
 
     @property
     def cache_hit_count(self) -> int:
+        """Session-wide predict requests served from the memo."""
         return self._adapter.cache_hit_count
 
     def predict(self, X) -> np.ndarray:
@@ -204,19 +239,59 @@ class AuditSession:
             # Bound the result cache like the predict memo: evict the oldest
             # population (audits of one sweep share a handful of populations;
             # unbounded growth only hurts long-lived multi-population sessions).
-            self._results.pop(next(iter(self._results)))
+            evicted = next(iter(self._results))
+            self._results.pop(evicted)
+            self._store_fingerprints.pop(evicted, None)
+        first_touch = key not in self._results
         cache = self._results.setdefault(key, {})
+        if first_touch:
+            self._seed_from_store(key, X, cache)
         # Dedupe while preserving order: a duplicated index must not trigger
         # (or pay for) two searches of the same row.
         distinct = list(dict.fromkeys(int(i) for i in indices))
         missing = np.asarray([i for i in distinct if i not in cache], dtype=int)
         self.result_reuse_count += len(distinct) - int(missing.size)
         if missing.size:
+            calls_before = self._adapter.predict_call_count
             for i, result in zip(missing, self.engine.generate_aligned(X[missing])):
                 cache[int(i)] = result
+            self.engine_predict_call_count += (
+                self._adapter.predict_call_count - calls_before
+            )
+            self._publish_to_store(key, X, cache)
         return {
             int(i): cache[int(i)] for i in indices if cache[int(i)] is not None
         }
+
+    def _store_fingerprint(self, key: str, X: np.ndarray) -> str | None:
+        """Store fingerprint for a population, memoized per population key."""
+        if key not in self._store_fingerprints:
+            self._store_fingerprints[key] = population_fingerprint(self.generator, X)
+        return self._store_fingerprints[key]
+
+    def _seed_from_store(self, key: str, X: np.ndarray,
+                         cache: dict[int, Counterfactual | None]) -> None:
+        """Warm a population's in-memory cache from the persistent store."""
+        if self.store is None:
+            return
+        fingerprint = self._store_fingerprint(key, X)
+        if fingerprint is None:
+            return
+        stored = self.store.load(fingerprint)
+        if stored:
+            cache.update(stored)
+            self.store_row_hits += len(stored)
+
+    def _publish_to_store(self, key: str, X: np.ndarray,
+                          cache: dict[int, Counterfactual | None]) -> None:
+        """Persist a population's results after an engine pass added rows."""
+        if self.store is None:
+            return
+        fingerprint = self._store_fingerprint(key, X)
+        if fingerprint is not None:
+            self.store.save(fingerprint, cache, n_features=X.shape[1],
+                            merge=fingerprint not in self._published_fingerprints)
+            self._published_fingerprints.add(fingerprint)
 
     def precompute(self, X) -> int:
         """Warm the session for ``X``: one engine pass over every row not yet
@@ -244,7 +319,7 @@ class AuditSession:
         n_infeasible = sum(
             1 for rows in self._results.values() for r in rows.values() if r is None
         )
-        return {
+        stats = {
             "n_populations": len(self._results),
             "n_counterfactuals_cached": n_cached - n_infeasible,
             "n_infeasible_cached": n_infeasible,
@@ -255,7 +330,16 @@ class AuditSession:
             "predict_call_count": self.predict_call_count,
             "predict_row_count": self.predict_row_count,
             "predict_cache_hits": self._adapter.cache_hit_count,
+            # Predict calls spent inside engine generation passes — 0 when
+            # every population came warm from the persistent store.
+            "engine_predict_calls": self.engine_predict_call_count,
+            # Rows warm-started from the persistent store (cross-process
+            # sharing; stays 0 without a store attached).
+            "store_row_hits": self.store_row_hits,
         }
+        if self.store is not None:
+            stats.update(self.store.stats())
+        return stats
 
     def reset_results(self) -> None:
         """Drop the shared results (counterfactuals AND memoized predictions)
@@ -274,10 +358,22 @@ class AuditSession:
         warm.
         """
         self._results.clear()
+        # Fingerprints fold in the fitted model state, so they are stale the
+        # moment a refit happens — recompute on next touch.  The persistent
+        # store itself needs no clearing: the refit model simply fingerprints
+        # to different keys.
+        self._store_fingerprints.clear()
+        self._published_fingerprints.clear()
         self._adapter.clear_memo()
 
     def reset(self) -> None:
         """Drop all shared results and zero the predict counters."""
         self._results.clear()
+        self._store_fingerprints.clear()
+        self._published_fingerprints.clear()
         self._adapter.reset_counts()
+        if self.store is not None:
+            self.store.reset_counts()
         self.result_reuse_count = 0
+        self.store_row_hits = 0
+        self.engine_predict_call_count = 0

@@ -1,0 +1,57 @@
+"""Docstring coverage contract for the documented API surface.
+
+``src/fairexp/explanations`` is the package the ``docs/api`` pages document,
+so its public surface must be self-describing.  CI additionally runs
+
+    ruff check --select D100,D101,D102,D103,D104 src/fairexp/explanations
+
+(see ``.github/workflows/ci.yml``); this test enforces the same contract —
+module, class, public method and public function docstrings — with the
+standard library only, so the guarantee holds in environments without ruff.
+Mirrors ruff's visibility rules: underscore-prefixed names and functions
+nested inside functions are private; dunder methods are out of scope (D105
+is deliberately not selected).
+"""
+
+import ast
+from pathlib import Path
+
+EXPLANATIONS_DIR = (
+    Path(__file__).resolve().parent.parent.parent / "src" / "fairexp" / "explanations"
+)
+
+
+def _missing_docstrings(tree: ast.Module, path: Path) -> list[str]:
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path.name}:1 module docstring (D100/D104)")
+
+    def walk(node, prefix=""):
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            if child.name.startswith("_"):
+                continue  # private (or dunder) — out of the selected rules
+            if ast.get_docstring(child) is None:
+                kind = "class (D101)" if isinstance(child, ast.ClassDef) \
+                    else "function/method (D102/D103)"
+                missing.append(f"{path.name}:{child.lineno} {prefix}{child.name} {kind}")
+            if isinstance(child, ast.ClassDef):
+                walk(child, prefix + child.name + ".")
+            # Functions nested in functions are private — do not descend.
+
+    walk(tree)
+    return missing
+
+
+def test_explanations_public_surface_is_documented():
+    modules = sorted(EXPLANATIONS_DIR.glob("*.py"))
+    assert len(modules) >= 10  # the whole layer, not a stray file
+    missing = []
+    for path in modules:
+        missing += _missing_docstrings(ast.parse(path.read_text()), path)
+    assert not missing, (
+        "public objects in fairexp.explanations lack docstrings "
+        "(the docs/api pages document this surface):\n" + "\n".join(missing)
+    )

@@ -1,0 +1,36 @@
+"""Smoke test: every script in ``examples/`` runs to completion.
+
+The examples double as executable documentation — README and the docs pages
+point readers at them — so a refactor that breaks one must fail CI even
+though no unit test imports it.  Each script runs in its own interpreter
+(exactly how a reader would launch it) with only ``src`` on ``PYTHONPATH``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300, env=env, cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed\n--- stdout ---\n{completed.stdout[-2000:]}"
+        f"\n--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

@@ -172,6 +172,168 @@ class TestCounterfactualEngine:
                                                  random_state=0)
         assert CounterfactualEngine(generator).generate_for(rejected, np.array([], int)) == {}
 
+    def test_invalid_executor_rejected(self, loan_workload):
+        from fairexp.exceptions import ValidationError
+
+        model, background, constraints, _ = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        with pytest.raises(ValidationError):
+            CounterfactualEngine(generator, executor="fibers")
+
+
+def _assert_same_results(sequential, other):
+    assert len(sequential) == len(other)
+    for seq, alt in zip(sequential, other):
+        assert (seq is None) == (alt is None)
+        if seq is None:
+            continue
+        assert np.array_equal(seq.counterfactual, alt.counterfactual)
+        assert seq.changed_features == alt.changed_features
+        assert seq.distance == alt.distance
+
+
+class TestProcessExecutor:
+    """Process-based sharding: picklable shard specs, bitwise merges,
+    GIL-aware auto-selection, and graceful fallbacks."""
+
+    def test_process_shards_bitwise_equal_to_sequential(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        make = lambda: GrowingSpheresCounterfactual(  # noqa: E731
+            model, background, constraints=constraints, random_state=0
+        )
+        sequential = CounterfactualEngine(make(), n_jobs=1).generate_aligned(rejected)
+        engine = CounterfactualEngine(make(), n_jobs=2, executor="process")
+        _assert_same_results(sequential, engine.generate_aligned(rejected))
+
+    def test_process_shards_absorb_worker_predict_counts(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        engine = CounterfactualEngine(generator, n_jobs=2, executor="process")
+        engine.generate_aligned(rejected[:8])
+        assert engine.predict_call_count > 0
+
+    def test_auto_uses_threads_for_gil_releasing_backends(self, loan_workload):
+        model, background, constraints, _ = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        engine = CounterfactualEngine(generator, n_jobs=2)
+        assert engine._resolve_executor() == "thread"
+
+    def test_auto_uses_processes_for_gil_holding_backends(self, loan_workload):
+        from fairexp.explanations import CallablePredictBackend
+
+        model, background, constraints, _ = loan_workload
+        backend = CallablePredictBackend(model.predict)  # releases_gil=False
+        adapted = BatchModelAdapter(model, backend=backend, cache=False)
+        generator = GrowingSpheresCounterfactual(adapted, background,
+                                                 constraints=constraints, random_state=0)
+        engine = CounterfactualEngine(generator, n_jobs=2)
+        assert engine._resolve_executor() == "process"
+
+    def test_gil_holding_backend_process_run_matches_sequential(self, loan_workload):
+        from fairexp.explanations import CallablePredictBackend
+
+        model, background, constraints, rejected = loan_workload
+        sequential = CounterfactualEngine(
+            GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                         random_state=0),
+            n_jobs=1,
+        ).generate_aligned(rejected[:10])
+        backend = CallablePredictBackend(model.predict)
+        adapted = BatchModelAdapter(model, backend=backend, cache=False)
+        generator = GrowingSpheresCounterfactual(adapted, background,
+                                                 constraints=constraints, random_state=0)
+        engine = CounterfactualEngine(generator, n_jobs=2)  # auto -> process
+        _assert_same_results(sequential, engine.generate_aligned(rejected[:10]))
+
+    def test_process_workers_honour_custom_callable_backend(self, loan_workload):
+        """The shard spec must ship the callable's decision boundary, not the
+        bare model's: when they disagree (an out-of-date export, a remote
+        model version skew), the process-sharded results must match the
+        sequential results under the SAME callable."""
+        from fairexp.datasets import make_loan_dataset
+        from fairexp.explanations import CallablePredictBackend
+        from fairexp.models import LogisticRegression
+
+        model, background, constraints, rejected = loan_workload
+        # A genuinely different predictor standing in for "the export".
+        other_dataset = make_loan_dataset(400, direct_bias=0.0, recourse_gap=0.0,
+                                          random_state=7)
+        other_model = LogisticRegression(n_iter=400, random_state=7).fit(
+            other_dataset.X, other_dataset.y
+        )
+        assert not np.array_equal(model.predict(rejected), other_model.predict(rejected))
+
+        def build(n_jobs, executor):
+            backend = CallablePredictBackend(other_model.predict)
+            adapted = BatchModelAdapter(model, backend=backend, cache=False)
+            generator = GrowingSpheresCounterfactual(
+                adapted, background, constraints=constraints, random_state=0
+            )
+            return CounterfactualEngine(generator, n_jobs=n_jobs, executor=executor)
+
+        sequential = build(1, "thread").generate_aligned(rejected[:10])
+        sharded = build(2, "process").generate_aligned(rejected[:10])
+        _assert_same_results(sequential, sharded)
+        # And every counterfactual flips the class under the CALLABLE.
+        found = [r for r in sharded if r is not None]
+        assert found, "workload produced no counterfactuals to check"
+        for result in found:
+            assert int(other_model.predict(result.counterfactual[None, :])[0]) == 1
+
+    def test_unpicklable_spec_falls_back_to_threads(self, loan_workload):
+        from fairexp.explanations import CallablePredictBackend
+
+        model, background, constraints, rejected = loan_workload
+        # A closure-based backend with no reachable bare model cannot be
+        # shipped to workers; the engine must still produce correct results.
+        backend = CallablePredictBackend(lambda X: model.predict(X))
+        adapted = BatchModelAdapter(backend=backend, cache=False)
+        generator = GrowingSpheresCounterfactual(adapted, background,
+                                                 constraints=constraints, random_state=0)
+        engine = CounterfactualEngine(generator, n_jobs=2, executor="process")
+        sequential = CounterfactualEngine(
+            GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                         random_state=0),
+            n_jobs=1,
+        ).generate_aligned(rejected[:8])
+        _assert_same_results(sequential, engine.generate_aligned(rejected[:8]))
+
+    def test_worker_pool_failure_falls_back_to_threads(self, loan_workload,
+                                                       monkeypatch):
+        """A pool that breaks at run time (spawn-method rebuild failures,
+        BrokenProcessPool) must degrade to thread shards, not crash audits."""
+        from fairexp.explanations import engine as engine_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("worker bootstrap failed")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", ExplodingPool)
+        model, background, constraints, rejected = loan_workload
+        sequential = CounterfactualEngine(
+            GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                         random_state=0),
+            n_jobs=1,
+        ).generate_aligned(rejected[:6])
+        engine = CounterfactualEngine(
+            GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                         random_state=0),
+            n_jobs=2, executor="process",
+        )
+        _assert_same_results(sequential, engine.generate_aligned(rejected[:6]))
+
+    def test_shared_stream_generator_stays_sequential(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(
+            model, background, constraints=constraints,
+            random_state=np.random.default_rng(0),
+        )
+        engine = CounterfactualEngine(generator, n_jobs=4, executor="process")
+        assert engine._resolve_n_jobs(rejected.shape[0]) == 1
+
 
 class TestExplainerRegistry:
     def test_generators_registered_with_capability(self):
