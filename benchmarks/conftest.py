@@ -93,6 +93,14 @@ def record(benchmark, results: dict, *, adapter=None, experiment: str | None = N
         benchmark.extra_info["predict_call_count"] = adapter.predict_call_count
         benchmark.extra_info["predict_row_count"] = adapter.predict_row_count
         benchmark.extra_info["predict_cache_hits"] = getattr(adapter, "cache_hit_count", 0)
+        # Sessions expose richer accounting (schedule steps/draws, store-level
+        # bytes read, row hits and entry ages): fold all of it into the
+        # trajectory record so the BENCH_*.json curves track the search and
+        # store behaviour, not just wall time and predict calls.
+        stats = getattr(adapter, "stats", None)
+        if callable(stats):
+            for key, value in stats().items():
+                benchmark.extra_info.setdefault(key, value)
     if experiment is not None:
         emit_trajectory(experiment, benchmark, dict(benchmark.extra_info))
     return results

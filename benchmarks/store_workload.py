@@ -87,6 +87,9 @@ def timed_sweep(store_dir, **session_kwargs) -> dict:
         "store_entries": stats.get("store_entries", 0),
         "store_hits": stats.get("store_hits", 0),
         "store_misses": stats.get("store_misses", 0),
+        "store_bytes_read": stats.get("store_bytes_read", 0),
+        "schedule_steps": stats.get("schedule_steps", 0),
+        "schedule_draws": stats.get("schedule_draws", 0),
     }
 
 

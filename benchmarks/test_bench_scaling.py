@@ -1,0 +1,46 @@
+"""Larger-N scaling point for the E1/E2 trajectory.
+
+``BENCH_E1_E2.json`` (from ``test_bench_burden.py``) records the standard
+600-sample configuration; this module adds a **10x** point (6000 samples,
+800 audited rows) to ``BENCH_E1_E2_XL.json`` so the trajectory carries two
+sizes and scaling curves can be compared across runs.
+
+The asserted shape claim is the lockstep engine's scaling property: predict
+*calls* grow with the number of search steps, not the number of audited
+rows, so the 10x workload must cost far fewer than 10x the small workload's
+predict calls (rows per call grow instead).
+"""
+
+from conftest import record
+
+from fairexp.experiments import run_e1_e2_burden_nawb
+
+SMALL = {"n_samples": 600, "audit_size": 80}
+LARGE = {"n_samples": 6000, "audit_size": 800}
+
+
+def test_e1_at_10x_samples(benchmark):
+    small = run_e1_e2_burden_nawb(**SMALL)
+    large = benchmark.pedantic(run_e1_e2_burden_nawb, kwargs=LARGE,
+                               rounds=1, iterations=1)
+
+    # The paper's qualitative claims hold at 10x scale.
+    assert large["burden_gap_biased"] > 0.5
+    assert large["nawb_gap_biased"] > 0.05
+    assert abs(large["burden_gap_fair"]) < large["burden_gap_biased"] / 2
+
+    # Lockstep batching: 10x rows must NOT cost 10x predict calls (the
+    # whole point of the batched engine; calls scale with search steps).
+    assert large["predict_calls_biased"] < 5 * small["predict_calls_biased"]
+    assert large["predict_calls_biased"] < 200
+
+    record(benchmark, {
+        **{f"small_{key}": small[key]
+           for key in ("predict_calls_biased", "burden_gap_biased",
+                       "schedule_steps_biased", "schedule_draws_biased")},
+        **{key: large[key] for key in large if "rendered" not in key},
+        "scale_factor": LARGE["n_samples"] / SMALL["n_samples"],
+        "predict_call_growth": (
+            large["predict_calls_biased"] / max(small["predict_calls_biased"], 1)
+        ),
+    }, experiment="E1_E2_XL")

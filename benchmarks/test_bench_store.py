@@ -46,6 +46,25 @@ def _fresh_process_sweep(store_dir) -> dict:
     return json.loads(completed.stdout)
 
 
+def _payload_compression(store_dir) -> dict:
+    """Bytes-on-disk of the store's (compressed) payloads vs the uncompressed
+    npz equivalent of the same arrays — the satellite's recorded saving."""
+    import io
+
+    compressed = uncompressed = 0
+    for payload_path in Path(store_dir).glob("*.npz"):
+        compressed += payload_path.stat().st_size
+        with np.load(payload_path) as payload:
+            buffer = io.BytesIO()
+            np.savez(buffer, **{key: payload[key] for key in payload.files})
+            uncompressed += len(buffer.getvalue())
+    return {
+        "store_payload_bytes_compressed": compressed,
+        "store_payload_bytes_uncompressed": uncompressed,
+        "store_compression_ratio": uncompressed / max(compressed, 1),
+    }
+
+
 def test_warm_start_sweep_has_zero_engine_predict_calls(benchmark, tmp_path):
     store_dir = tmp_path / "store"
 
@@ -54,6 +73,8 @@ def test_warm_start_sweep_has_zero_engine_predict_calls(benchmark, tmp_path):
     assert cold["engine_predict_calls"] > 0
     assert cold["store_row_hits"] == 0
     assert cold["store_entries"] >= 1
+    compression = _payload_compression(store_dir)
+    assert compression["store_compression_ratio"] > 1.0  # compressed on disk
 
     # Warm pass, FRESH process: zero engine predict calls, identical numbers.
     warm = benchmark.pedantic(lambda: _fresh_process_sweep(store_dir),
@@ -73,7 +94,9 @@ def test_warm_start_sweep_has_zero_engine_predict_calls(benchmark, tmp_path):
         "cold_engine_predict_calls": cold["engine_predict_calls"],
         "warm_engine_predict_calls": warm["engine_predict_calls"],
         "warm_store_row_hits": warm["store_row_hits"],
+        "warm_store_bytes_read": warm.get("store_bytes_read", 0),
         "store_entries": warm["store_entries"],
+        **compression,
     }, experiment="STORE")
 
 

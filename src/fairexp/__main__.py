@@ -1,0 +1,6 @@
+"""``python -m fairexp`` dispatches to :func:`fairexp.cli.main`."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

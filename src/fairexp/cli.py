@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m fairexp``.
+
+The only command family today is ``store`` — operational tooling for the
+cross-process :class:`~fairexp.explanations.store.CounterfactualStore`:
+
+``python -m fairexp store inspect [--dir DIR] [--json]``
+    List every published entry: fingerprint, rows, bytes on disk, age since
+    the last recency bump, and manifest format version.
+
+``python -m fairexp store evict [--dir DIR] [--fingerprint PREFIX]
+[--max-entries N] [--max-bytes BYTES]``
+    Discard one entry by fingerprint prefix, or the oldest entries until
+    the directory fits the given bounds.
+
+``python -m fairexp store clear [--dir DIR]``
+    Remove every entry (manifests, payloads, leftover temp files).
+
+The store directory resolves from ``--dir`` or, when omitted, from the
+``FAIREXP_STORE_DIR`` environment variable — the same variable the
+experiment runners opt in with, so the CLI inspects exactly what a sweep
+would warm-start from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .explanations.store import CounterfactualStore
+
+__all__ = ["main"]
+
+
+def _resolve_store(directory: str | None) -> CounterfactualStore:
+    """Store rooted at ``--dir`` or ``$FAIREXP_STORE_DIR`` (required).
+
+    The directory must already exist: the CLI is an inspection/maintenance
+    surface, and silently creating a typo'd path would report a fresh
+    "empty store" instead of the error the operator needs.
+    """
+    resolved = (directory or os.environ.get("FAIREXP_STORE_DIR", "")).strip()
+    if not resolved:
+        raise SystemExit(
+            "no store directory: pass --dir or set FAIREXP_STORE_DIR"
+        )
+    if not os.path.isdir(resolved):
+        raise SystemExit(f"store directory does not exist: {resolved}")
+    return CounterfactualStore(resolved)
+
+
+def _format_age(seconds: float) -> str:
+    """Human-readable age: seconds, minutes, hours or days."""
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    store = _resolve_store(args.dir)
+    details = store.entry_details()
+    if args.json:
+        print(json.dumps({"directory": str(store.directory), "entries": details},
+                         indent=2))
+        return 0
+    if not details:
+        print(f"{store.directory}: empty store")
+        return 0
+    print(f"{store.directory}: {len(details)} entries, "
+          f"{sum(d['bytes'] for d in details)} bytes (oldest first)")
+    print(f"{'FINGERPRINT':<16} {'ROWS':>6} {'BYTES':>10} {'AGE':>6} "
+          f"{'FMT':>3}  UPDATED")
+    for entry in details:
+        print(f"{entry['fingerprint'][:16]:<16} {entry['n_rows']:>6} "
+              f"{entry['bytes']:>10} {_format_age(entry['age_seconds']):>6} "
+              f"{str(entry['format_version']):>3}  {entry['updated_at']}")
+    return 0
+
+
+def _cmd_evict(args: argparse.Namespace) -> int:
+    if args.fingerprint is None and args.max_entries is None and args.max_bytes is None:
+        raise SystemExit(
+            "evict needs --fingerprint, --max-entries and/or --max-bytes"
+        )
+    store = _resolve_store(args.dir)
+    try:
+        removed = store.evict(fingerprint=args.fingerprint,
+                              max_entries=args.max_entries,
+                              max_bytes=args.max_bytes)
+    except ValueError as error:  # ambiguous fingerprint prefix
+        raise SystemExit(str(error)) from None
+    print(f"evicted {removed} entries from {store.directory}")
+    return 0
+
+
+def _cmd_clear(args: argparse.Namespace) -> int:
+    store = _resolve_store(args.dir)
+    n_entries = len(store.entries())
+    store.clear()
+    print(f"cleared {n_entries} entries from {store.directory}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fairexp",
+        description="fairexp operational tooling (currently: the counterfactual store)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    store_parser = commands.add_parser(
+        "store", help="inspect / evict / clear the persistent counterfactual store"
+    )
+    actions = store_parser.add_subparsers(dest="action", required=True)
+
+    def add_dir(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--dir", default=None,
+            help="store directory (default: $FAIREXP_STORE_DIR)",
+        )
+
+    inspect_parser = actions.add_parser(
+        "inspect", help="list entry fingerprints, ages and sizes"
+    )
+    add_dir(inspect_parser)
+    inspect_parser.add_argument("--json", action="store_true",
+                                help="emit machine-readable JSON")
+    inspect_parser.set_defaults(func=_cmd_inspect)
+
+    evict_parser = actions.add_parser(
+        "evict", help="discard entries by fingerprint prefix or LRU bounds"
+    )
+    add_dir(evict_parser)
+    evict_parser.add_argument("--fingerprint", default=None,
+                              help="fingerprint (or unambiguous prefix) to discard")
+    evict_parser.add_argument("--max-entries", type=int, default=None,
+                              help="evict oldest entries beyond this count")
+    evict_parser.add_argument("--max-bytes", type=int, default=None,
+                              help="evict oldest entries beyond this total size")
+    evict_parser.set_defaults(func=_cmd_evict)
+
+    clear_parser = actions.add_parser("clear", help="remove every entry")
+    add_dir(clear_parser)
+    clear_parser.set_defaults(func=_cmd_clear)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m fairexp``; returns the process exit code."""
+    args = _build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    return args.func(args)

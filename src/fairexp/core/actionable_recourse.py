@@ -64,7 +64,8 @@ class RecourseResult:
     candidates: list[Flipset] = field(default_factory=list, repr=False)
 
 
-@ExplainerRegistry.register("causal_recourse", capabilities=("fairness-explainer", "causal"))
+@ExplainerRegistry.register("causal_recourse", capabilities=("fairness-explainer", "causal"),
+                            data_requirements=("scm",))
 class CausalRecourseExplainer:
     """Search for minimal-cost intervention sets (flipsets) over an SCM.
 

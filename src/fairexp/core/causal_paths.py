@@ -56,7 +56,8 @@ class CausalPathDecomposition:
         return float(covered / self.total_disparity)
 
 
-@ExplainerRegistry.register("causal_paths", capabilities=("fairness-explainer", "causal"))
+@ExplainerRegistry.register("causal_paths", capabilities=("fairness-explainer", "causal"),
+                            data_requirements=("scm",))
 class CausalPathExplainer:
     """Decompose model disparity over causal paths from the sensitive attribute.
 

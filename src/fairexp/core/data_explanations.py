@@ -65,7 +65,8 @@ class DataExplanationResult:
         return self.patterns[:k]
 
 
-@ExplainerRegistry.register("gopher", capabilities=("fairness-explainer", "data-based"))
+@ExplainerRegistry.register("gopher", capabilities=("fairness-explainer", "data-based"),
+                            data_requirements=("labels",))
 class GopherExplainer:
     """Search for training-data patterns responsible for model unfairness.
 

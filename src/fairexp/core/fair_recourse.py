@@ -140,6 +140,7 @@ class CausalRecourseFairnessResult:
     info=ExplainerInfo(stage="post-hoc", access="black-box", agnostic=True, coverage="both",
                        explanation_type="example", multiplicity="multiple"),
     capabilities=("fairness-explainer", "recourse", "causal"),
+    data_requirements=("scm",),
 )
 def causal_recourse_fairness(
     explainer: CausalRecourseExplainer,

@@ -61,7 +61,8 @@ class NAWBResult:
         }
 
 
-@ExplainerRegistry.register("nawb", capabilities=("fairness-explainer", "counterfactual-based"))
+@ExplainerRegistry.register("nawb", capabilities=("fairness-explainer", "counterfactual-based"),
+                            data_requirements=("labels",))
 class NAWBExplainer:
     """Compute NAWB per group using any counterfactual generator.
 

@@ -80,6 +80,12 @@ class Dataset:
         into groups (1 is conventionally the protected group).
     name:
         Human-readable dataset name.
+    scm:
+        Optional structural causal model the data was generated from
+        (:class:`~fairexp.causal.scm.StructuralCausalModel`).  Datasets
+        carrying one satisfy the registry's ``"scm"`` data requirement, so
+        causal-recourse explainers auto-select for them; it travels through
+        :meth:`subset` / :meth:`split` and friends.
     """
 
     X: np.ndarray
@@ -87,6 +93,7 @@ class Dataset:
     features: list[FeatureSpec]
     sensitive: str
     name: str = "dataset"
+    scm: object | None = None
 
     #: data modality advertised to ``ExplainerRegistry.is_compatible``
     modality = "tabular"
@@ -157,6 +164,7 @@ class Dataset:
             features=list(self.features),
             sensitive=self.sensitive,
             name=self.name,
+            scm=self.scm,
         )
 
     def drop_feature(self, name: str) -> "Dataset":
@@ -180,6 +188,7 @@ class Dataset:
             features=[self.features[i] for i in keep],
             sensitive=self.sensitive,
             name=self.name,
+            scm=self.scm,
         )
 
     def features_without_sensitive(self) -> tuple[np.ndarray, list[FeatureSpec]]:
@@ -199,6 +208,7 @@ class Dataset:
             features=list(self.features),
             sensitive=self.sensitive,
             name=self.name,
+            scm=self.scm,
         )
 
     def split(self, test_size: float = 0.3, random_state=None) -> tuple["Dataset", "Dataset"]:

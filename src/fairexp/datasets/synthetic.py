@@ -347,5 +347,6 @@ def make_scm_loan_dataset(n_samples: int = 1500, *, direct_bias: float = 0.8, ra
         FeatureSpec("income", kind="numeric", monotone=1, lower=5, upper=200),
         FeatureSpec("savings", kind="numeric", monotone=1, lower=0, upper=100),
     ]
-    dataset = Dataset(X=X, y=y, features=features, sensitive="group", name="scm_loan")
+    dataset = Dataset(X=X, y=y, features=features, sensitive="group", name="scm_loan",
+                      scm=scm)
     return dataset, scm

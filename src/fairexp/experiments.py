@@ -122,13 +122,18 @@ def _experiment_store():
     return CounterfactualStore.from_env()
 
 
-def _session_for(dataset, train, model, *, seed=0, name="growing_spheres", n_jobs=1):
+def _session_for(dataset, train, model, *, seed=0, name="growing_spheres", n_jobs=1,
+                 schedule=None, executor="auto"):
     """One shared-pass :class:`AuditSession` per workload: every audit of the
     workload draws counterfactuals and predictions from the same engine +
     backend, so overlapping populations are explained once — and, with
-    ``FAIREXP_STORE_DIR`` set, across processes too."""
+    ``FAIREXP_STORE_DIR`` set, across processes too.  ``schedule`` (a
+    :class:`~fairexp.explanations.SearchSchedule` or a name like
+    ``"adaptive"``) selects the candidate-search schedule every audit of the
+    sweep runs under; sharded passes reuse the session's executor pool."""
     return AuditSession(_generator_for(dataset, train, model, seed=seed, name=name),
-                        n_jobs=n_jobs, store=_experiment_store())
+                        n_jobs=n_jobs, schedule=schedule, executor=executor,
+                        store=_experiment_store())
 
 
 # --------------------------------------------------------------------------
@@ -188,40 +193,49 @@ def run_table1() -> dict:
 # E1 / E2 — burden and NAWB
 # --------------------------------------------------------------------------
 def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80,
-                          n_jobs: int = 1) -> dict:
+                          n_jobs: int = 1, schedule=None) -> dict:
     """Burden [72] and NAWB [73] on a biased vs. an unbiased loan model.
 
     Both explainers share one :class:`AuditSession` per workload: burden
     explains the negatively classified members, NAWB's false negatives are a
     subset of those rows, so the sweep costs a single engine pass.  The
     session-wide number of ``model.predict`` invocations is reported per
-    workload so the benchmarks can track predict-call reduction.
+    workload so the benchmarks can track predict-call reduction;
+    ``schedule`` selects the search schedule (``"adaptive"`` issues strictly
+    fewer predict calls than the default geometric ladder, asserted in
+    ``benchmarks/test_bench_schedules.py``).
     """
     results: dict[str, float] = {}
     for label, direct_bias, recourse_gap in (("biased", 1.2, 1.0), ("fair", 0.0, 0.0)):
         dataset, train, test, model = _loan_workload(
             n_samples, direct_bias=direct_bias, recourse_gap=recourse_gap, seed=0
         )
-        session = _session_for(dataset, train, model, n_jobs=n_jobs)
-        subset = test.subset(np.arange(min(audit_size, test.n_samples)))
-        burden = BurdenExplainer(session=session).explain(subset.X, subset.sensitive_values)
-        nawb = NAWBExplainer(session=session).explain(subset.X, subset.y,
-                                                      subset.sensitive_values)
+        with _session_for(dataset, train, model, n_jobs=n_jobs,
+                          schedule=schedule) as session:
+            subset = test.subset(np.arange(min(audit_size, test.n_samples)))
+            burden = BurdenExplainer(session=session).explain(subset.X,
+                                                              subset.sensitive_values)
+            nawb = NAWBExplainer(session=session).explain(subset.X, subset.y,
+                                                          subset.sensitive_values)
+            stats = session.stats()
         results[f"burden_gap_{label}"] = burden.gap
         results[f"burden_ratio_{label}"] = burden.ratio
         results[f"nawb_gap_{label}"] = nawb.gap
         results[f"fnr_gap_{label}"] = (
             nawb.protected.false_negative_rate - nawb.reference.false_negative_rate
         )
-        results[f"predict_calls_{label}"] = session.predict_call_count
-        results[f"cf_reused_{label}"] = session.stats()["n_results_reused"]
+        results[f"predict_calls_{label}"] = stats["predict_call_count"]
+        results[f"engine_predict_calls_{label}"] = stats["engine_predict_calls"]
+        results[f"schedule_steps_{label}"] = stats["schedule_steps"]
+        results[f"schedule_draws_{label}"] = stats["schedule_draws"]
+        results[f"cf_reused_{label}"] = stats["n_results_reused"]
     return results
 
 
 # --------------------------------------------------------------------------
 # E3 — PreCoF
 # --------------------------------------------------------------------------
-def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
+def run_e3_precof(n_samples: int = 600, audit_size: int = 80, schedule=None) -> dict:
     """PreCoF [71]: explicit bias via sensitive flips, implicit bias via proxies."""
     dataset = make_adult_like(n_samples, direct_bias=1.2, proxy_bias=0.9, random_state=0)
     train, test = dataset.split(test_size=0.3, random_state=1)
@@ -232,12 +246,12 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
     # session pins a frozen model.
     spheres_cls = ExplainerRegistry.get("growing_spheres")
     model_explicit = LogisticRegression(n_iter=1200, random_state=0).fit(train.X, train.y)
-    session_explicit = AuditSession(spheres_cls(model_explicit, train.X, random_state=0),
-                                    store=_experiment_store())
-    explicit = PreCoFExplainer(
-        feature_names=dataset.feature_names, sensitive_feature=dataset.sensitive,
-        mode="explicit", session=session_explicit,
-    ).explain(subset.X, subset.sensitive_values)
+    with AuditSession(spheres_cls(model_explicit, train.X, random_state=0),
+                      schedule=schedule, store=_experiment_store()) as session_explicit:
+        explicit = PreCoFExplainer(
+            feature_names=dataset.feature_names, sensitive_feature=dataset.sensitive,
+            mode="explicit", session=session_explicit,
+        ).explain(subset.X, subset.sensitive_values)
 
     # Implicit analysis: sensitive attribute removed from training (fairness through
     # unawareness); the proxy attribute should surface in the change-frequency gap.
@@ -245,12 +259,12 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80) -> dict:
     X_sub_blind, blind_specs = subset.features_without_sensitive()
     blind_names = [spec.name for spec in blind_specs]
     model_blind = LogisticRegression(n_iter=1200, random_state=0).fit(X_train_blind, train.y)
-    session_blind = AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0),
-                                 store=_experiment_store())
-    implicit = PreCoFExplainer(
-        feature_names=blind_names, sensitive_feature=dataset.sensitive,
-        mode="implicit", session=session_blind,
-    ).explain(X_sub_blind, subset.sensitive_values)
+    with AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0),
+                      schedule=schedule, store=_experiment_store()) as session_blind:
+        implicit = PreCoFExplainer(
+            feature_names=blind_names, sensitive_feature=dataset.sensitive,
+            mode="implicit", session=session_blind,
+        ).explain(X_sub_blind, subset.sensitive_values)
     implicit_top = implicit.implicit_bias_attributes(3)
 
     return {
@@ -291,45 +305,45 @@ def run_e4_facts(n_samples: int = 700) -> dict:
 # --------------------------------------------------------------------------
 # E5 — group counterfactuals (GLOBE-CE, CF trees, recourse sets) + CF ablation
 # --------------------------------------------------------------------------
-def run_e5_group_counterfactuals(n_samples: int = 600) -> dict:
+def run_e5_group_counterfactuals(n_samples: int = 600, schedule=None) -> dict:
     """GLOBE-CE [75], CF trees [76] and recourse sets [74] + CF search ablation."""
     dataset, train, test, model = _loan_workload(n_samples)
     constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
     # One session per workload: GLOBE-CE, the CF tree and the recourse set all
     # score candidates through the same counting/memoizing adapter.
-    session = _session_for(dataset, train, model)
+    with _session_for(dataset, train, model, schedule=schedule) as session:
 
-    globe = GlobeCEExplainer(feature_names=dataset.feature_names, random_state=0,
-                             session=session).explain(test.X, test.sensitive_values)
+        globe = GlobeCEExplainer(feature_names=dataset.feature_names, random_state=0,
+                                 session=session).explain(test.X, test.sensitive_values)
 
-    facts = FACTSExplainer(session.model, dataset.feature_names, dataset.sensitive_index,
-                           random_state=0)
-    actions = facts._candidate_actions(train.X, session.predict(train.X))
-    tree = CounterfactualExplanationTree(session.model, actions,
-                                         feature_names=dataset.feature_names,
-                                         max_depth=2).fit(test.X)
-    tree_audit = tree.audit(test.X, test.sensitive_values)
-    recourse_set = RecourseSetExplainer(
-        candidate_actions=actions, feature_names=dataset.feature_names,
-        sensitive_index=dataset.sensitive_index, session=session,
-    ).explain(test.X, test.sensitive_values)
+        facts = FACTSExplainer(session.model, dataset.feature_names, dataset.sensitive_index,
+                               random_state=0)
+        actions = facts._candidate_actions(train.X, session.predict(train.X))
+        tree = CounterfactualExplanationTree(session.model, actions,
+                                             feature_names=dataset.feature_names,
+                                             max_depth=2).fit(test.X)
+        tree_audit = tree.audit(test.X, test.sensitive_values)
+        recourse_set = RecourseSetExplainer(
+            candidate_actions=actions, feature_names=dataset.feature_names,
+            sensitive_index=dataset.sensitive_index, session=session,
+        ).explain(test.X, test.sensitive_values)
 
-    # Ablation: every *compatible* counterfactual search strategy (distance and
-    # sparsity of the CFs), auto-selected through the registry's structured
-    # compatibility check instead of a hard-coded list + try/except.
-    ablation: dict[str, float] = {}
-    rejected = test.X[session.predict(test.X) == 0][:20]
-    for entry in ExplainerRegistry.compatible(capability="counterfactual-generator",
-                                              model=model, dataset=dataset):
-        generator = entry.obj(model, train.X, constraints=constraints, random_state=0)
-        counterfactuals = generator.generate_batch(rejected)
-        ablation[f"cf_{entry.name}_mean_distance"] = (
-            float(np.mean([c.distance for c in counterfactuals])) if counterfactuals else np.inf
-        )
-        ablation[f"cf_{entry.name}_mean_sparsity"] = (
-            float(np.mean([c.sparsity() for c in counterfactuals])) if counterfactuals else 0.0
-        )
-        ablation[f"cf_{entry.name}_coverage"] = len(counterfactuals) / max(len(rejected), 1)
+        # Ablation: every *compatible* counterfactual search strategy (distance and
+        # sparsity of the CFs), auto-selected through the registry's structured
+        # compatibility check instead of a hard-coded list + try/except.
+        ablation: dict[str, float] = {}
+        rejected = test.X[session.predict(test.X) == 0][:20]
+        for entry in ExplainerRegistry.compatible(capability="counterfactual-generator",
+                                                  model=model, dataset=dataset):
+            generator = entry.obj(model, train.X, constraints=constraints, random_state=0)
+            counterfactuals = generator.generate_batch(rejected)
+            ablation[f"cf_{entry.name}_mean_distance"] = (
+                float(np.mean([c.distance for c in counterfactuals])) if counterfactuals else np.inf
+            )
+            ablation[f"cf_{entry.name}_mean_sparsity"] = (
+                float(np.mean([c.sparsity() for c in counterfactuals])) if counterfactuals else 0.0
+            )
+            ablation[f"cf_{entry.name}_coverage"] = len(counterfactuals) / max(len(rejected), 1)
 
     return {
         "globe_cost_gap": globe.cost_gap,
@@ -356,7 +370,16 @@ def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
     # Generator-less session: the flipset grid search repeats many small
     # intervention matrices, which the session's memoizing backend coalesces.
     session = AuditSession(model=model)
-    explainer = CausalRecourseExplainer(
+    # The SCM travels on the dataset, so the causal explainer is auto-selected
+    # through the registry's declared data requirements instead of being
+    # hard-coded: only SCM-carrying datasets offer it.
+    causal_entries = {
+        entry.name
+        for entry in ExplainerRegistry.compatible(capability="causal",
+                                                  model=model, dataset=train)
+    }
+    explainer_cls = ExplainerRegistry.get("causal_recourse")
+    explainer = explainer_cls(
         session.model, scm, dataset.feature_names,
         actionable=["education", "income", "savings"],
         scales={"education": 2.0, "income": 10.0, "savings": 5.0},
@@ -379,6 +402,8 @@ def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
         "fraction_strictly_cheaper": float(
             np.mean(independent_costs[finite] - causal_costs[finite] > 1e-9)
         ),
+        "n_causal_explainers_selected": len(causal_entries),
+        "causal_recourse_auto_selected": "causal_recourse" in causal_entries,
         "predict_calls": session.predict_call_count,
     }
 

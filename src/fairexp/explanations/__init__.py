@@ -44,6 +44,13 @@ from .backends import (
     ensure_backend,
 )
 from .engine import BatchModelAdapter, CounterfactualEngine, generator_config, shard_indices
+from .pool import ExecutorPool
+from .schedules import (
+    AdaptiveSchedule,
+    GeometricSchedule,
+    SearchSchedule,
+    resolve_schedule,
+)
 from .session import AuditSession
 from .store import CounterfactualStore, model_signature, population_fingerprint
 from .examples import (
@@ -89,6 +96,11 @@ __all__ = [
     "BatchModelAdapter",
     "CounterfactualEngine",
     "CounterfactualStore",
+    "ExecutorPool",
+    "SearchSchedule",
+    "GeometricSchedule",
+    "AdaptiveSchedule",
+    "resolve_schedule",
     "generator_config",
     "model_signature",
     "population_fingerprint",

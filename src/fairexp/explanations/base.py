@@ -100,6 +100,15 @@ class RegisteredExplainer:
         Attributes the audited model must expose (``("predict",)`` by
         default; e.g. ``("predict", "gradient_input")`` for gradient-access
         explainers).
+    data_requirements:
+        What the *dataset* must carry for the explainer to run:
+        ``"labels"`` (ground-truth ``y``, e.g. NAWB's false negatives),
+        ``"scm"`` (a structural causal model attached to the dataset, e.g.
+        the causal-recourse and causal-path explainers), and/or
+        ``"feature-specs"`` (per-feature metadata, for explainers built on
+        actionability information).  This is how E6/E7-style causal
+        workloads auto-select their explainers through
+        :meth:`ExplainerRegistry.compatible` instead of hard-coded lists.
     """
 
     name: str
@@ -108,6 +117,24 @@ class RegisteredExplainer:
     capabilities: frozenset[str]
     modality: str = "tabular"
     model_requirements: tuple[str, ...] = ("predict",)
+    data_requirements: tuple[str, ...] = ()
+
+    #: requirement name -> (predicate over the dataset, failure description)
+    _DATA_CHECKS = {
+        "labels": (
+            lambda dataset: getattr(dataset, "y", None) is not None
+            and len(getattr(dataset, "y", ())) > 0,
+            "dataset lacks ground-truth labels (y)",
+        ),
+        "scm": (
+            lambda dataset: getattr(dataset, "scm", None) is not None,
+            "dataset lacks an attached structural causal model (scm)",
+        ),
+        "feature-specs": (
+            lambda dataset: bool(getattr(dataset, "features", None)),
+            "dataset lacks per-feature specs (features)",
+        ),
+    }
 
     @property
     def path(self) -> str:
@@ -123,8 +150,9 @@ class RegisteredExplainer:
 
         ``model`` is checked against :attr:`model_requirements`; ``dataset``
         against :attr:`modality` (a dataset advertises its modality through a
-        ``modality`` attribute, defaulting to ``"tabular"``).  Either
-        argument may be ``None`` to skip that half of the check.
+        ``modality`` attribute, defaulting to ``"tabular"``) and against the
+        declared :attr:`data_requirements` (labels / SCM / feature specs).
+        Either argument may be ``None`` to skip that half of the check.
         """
         reasons: list[str] = []
         if model is not None:
@@ -137,6 +165,10 @@ class RegisteredExplainer:
                 reasons.append(
                     f"explainer expects {self.modality!r} data, dataset is {modality!r}"
                 )
+            for requirement in self.data_requirements:
+                satisfied, description = self._DATA_CHECKS[requirement]
+                if not satisfied(dataset):
+                    reasons.append(description)
         return CompatibilityCheck(tuple(reasons))
 
 
@@ -160,12 +192,19 @@ class ExplainerRegistry:
         capabilities: Sequence[str] = (),
         modality: str = "tabular",
         model_requirements: Sequence[str] | None = None,
+        data_requirements: Sequence[str] = (),
     ) -> Callable:
         """Class/function decorator adding the object to the registry."""
         if model_requirements is None:
             model_requirements = ("predict",)
             if "requires-gradient" in capabilities:
                 model_requirements = ("predict", "gradient_input")
+        unknown = set(data_requirements) - set(RegisteredExplainer._DATA_CHECKS)
+        if unknown:
+            raise ValueError(
+                f"unknown data requirements {sorted(unknown)}; "
+                f"known: {sorted(RegisteredExplainer._DATA_CHECKS)}"
+            )
 
         def decorator(obj):
             entry_info = info if info is not None else getattr(obj, "info", None)
@@ -174,6 +213,7 @@ class ExplainerRegistry:
                 capabilities=frozenset(capabilities),
                 modality=modality,
                 model_requirements=tuple(model_requirements),
+                data_requirements=tuple(data_requirements),
             )
             existing = cls._entries.get(name)
             if existing is not None and existing.obj is not obj:

@@ -21,6 +21,7 @@ and monotonicity information carried by :class:`fairexp.datasets.FeatureSpec`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -31,6 +32,7 @@ from ..exceptions import InfeasibleRecourseError, ValidationError
 from ..utils import check_random_state
 from .base import Counterfactual, ExplainerInfo, ExplainerRegistry
 from .engine import greedy_sparsify_batch, lockstep_candidate_search
+from .schedules import resolve_schedule
 
 __all__ = [
     "ActionabilityConstraints",
@@ -160,6 +162,28 @@ class BaseCounterfactualGenerator:
         The favourable outcome to reach (default 1).
     metric:
         Distance metric reported on the returned counterfactuals.
+    schedule:
+        A :class:`~fairexp.explanations.schedules.SearchSchedule` (or its
+        name, ``"geometric"`` / ``"adaptive"``) deciding which rung of the
+        generator's :meth:`draw_schedule` ladder each still-unsolved
+        instance probes next in the batched lockstep search.  ``None``
+        resolves to the default
+        :class:`~fairexp.explanations.schedules.GeometricSchedule`, which
+        reproduces the historical fixed widening bitwise-exactly.  The
+        schedule is part of the search configuration: it is introspected by
+        ``generator_config`` and therefore folded into store fingerprints.
+        (The sequential :meth:`generate` reference path always walks the
+        full fixed ladder; generators without a rung ladder — gradient
+        ascent — ignore the schedule.)
+
+    Attributes
+    ----------
+    search_step_count, search_draw_count:
+        Lockstep schedule steps taken and candidate rows drawn across this
+        generator's batched searches (thread-safe; process-sharded passes
+        fold their workers' totals back in).  Surfaced through
+        :meth:`~fairexp.explanations.session.AuditSession.stats` as
+        ``schedule_steps`` / ``schedule_draws``.
     """
 
     info = ExplainerInfo(
@@ -180,6 +204,7 @@ class BaseCounterfactualGenerator:
         target_class: int = 1,
         metric: str = "l1",
         random_state=None,
+        schedule=None,
     ) -> None:
         self.model = model
         self.background = np.asarray(background, dtype=float)
@@ -189,10 +214,39 @@ class BaseCounterfactualGenerator:
         self.target_class = target_class
         self.metric = metric
         self.random_state = random_state
+        self.schedule = resolve_schedule(schedule)
         self.scale_ = self.background.std(axis=0)
         self.scale_[self.scale_ == 0] = 1.0
+        self.search_step_count = 0
+        self.search_draw_count = 0
+        self._search_count_lock = threading.Lock()
 
     # ------------------------------------------------------------- helpers
+    def draw_schedule(self) -> list:
+        """Per-rung parameters of this generator's search ladder.
+
+        One entry per rung of the widening search (radii, shell bounds, …),
+        lowest rung first.  The lockstep kernel searches over
+        ``len(draw_schedule())`` rungs and the generator's ``schedule``
+        decides the order instances probe them in; generators without a
+        rung ladder (gradient ascent) return an empty list.
+        """
+        return []
+
+    def add_search_counts(self, steps: int, draws: int) -> None:
+        """Fold one search pass's schedule steps / candidate draws into the
+        generator's thread-safe totals (also used by process-sharded passes
+        to report their workers' totals)."""
+        with self._search_count_lock:
+            self.search_step_count += int(steps)
+            self.search_draw_count += int(draws)
+
+    def reset_search_counts(self) -> None:
+        """Zero the schedule step / draw totals."""
+        with self._search_count_lock:
+            self.search_step_count = 0
+            self.search_draw_count = 0
+
     def _predict(self, X: np.ndarray) -> np.ndarray:
         return np.asarray(self.model.predict(np.atleast_2d(X)))
 
@@ -284,7 +338,8 @@ class BaseCounterfactualGenerator:
         return results
 
 
-@ExplainerRegistry.register("random_search", capabilities=("counterfactual-generator",))
+@ExplainerRegistry.register("random_search", capabilities=("counterfactual-generator",),
+                            data_requirements=("feature-specs",))
 class RandomSearchCounterfactual(BaseCounterfactualGenerator):
     """Rejection sampling with a growing Gaussian radius plus greedy sparsification."""
 
@@ -298,15 +353,24 @@ class RandomSearchCounterfactual(BaseCounterfactualGenerator):
     def _radii(self) -> np.ndarray:
         return np.linspace(self.max_radius / self.n_radii, self.max_radius, self.n_radii)
 
+    def draw_schedule(self) -> list[float]:
+        """The rung ladder: one Gaussian radius per search step, smallest first."""
+        return [float(radius) for radius in self._radii()]
+
     def _draw(self, rng, x: np.ndarray, step: int) -> np.ndarray:
         noise = rng.normal(0.0, self._radii()[step], (self.n_samples, x.shape[0])) * self.scale_
         return x[None, :] + noise
 
     def generate(self, x: np.ndarray) -> Counterfactual:
-        """One counterfactual for ``x`` via widening rejection sampling."""
+        """One counterfactual for ``x`` via widening rejection sampling.
+
+        This sequential reference path always walks the full fixed ladder
+        (rung 0, 1, 2, …); the pluggable ``schedule`` only drives the
+        batched :meth:`generate_batch_aligned` search.
+        """
         x = np.asarray(x, dtype=float).ravel()
         rng = check_random_state(self.random_state)
-        for step in range(self.n_radii):
+        for step in range(len(self.draw_schedule())):
             candidates = self.constraints.project(x, self._draw(rng, x, step))
             predictions = self._predict(candidates)
             hits = np.flatnonzero(predictions == self.target_class)
@@ -322,11 +386,16 @@ class RandomSearchCounterfactual(BaseCounterfactualGenerator):
         raise InfeasibleRecourseError("random search found no counterfactual within the radius")
 
     def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
-        """Row-aligned counterfactuals via the cross-instance lockstep kernel."""
-        return lockstep_candidate_search(self, X, self._draw, self.n_radii)
+        """Row-aligned counterfactuals via the cross-instance lockstep kernel,
+        probing the radius ladder in the order this generator's ``schedule``
+        plans."""
+        return lockstep_candidate_search(self, X, self._draw,
+                                         len(self.draw_schedule()),
+                                         schedule=self.schedule)
 
 
-@ExplainerRegistry.register("growing_spheres", capabilities=("counterfactual-generator",))
+@ExplainerRegistry.register("growing_spheres", capabilities=("counterfactual-generator",),
+                            data_requirements=("feature-specs",))
 class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
     """Growing-spheres search: uniform sampling in expanding L2 shells."""
 
@@ -349,6 +418,11 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
             inner, outer = outer, outer * self.growth
         return schedule
 
+    def draw_schedule(self) -> list[tuple[float, float]]:
+        """The rung ladder: one ``(inner, outer)`` shell per search step,
+        innermost first."""
+        return self._shell_schedule()
+
     def _sample_shell(self, rng, x, inner: float, outer: float) -> np.ndarray:
         n_features = x.shape[0]
         directions = rng.normal(size=(self.n_samples_per_shell, n_features))
@@ -361,10 +435,15 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
         return self._sample_shell(rng, x, inner, outer)
 
     def generate(self, x: np.ndarray) -> Counterfactual:
-        """One counterfactual for ``x`` via expanding L2 shells."""
+        """One counterfactual for ``x`` via expanding L2 shells.
+
+        This sequential reference path always walks the full fixed ladder
+        (innermost shell outward); the pluggable ``schedule`` only drives
+        the batched :meth:`generate_batch_aligned` search.
+        """
         x = np.asarray(x, dtype=float).ravel()
         rng = check_random_state(self.random_state)
-        for step in range(self.max_shells):
+        for step in range(len(self.draw_schedule())):
             candidates = self.constraints.project(x, self._draw(rng, x, step))
             predictions = self._predict(candidates)
             hits = np.flatnonzero(predictions == self.target_class)
@@ -380,12 +459,17 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
         raise InfeasibleRecourseError("growing spheres exhausted the search radius")
 
     def generate_batch_aligned(self, X: np.ndarray) -> list[Counterfactual | None]:
-        """Row-aligned counterfactuals via the cross-instance lockstep kernel."""
-        return lockstep_candidate_search(self, X, self._draw, self.max_shells)
+        """Row-aligned counterfactuals via the cross-instance lockstep kernel,
+        probing the shell ladder in the order this generator's ``schedule``
+        plans."""
+        return lockstep_candidate_search(self, X, self._draw,
+                                         len(self.draw_schedule()),
+                                         schedule=self.schedule)
 
 
 @ExplainerRegistry.register(
-    "gradient", capabilities=("counterfactual-generator", "requires-gradient")
+    "gradient", capabilities=("counterfactual-generator", "requires-gradient"),
+    data_requirements=("feature-specs",),
 )
 class GradientCounterfactual(BaseCounterfactualGenerator):
     """Gradient ascent on the target-class probability (gradient-access models).

@@ -50,6 +50,8 @@ from .backends import (
     ensure_backend,
 )
 from .base import Counterfactual
+from .pool import ExecutorPool
+from .schedules import GeometricSchedule, SearchSchedule
 
 __all__ = [
     "BatchModelAdapter",
@@ -239,56 +241,86 @@ def lockstep_candidate_search(
     X: np.ndarray,
     draw: Callable[[np.random.Generator, np.ndarray, int], np.ndarray],
     n_steps: int,
+    schedule: SearchSchedule | None = None,
 ) -> list[Counterfactual | None]:
-    """Cross-instance rejection-sampling search over a widening schedule.
+    """Cross-instance rejection-sampling search over a pluggable rung schedule.
 
-    All instances advance through the radius/shell schedule in lockstep: one
-    step draws each still-unsolved instance's candidate matrix (from its OWN
-    freshly seeded random stream, preserving the sequential draws exactly),
-    projects the resulting ``(n_unsolved, n_candidates, d)`` tensor through
-    the actionability constraints in one shot, and issues a single
-    ``model.predict`` over all candidates of all unsolved instances — instead
-    of ``n_instances × n_steps`` separate predicts.  Solved instances keep
-    their best (minimum-distance) hit and drop out of later steps, exactly as
-    the sequential search stops consuming its random stream once it returns.
+    All instances advance through the radius/shell ladder in lockstep: one
+    step draws each still-pending instance's candidate matrix at the rung
+    its :class:`~fairexp.explanations.schedules.SearchSchedule` cursor
+    planned (from its OWN freshly seeded random stream), projects the
+    resulting ``(n_pending, n_candidates, d)`` tensor through the
+    actionability constraints in one shot, and issues a single
+    ``model.predict`` over all candidates of all pending instances — instead
+    of ``n_instances × n_steps`` separate predicts.  The cursor observes
+    every probe's hit count and decides which rung each instance tries next
+    (or that it is finished); each finished instance keeps its
+    minimum-distance hit across every rung it probed.
+
+    With the default :class:`~fairexp.explanations.schedules.GeometricSchedule`
+    every instance walks rung 0, 1, 2, … and stops at its first hit, which
+    reproduces the historical fixed widening bitwise-exactly.  The step and
+    candidate-draw totals of the pass are folded into the generator's
+    ``search_step_count`` / ``search_draw_count`` accounting.
     """
     from .counterfactual import counterfactual_distance
     from ..utils import check_random_state
 
+    if schedule is None:
+        schedule = getattr(generator, "schedule", None) or GeometricSchedule()
     X = np.atleast_2d(np.asarray(X, dtype=float))
     n_instances, n_features = X.shape
     rngs = [check_random_state(generator.random_state) for _ in range(n_instances)]
-    unsolved = list(range(n_instances))
-    chosen: dict[int, np.ndarray] = {}
+    pending = list(range(n_instances))
+    best: dict[int, tuple[float, np.ndarray]] = {}  # (distance, candidate)
+    cursor = schedule.begin(n_steps)
+    steps_taken = 0
+    draws_issued = 0
+    # Hard backstop against a buggy custom cursor that never finishes its
+    # instances: the built-in schedules need at most n_steps waves
+    # (geometric) / n_steps + 1 probes per instance (adaptive bisection —
+    # every probe strictly shrinks the bracket), so 2 * n_steps + 2 waves
+    # can only be exceeded by a cursor that stopped making progress.  The
+    # pre-schedule kernel was structurally capped at n_steps iterations;
+    # exceeding the bound degrades to "unsolved", never to a hung audit.
+    max_waves = 2 * max(int(n_steps), 1) + 2
 
-    for step in range(n_steps):
-        if not unsolved:
+    while pending and steps_taken < max_waves:
+        plan = cursor.plan(pending)
+        if not plan:
             break
-        candidates = np.stack([draw(rngs[i], X[i], step) for i in unsolved])
-        projected = generator.constraints.project(X[unsolved][:, None, :], candidates)
+        rows = list(plan)
+        candidates = np.stack([draw(rngs[i], X[i], plan[i]) for i in rows])
+        projected = generator.constraints.project(X[rows][:, None, :], candidates)
         predictions = generator._predict(
             projected.reshape(-1, n_features)
-        ).reshape(len(unsolved), -1)
+        ).reshape(len(rows), -1)
+        steps_taken += 1
+        draws_issued += int(candidates.shape[0] * candidates.shape[1])
 
-        still_unsolved: list[int] = []
-        for k, i in enumerate(unsolved):
+        for k, i in enumerate(rows):
             hits = np.flatnonzero(predictions[k] == generator.target_class)
-            if hits.size == 0:
-                still_unsolved.append(i)
-                continue
-            distances = np.array([
-                counterfactual_distance(X[i], projected[k, h], scale=generator.scale_,
-                                        metric=generator.metric)
-                for h in hits
-            ])
-            chosen[i] = projected[k, hits[np.argmin(distances)]]
-        unsolved = still_unsolved
+            if hits.size:
+                distances = np.array([
+                    counterfactual_distance(X[i], projected[k, h],
+                                            scale=generator.scale_,
+                                            metric=generator.metric)
+                    for h in hits
+                ])
+                pick = int(np.argmin(distances))
+                if i not in best or float(distances[pick]) < best[i][0]:
+                    best[i] = (float(distances[pick]), projected[k, hits[pick]])
+            cursor.observe(i, plan[i], int(hits.size), int(predictions.shape[1]))
+        pending = [i for i in pending if i not in cursor.finished]
 
+    record = getattr(generator, "add_search_counts", None)
+    if record is not None:
+        record(steps_taken, draws_issued)
     results: list[Counterfactual | None] = [None] * n_instances
-    solved = sorted(chosen)
+    solved = sorted(best)
     if solved:
         sparse = greedy_sparsify_batch(generator, X[solved],
-                                       np.stack([chosen[i] for i in solved]))
+                                       np.stack([best[i][1] for i in solved]))
         for i, result in zip(solved, generator._make_results_batch(X[solved], sparse)):
             results[i] = result
     return results
@@ -420,16 +452,17 @@ def _process_shard_spec(generator) -> dict | None:
 
 
 def _run_process_shard(spec: dict, X_shard: np.ndarray
-                       ) -> tuple[list[Counterfactual | None], int, int]:
+                       ) -> tuple[list[Counterfactual | None], int, int, int, int]:
     """Worker entry point: rebuild the generator, run one shard, report counts.
 
     The worker wraps the rebuilt dispatch (bare model, or the shipped
     callable backend) in a fresh counting adapter so the parent can fold the
     shard's predict work back into its own backend
-    (:meth:`~fairexp.explanations.backends.NumpyPredictBackend.add_counts`).
-    Because every instance seeds its own random stream from the same integer
-    seed, the shard's results are bitwise-identical to the rows it would
-    produce inside the sequential pass.
+    (:meth:`~fairexp.explanations.backends.NumpyPredictBackend.add_counts`);
+    the shard's schedule step/draw totals ride along the same way.  Because
+    every instance seeds its own random stream from the same integer seed,
+    the shard's results are bitwise-identical to the rows it would produce
+    inside the sequential pass.
     """
     if spec["fn"] is not None:
         backend = CallablePredictBackend(spec["fn"], name=spec["fn_name"] or "callable")
@@ -438,7 +471,8 @@ def _run_process_shard(spec: dict, X_shard: np.ndarray
         adapter = BatchModelAdapter(spec["model"], cache=False)
     generator = spec["cls"](adapter, spec["background"], **spec["params"])
     results = generator.generate_batch_aligned(X_shard)
-    return results, adapter.predict_call_count, adapter.predict_row_count
+    return (results, adapter.predict_call_count, adapter.predict_row_count,
+            generator.search_step_count, generator.search_draw_count)
 
 
 class CounterfactualEngine:
@@ -478,17 +512,33 @@ class CounterfactualEngine:
         Process sharding quietly falls back to threads when no picklable
         shard spec exists (no reachable bare model, or unpicklable
         constructor arguments).
+    pool:
+        An :class:`~fairexp.explanations.pool.ExecutorPool` supplying the
+        worker pools sharded passes run on.  With a pool injected the
+        engine never constructs a ``ThreadPoolExecutor`` or
+        ``ProcessPoolExecutor`` itself — executors are created lazily by
+        the pool, once, and reused across every call (this is how an
+        :class:`~fairexp.explanations.session.AuditSession` amortizes
+        process-pool startup across a whole sweep).  ``None`` (the default)
+        keeps the historical per-call pools.  Pooled and per-call execution
+        are bitwise-identical — shards are deterministic and instances own
+        their random streams.
     """
 
     def __init__(self, generator, *, adapt_model: bool = True, n_jobs: int = 1,
-                 executor: str = "auto") -> None:
+                 executor: str = "auto", pool: ExecutorPool | None = None) -> None:
         if executor not in ("auto", "thread", "process"):
             raise ValidationError(
                 f"executor must be 'auto', 'thread' or 'process', got {executor!r}"
             )
+        if pool is not None and not isinstance(pool, ExecutorPool):
+            raise ValidationError(
+                f"pool must be an ExecutorPool or None, got {type(pool).__name__}"
+            )
         self.generator = generator
         self.n_jobs = n_jobs
         self.executor = executor
+        self.pool = pool
         if adapt_model and not isinstance(generator.model, BatchModelAdapter):
             generator.model = BatchModelAdapter(generator.model, cache=False)
 
@@ -504,6 +554,16 @@ class CounterfactualEngine:
         """Predict calls counted by the generator's adapter (0 without one)."""
         adapter = self.adapter
         return adapter.predict_call_count if adapter is not None else 0
+
+    @property
+    def search_step_count(self) -> int:
+        """Lockstep schedule steps taken across this generator's passes."""
+        return getattr(self.generator, "search_step_count", 0)
+
+    @property
+    def search_draw_count(self) -> int:
+        """Candidate draws issued across this generator's search passes."""
+        return getattr(self.generator, "search_draw_count", 0)
 
     # ------------------------------------------------------------ generation
     def _resolve_n_jobs(self, n_rows: int) -> int:
@@ -549,10 +609,14 @@ class CounterfactualEngine:
         else:
             parts = None
         if parts is None:
-            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
-                parts = list(pool.map(
-                    lambda shard: self.generator.generate_batch_aligned(X[shard]), shards
-                ))
+            def run_shard(shard):
+                return self.generator.generate_batch_aligned(X[shard])
+
+            if self.pool is not None:
+                parts = list(self.pool.executor("thread").map(run_shard, shards))
+            else:
+                with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                    parts = list(pool.map(run_shard, shards))
         results: list[Counterfactual | None] = [None] * X.shape[0]
         for shard, part in zip(shards, parts):
             for i, result in zip(shard, part):
@@ -571,24 +635,33 @@ class CounterfactualEngine:
         spec = _process_shard_spec(self.generator)
         if spec is None:
             return None
+        specs, shard_X = [spec] * len(shards), [X[shard] for shard in shards]
         try:
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-                outcomes = list(pool.map(
-                    _run_process_shard, [spec] * len(shards),
-                    [X[shard] for shard in shards]
-                ))
+            if self.pool is not None:
+                outcomes = list(
+                    self.pool.executor("process").map(_run_process_shard, specs, shard_X)
+                )
+            else:
+                with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                    outcomes = list(pool.map(_run_process_shard, specs, shard_X))
         except Exception:
             # The parent-side pickle check can pass while workers still fail
             # to rebuild the spec — e.g. classes defined in __main__ under
             # the spawn start method, or a broken pool.  Honour the
             # documented quiet-fallback contract instead of crashing an
-            # audit that the thread path can serve.
+            # audit that the thread path can serve.  A persistent pool that
+            # broke is reset so the NEXT process-sharded call starts clean.
+            if self.pool is not None:
+                self.pool.reset("process")
             return None
         parts = [outcome[0] for outcome in outcomes]
         adapter = self.adapter
         backend = adapter.backend if adapter is not None else None
         if backend is not None and hasattr(backend, "add_counts"):
             backend.add_counts(sum(o[1] for o in outcomes), sum(o[2] for o in outcomes))
+        record = getattr(self.generator, "add_search_counts", None)
+        if record is not None:
+            record(sum(o[3] for o in outcomes), sum(o[4] for o in outcomes))
         return parts
 
     def generate_for(self, X, indices) -> dict[int, Counterfactual]:

@@ -1,0 +1,153 @@
+"""Session-scoped persistent executor pools for sharded search.
+
+Before this module existed, every sharded
+:meth:`~fairexp.explanations.engine.CounterfactualEngine.generate_aligned`
+call constructed (and tore down) its own ``ThreadPoolExecutor`` or
+``ProcessPoolExecutor``.  Thread pools make that merely wasteful; process
+pools make it expensive — each call re-spawned workers, re-imported numpy
+and re-unpickled the model, easily dwarfing the shard work itself on the
+multi-audit sweeps an :class:`~fairexp.explanations.session.AuditSession`
+runs.
+
+:class:`ExecutorPool` amortizes that: one pool object owns at most one live
+executor per kind (``"thread"`` / ``"process"``), created lazily on first
+use and reused by every subsequent sharded pass — an
+:class:`~fairexp.explanations.session.AuditSession` builds one pool and
+threads it into every engine call, so a whole sweep with
+``executor="process"`` constructs exactly **one** ``ProcessPoolExecutor``
+(asserted via a counting factory double in
+``tests/explanations/test_pool.py``).  Shard *results* are unaffected:
+shards are deterministic and every instance seeds its own random stream, so
+pooled and per-call execution are bitwise-identical.
+
+Shutdown is deterministic: pools are context managers, and the session's
+own context-manager exit closes the pool it created.  A broken process
+pool (e.g. a worker killed mid-sweep) is :meth:`~ExecutorPool.reset` by the
+engine, which then falls back to thread sharding for that call; the next
+process-sharded call lazily builds a fresh pool.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..exceptions import ValidationError
+
+__all__ = ["ExecutorPool"]
+
+_KINDS = ("thread", "process")
+
+
+class ExecutorPool:
+    """Lazy, reusable thread/process executor pair with deterministic shutdown.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker count for each executor this pool creates.  ``None`` (the
+        default) sizes executors to the machine: ``os.cpu_count()``.
+        Sizing is fixed at creation — a later request needing more shards
+        than workers simply queues them, which cannot change results
+        (shards are deterministic and independent).
+    thread_factory, process_factory:
+        Executor constructors, injectable so tests can count constructions
+        or substitute doubles.  Defaults are the ``concurrent.futures``
+        classes.
+
+    Attributes
+    ----------
+    created_counts:
+        Mapping ``kind -> number of executors constructed`` over the pool's
+        lifetime — the observable the "exactly one ProcessPoolExecutor per
+        session sweep" acceptance test asserts on.
+    """
+
+    def __init__(self, *, max_workers: int | None = None,
+                 thread_factory=ThreadPoolExecutor,
+                 process_factory=ProcessPoolExecutor) -> None:
+        self.max_workers = max_workers
+        self._factories = {"thread": thread_factory, "process": process_factory}
+        self._executors: dict[str, object] = {}
+        self.created_counts: dict[str, int] = {kind: 0 for kind in _KINDS}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @staticmethod
+    def ensure(pool) -> "ExecutorPool":
+        """Coerce ``pool`` (an :class:`ExecutorPool` or ``None``) to a pool."""
+        if pool is None:
+            return ExecutorPool()
+        if not isinstance(pool, ExecutorPool):
+            raise ValidationError(
+                f"pool must be an ExecutorPool or None, got {type(pool).__name__}"
+            )
+        return pool
+
+    # ------------------------------------------------------------ executors
+    def executor(self, kind: str):
+        """The live executor of ``kind`` (``"thread"`` / ``"process"``),
+        created lazily on first request and reused afterwards."""
+        if kind not in _KINDS:
+            raise ValidationError(f"executor kind must be one of {_KINDS}, got {kind!r}")
+        with self._lock:
+            if self._closed:
+                raise ValidationError("ExecutorPool is closed")
+            executor = self._executors.get(kind)
+            if executor is None:
+                workers = self.max_workers or os.cpu_count() or 1
+                executor = self._factories[kind](max_workers=workers)
+                self._executors[kind] = executor
+                self.created_counts[kind] += 1
+            return executor
+
+    def active_kinds(self) -> list[str]:
+        """Kinds whose executor is currently alive (constructed, not reset)."""
+        with self._lock:
+            return sorted(self._executors)
+
+    # ------------------------------------------------------------- lifecycle
+    def reset(self, kind: str) -> None:
+        """Tear down one executor so the next request builds a fresh one.
+
+        This is the engine's escape hatch for a broken process pool: the
+        dead executor is shut down without waiting, forgotten, and the call
+        that observed the breakage falls back to thread sharding.
+        """
+        with self._lock:
+            executor = self._executors.pop(kind, None)
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut down every live executor; the pool refuses further use."""
+        with self._lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+            self._closed = True
+        for executor in executors:
+            executor.shutdown(wait=wait)
+
+    def __del__(self):
+        # Best-effort backstop for callers that never reach close()/__exit__:
+        # when the last reference to the pool (typically its owning
+        # AuditSession) is collected, live workers are shut down instead of
+        # lingering until interpreter exit.  Deterministic teardown still
+        # belongs to the context manager / shutdown().
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ExecutorPool":
+        """Enter a ``with`` block; the pool shuts down on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Deterministically shut down all executors on block exit."""
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ",".join(self.active_kinds()) or "idle"
+        return f"ExecutorPool(max_workers={self.max_workers}, {state})"

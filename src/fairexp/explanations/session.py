@@ -43,6 +43,8 @@ from ..exceptions import ValidationError
 from .backends import MemoizingPredictBackend
 from .base import Counterfactual
 from .engine import BatchModelAdapter, CounterfactualEngine
+from .pool import ExecutorPool
+from .schedules import resolve_schedule
 from .store import CounterfactualStore, population_fingerprint
 
 __all__ = ["AuditSession"]
@@ -69,6 +71,23 @@ class AuditSession:
         Sharded execution strategy, forwarded to the engine: ``"thread"``,
         ``"process"``, or ``"auto"`` (pick processes when the predict
         backend declares it holds the GIL).
+    schedule:
+        A :class:`~fairexp.explanations.schedules.SearchSchedule` (or its
+        name, ``"geometric"`` / ``"adaptive"``) installed on the session's
+        generator before the engine is built, so every audit of the sweep
+        searches under the same schedule.  ``None`` (default) keeps the
+        generator's own schedule.  Because the schedule is part of the
+        generator's search configuration it also keys the persistent store:
+        geometric and adaptive results never alias.
+    pool:
+        An :class:`~fairexp.explanations.pool.ExecutorPool` the engine runs
+        every sharded pass on.  ``None`` (default) makes the session create
+        its own — lazily populated, so a sequential sweep never spawns
+        workers — and the session then owns its shutdown: use the session
+        as a context manager (or call :meth:`close`) to tear workers down
+        deterministically.  A sweep with ``executor="process"`` thereby
+        constructs exactly one ``ProcessPoolExecutor``, reused across all
+        audits, instead of one per engine call.
     store:
         A :class:`~fairexp.explanations.store.CounterfactualStore` (or a
         directory path coerced into one) persisting each population's
@@ -90,7 +109,7 @@ class AuditSession:
     """
 
     def __init__(self, generator=None, *, model=None, n_jobs: int = 1,
-                 executor: str = "auto", store=None,
+                 executor: str = "auto", schedule=None, pool=None, store=None,
                  cache_predictions: bool = True, max_populations: int = 32) -> None:
         if generator is None and model is None:
             raise ValidationError("AuditSession needs a generator or a model")
@@ -104,14 +123,31 @@ class AuditSession:
         self.max_populations = max_populations
         self.n_jobs = n_jobs
         self.store = CounterfactualStore.ensure(store)
+        # One lazily populated executor pool per session: every sharded
+        # engine pass of the sweep reuses its workers, and close() (or the
+        # context-manager exit) shuts them down deterministically.  An
+        # injected pool is shared, not owned — its creator shuts it down.
+        self._owns_pool = pool is None
+        self.pool = ExecutorPool.ensure(pool)
+        self._closed = False
         if generator is not None:
+            if schedule is not None:
+                generator.schedule = resolve_schedule(schedule)
             if not isinstance(generator.model, BatchModelAdapter):
                 generator.model = BatchModelAdapter(generator.model,
                                                     cache=cache_predictions)
             self._adapter = generator.model
             self.engine = CounterfactualEngine(generator, n_jobs=n_jobs,
-                                               executor=executor)
+                                               executor=executor, pool=self.pool)
         else:
+            if schedule is not None:
+                # A model-only session runs no candidate search; silently
+                # accepting a schedule would let sweeps believe they compared
+                # schedules when nothing changed.
+                raise ValidationError(
+                    "schedule= requires a generator (a model-only session "
+                    "never runs a counterfactual search)"
+                )
             self._adapter = (model if isinstance(model, BatchModelAdapter)
                              else BatchModelAdapter(model, cache=cache_predictions))
             self.engine = None
@@ -123,9 +159,13 @@ class AuditSession:
         self.engine_predict_call_count = 0
         # population key -> {row index -> Counterfactual | None (infeasible)}
         self._results: dict[str, dict[int, Counterfactual | None]] = {}
-        # population key -> store fingerprint (None = not storable); cleared
-        # with the results, since a refit invalidates both.
-        self._store_fingerprints: dict[str, str | None] = {}
+        # population key -> (schedule observed at compute time, fingerprint);
+        # cleared with the results, since a refit invalidates both.  The
+        # schedule rides along because another session sharing this
+        # generator can swap it mid-sweep (schedule=...), and a memoized
+        # fingerprint from before the swap would publish the new schedule's
+        # rows under the old schedule's store entry.
+        self._store_fingerprints: dict[str, tuple[object, str | None]] = {}
         # Fingerprints this session has already published once: later
         # publishes skip the disk read-back merge — the in-memory cache is a
         # superset of this session's own last write (cross-process races
@@ -203,9 +243,41 @@ class AuditSession:
         """Session-wide predict requests served from the memo."""
         return self._adapter.cache_hit_count
 
+    @property
+    def schedule_step_count(self) -> int:
+        """Lockstep schedule steps taken by this session's engine passes."""
+        return self.engine.search_step_count if self.engine is not None else 0
+
+    @property
+    def schedule_draw_count(self) -> int:
+        """Candidate rows drawn by this session's engine passes."""
+        return self.engine.search_draw_count if self.engine is not None else 0
+
     def predict(self, X) -> np.ndarray:
         """Model predictions through the session's counting (memoizing) backend."""
         return self._adapter.predict(X)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the session's executor pool (idempotent).
+
+        Only a pool the session created itself is shut down; an injected
+        pool is left running for its owner.  Results and counters survive —
+        ``close`` only releases worker threads/processes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "AuditSession":
+        """Use the session as a context manager for deterministic pool shutdown."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Shut the session's worker pool down on block exit."""
+        self.close()
 
     # ------------------------------------------------------- result sharing
     @staticmethod
@@ -264,10 +336,19 @@ class AuditSession:
         }
 
     def _store_fingerprint(self, key: str, X: np.ndarray) -> str | None:
-        """Store fingerprint for a population, memoized per population key."""
-        if key not in self._store_fingerprints:
-            self._store_fingerprints[key] = population_fingerprint(self.generator, X)
-        return self._store_fingerprints[key]
+        """Store fingerprint for a population, memoized per population key.
+
+        The memo is invalidated when the generator's schedule object changed
+        since it was computed (a second session over the same generator can
+        install a different schedule), so rows searched under the new
+        schedule are never published under the old schedule's entry.
+        """
+        schedule = getattr(self.generator, "schedule", None)
+        memo = self._store_fingerprints.get(key)
+        if memo is None or memo[0] is not schedule:
+            memo = (schedule, population_fingerprint(self.generator, X))
+            self._store_fingerprints[key] = memo
+        return memo[1]
 
     def _seed_from_store(self, key: str, X: np.ndarray,
                          cache: dict[int, Counterfactual | None]) -> None:
@@ -333,6 +414,10 @@ class AuditSession:
             # Predict calls spent inside engine generation passes — 0 when
             # every population came warm from the persistent store.
             "engine_predict_calls": self.engine_predict_call_count,
+            # Lockstep schedule steps and candidate draws spent by those
+            # passes — how the geometric/adaptive schedules are compared.
+            "schedule_steps": self.schedule_step_count,
+            "schedule_draws": self.schedule_draw_count,
             # Rows warm-started from the persistent store (cross-process
             # sharing; stays 0 without a store attached).
             "store_row_hits": self.store_row_hits,
@@ -374,6 +459,9 @@ class AuditSession:
         self._adapter.reset_counts()
         if self.store is not None:
             self.store.reset_counts()
+        reset_search = getattr(self.generator, "reset_search_counts", None)
+        if reset_search is not None:
+            reset_search()
         self.result_reuse_count = 0
         self.store_row_hits = 0
         self.engine_predict_call_count = 0

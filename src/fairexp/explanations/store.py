@@ -17,15 +17,17 @@ keyed by a :func:`population_fingerprint` — a SHA-256 digest folding together
   dispatch** (a custom callable backend — ONNX export, remote scorer — is
   part of the key: its decision boundary, not the bare model's, produced
   the results),
-* the **engine config** (generator class, search parameters, actionability
-  constraints, background data, seed — via
-  :func:`~fairexp.explanations.engine.generator_config`),
-* the **store format and fairexp release versions**, so format evolution
+* the **engine config** (generator class, search parameters — the search
+  schedule included — actionability constraints, background data, seed —
+  via :func:`~fairexp.explanations.engine.generator_config`),
+* the **fingerprint and fairexp release versions**, so semantic key changes
   and search-kernel changes retire old entries instead of serving them.
 
-On disk each entry is an ``.npz`` payload (stacked counterfactual matrices
-and per-row metadata) plus a JSON manifest carrying the format version and
-the payload's checksum.  Writes are corruption-safe: payloads are
+On disk each entry is a compressed ``.npz`` payload (stacked counterfactual
+matrices and per-row metadata) plus a JSON manifest carrying the format
+version and the payload's checksum; payload-encoding evolution is read-
+compatible (version-1 uncompressed entries still load) rather than
+key-busting.  Writes are corruption-safe: payloads are
 content-named and published with an atomic ``os.replace`` before the
 manifest that references them, so concurrent writers of the same fingerprint
 cannot interleave — a reader either sees a complete earlier entry or a
@@ -70,7 +72,27 @@ __all__ = [
     "population_fingerprint",
 ]
 
-STORE_FORMAT_VERSION = 1
+#: Format version written into every new manifest.  Version 2 compresses
+#: payloads (``np.savez_compressed``); version 1 wrote them uncompressed.
+STORE_FORMAT_VERSION = 2
+
+#: Manifest versions this build can still read.  ``np.load`` handles zipped
+#: and plain ``.npz`` members transparently, so version-1 (uncompressed)
+#: entries remain readable at the format layer; anything newer than
+#: :data:`STORE_FORMAT_VERSION` is treated as corruption (recompute).
+#: Note the honest scope of this guarantee: *addressability* of old entries
+#: is governed by the fingerprint, which folds the package's source digest —
+#: so entries written by a different build are usually retired by key
+#: rotation before read-compat ever matters.  The readable set exists so the
+#: payload encoding itself never has to be the thing that invalidates data.
+_READABLE_FORMAT_VERSIONS = frozenset({1, STORE_FORMAT_VERSION})
+
+#: Version folded into population fingerprints.  Separate from
+#: :data:`STORE_FORMAT_VERSION` on purpose: a payload-encoding-only change
+#: (v1 uncompressed → v2 compressed) keeps addressing the same entries —
+#: that is what makes the read-compat set above meaningful — whereas a
+#: *semantic* change to what a fingerprint covers must bump this one.
+_FINGERPRINT_VERSION = 1
 
 #: Seconds a payload may sit unreferenced by any manifest before the orphan
 #: sweep removes it — long enough for a concurrent writer to publish the
@@ -308,7 +330,7 @@ def population_fingerprint(generator, X) -> str | None:
     import fairexp
 
     digest = hashlib.sha256()
-    digest.update(f"format:{STORE_FORMAT_VERSION}:".encode())
+    digest.update(f"format:{_FINGERPRINT_VERSION}:".encode())
     # Results are produced by code, and fingerprints hash config + data, not
     # code — folding the release version AND the package's source digest in
     # retires every entry on upgrade or on any source change to the search
@@ -443,6 +465,10 @@ class CounterfactualStore:
     hit_count, miss_count:
         Entry-level load outcomes for this process, surfaced through
         :meth:`AuditSession.stats` as the honest measure of warm starts.
+    bytes_read:
+        Total payload bytes this process read back from disk on validated
+        entry loads — the I/O cost of warm starts, surfaced into the
+        ``BENCH_*`` trajectories alongside the hit counters.
     """
 
     def __init__(self, directory, *, max_entries: int = 256,
@@ -453,6 +479,7 @@ class CounterfactualStore:
         self.max_bytes = int(max_bytes)
         self.hit_count = 0
         self.miss_count = 0
+        self.bytes_read = 0
 
     @classmethod
     def from_env(cls, env_var: str = "FAIREXP_STORE_DIR") -> "CounterfactualStore | None":
@@ -489,6 +516,81 @@ class CounterfactualStore:
         """Fingerprints of every entry currently published in the directory."""
         return sorted(path.stem for path in self.directory.glob("*.json"))
 
+    def entry_details(self) -> list[dict]:
+        """Per-entry metadata for inspection: one dict per published entry.
+
+        Each dict carries ``fingerprint``, ``n_rows``, ``n_features``,
+        ``bytes`` (manifest + payload), ``age_seconds`` (since the last
+        recency bump — the quantity LRU eviction orders on),
+        ``updated_at`` and ``format_version``.  Entries racing a concurrent
+        writer are skipped rather than reported half-read; ordering is by
+        age, oldest (next-to-evict) first.  This is what the
+        ``python -m fairexp store inspect`` CLI prints.
+        """
+        now = time.time()
+        details: list[dict] = []
+        for manifest_path in self.directory.glob("*.json"):
+            try:
+                manifest = json.loads(manifest_path.read_text())
+                size = manifest_path.stat().st_size
+                payload_path = self.directory / str(manifest.get("payload", ""))
+                if payload_path.exists():
+                    size += payload_path.stat().st_size
+                age = max(0.0, now - manifest_path.stat().st_mtime)
+            except (OSError, ValueError):
+                continue  # torn concurrent write; the next call sees it settled
+            details.append({
+                "fingerprint": manifest_path.stem,
+                "n_rows": int(manifest.get("n_rows", 0)),
+                "n_features": int(manifest.get("n_features", 0)),
+                "bytes": int(size),
+                "age_seconds": float(age),
+                "updated_at": str(manifest.get("updated_at", "")),
+                "format_version": manifest.get("format_version"),
+            })
+        details.sort(key=lambda d: (-d["age_seconds"], d["fingerprint"]))
+        return details
+
+    def evict(self, *, max_entries: int | None = None,
+              max_bytes: int | None = None, fingerprint: str | None = None) -> int:
+        """Explicitly evict entries; returns how many were removed.
+
+        With ``fingerprint`` (a full fingerprint or an **unambiguous**
+        prefix) exactly that entry is discarded; a prefix matching several
+        entries raises ``ValueError`` instead of mass-deleting, and a prefix
+        matching none removes nothing.  With ``max_entries`` / ``max_bytes``
+        the oldest entries are discarded until the directory fits the given
+        bounds (the store's own configured bounds are untouched).  The
+        criteria compose: the fingerprint eviction runs first, then the
+        bounds are enforced on what remains.  This is the
+        ``python -m fairexp store evict`` CLI's backend.
+        """
+        removed = 0
+        if fingerprint is not None:
+            matches = [f for f in self.entries() if f.startswith(fingerprint)]
+            if len(matches) > 1:
+                previews = ", ".join(match[:16] for match in matches)
+                raise ValueError(
+                    f"fingerprint prefix {fingerprint!r} is ambiguous: "
+                    f"matches {len(matches)} entries ({previews}, ...)"
+                )
+            if matches:
+                self.discard(matches[0])
+                removed += 1
+        if max_entries is None and max_bytes is None:
+            return removed
+        details = self.entry_details()  # oldest first
+        total_bytes = sum(d["bytes"] for d in details)
+        while details and (
+            (max_entries is not None and len(details) > max_entries)
+            or (max_bytes is not None and total_bytes > max_bytes)
+        ):
+            oldest = details.pop(0)
+            self.discard(oldest["fingerprint"])
+            total_bytes -= oldest["bytes"]
+            removed += 1
+        return removed
+
     # ----------------------------------------------------------------- read
     def _read(self, fingerprint: str) -> dict[int, Counterfactual | None] | None:
         """Validated read of one entry; ``None`` on absence or corruption.
@@ -503,7 +605,7 @@ class CounterfactualStore:
             return None  # no entry published (or it was concurrently evicted)
         try:
             manifest = json.loads(manifest_text)
-            if manifest["format_version"] != STORE_FORMAT_VERSION:
+            if manifest["format_version"] not in _READABLE_FORMAT_VERSIONS:
                 raise ValueError(f"format version {manifest['format_version']}")
             if manifest["fingerprint"] != fingerprint:
                 raise ValueError("fingerprint mismatch")
@@ -522,6 +624,7 @@ class CounterfactualStore:
         except (OSError, KeyError, ValueError, TypeError, IndexError):
             self._discard_if_unchanged(fingerprint, manifest_text)
             return None
+        self.bytes_read += len(blob)
         return results
 
     def _discard_if_unchanged(self, fingerprint: str, observed_text: str) -> None:
@@ -593,7 +696,11 @@ class CounterfactualStore:
         payload_path = self._payload_path(fingerprint, token)
         temp_payload = payload_path.with_suffix(f".tmp-{os.getpid()}-{token}")
         buffer = io.BytesIO()
-        np.savez(buffer, **packed)
+        # Compressed since format version 2: counterfactual matrices are
+        # mostly-unchanged copies of their originals plus boolean masks, so
+        # deflate routinely halves the bytes on disk (the saving is recorded
+        # in BENCH_STORE.json by benchmarks/test_bench_store.py).
+        np.savez_compressed(buffer, **packed)
         blob = buffer.getvalue()  # checksummed in memory, written once
         manifest = {
             "format_version": STORE_FORMAT_VERSION,
@@ -703,24 +810,42 @@ class CounterfactualStore:
 
     # ------------------------------------------------------------ reporting
     def reset_counts(self) -> None:
-        """Zero this process's hit/miss counters (entries stay on disk)."""
+        """Zero this process's hit/miss/bytes counters (entries stay on disk)."""
         self.hit_count = 0
         self.miss_count = 0
+        self.bytes_read = 0
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters plus the directory's current entry/byte totals."""
+        """Hit/miss/bytes counters plus the directory's entry/byte/age totals.
+
+        ``store_bytes_read`` is this process's cumulative payload read
+        volume; ``store_entry_age_seconds_max`` / ``_mean`` describe the
+        current directory (0 when empty).  All of it is folded into the
+        ``BENCH_*`` trajectory records by ``benchmarks/conftest.py``.
+        """
+        now = time.time()
         total_bytes = 0
+        ages: list[float] = []
         for pattern in ("*.json", "*.npz"):
             for path in self.directory.glob(pattern):
                 try:
-                    total_bytes += path.stat().st_size
+                    stat = path.stat()
                 except OSError:
-                    pass  # concurrently evicted by another process
+                    continue  # concurrently evicted by another process
+                total_bytes += stat.st_size
+                if pattern == "*.json":
+                    # Manifest mtime is the entry's recency stamp (loads bump
+                    # it); that is all the age aggregates need — no manifest
+                    # parsing on this hot, every-stats()-call path.
+                    ages.append(max(0.0, now - stat.st_mtime))
         return {
-            "store_entries": len(self.entries()),
+            "store_entries": len(ages),
             "store_bytes": int(total_bytes),
+            "store_bytes_read": int(self.bytes_read),
             "store_hits": self.hit_count,
             "store_misses": self.miss_count,
+            "store_entry_age_seconds_max": int(max(ages)) if ages else 0,
+            "store_entry_age_seconds_mean": int(sum(ages) / len(ages)) if ages else 0,
         }
 
     def __repr__(self) -> str:

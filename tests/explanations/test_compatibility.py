@@ -87,3 +87,76 @@ class TestRegistryCompatibleQuery:
         assert "burden" in tabular and "burden" not in graph
         assert "structural_bias" in graph and "structural_bias" not in tabular
         assert "dexer" not in tabular and "dexer" not in graph
+
+
+class TestDataRequirements:
+    def test_scm_requirement_gates_causal_explainers(self, loan):
+        from fairexp.datasets import make_scm_loan_dataset
+
+        dataset, model = loan  # plain loan data: no SCM attached
+        entry = ExplainerRegistry.entry("causal_recourse")
+        assert entry.data_requirements == ("scm",)
+        check = entry.is_compatible(model, dataset)
+        assert not check
+        assert any("structural causal model" in reason for reason in check.reasons)
+
+        scm_dataset, _ = make_scm_loan_dataset(200, random_state=0)
+        assert scm_dataset.scm is not None
+        assert entry.is_compatible(model, scm_dataset)
+
+    def test_scm_travels_through_split_and_subset(self):
+        from fairexp.datasets import make_scm_loan_dataset
+
+        scm_dataset, scm = make_scm_loan_dataset(200, random_state=0)
+        train, test = scm_dataset.split(test_size=0.3, random_state=1)
+        assert train.scm is scm and test.scm is scm
+        assert test.subset(np.arange(10)).scm is scm
+
+    def test_labels_requirement(self, loan):
+        dataset, model = loan
+        entry = ExplainerRegistry.entry("nawb")
+        assert entry.data_requirements == ("labels",)
+        assert entry.is_compatible(model, dataset)
+
+        class Unlabeled:
+            modality = "tabular"
+            y = None
+
+        check = entry.is_compatible(model, Unlabeled())
+        assert not check
+        assert any("labels" in reason for reason in check.reasons)
+
+    def test_feature_specs_requirement(self, loan):
+        dataset, model = loan
+        entry = ExplainerRegistry.entry("growing_spheres")
+        assert entry.data_requirements == ("feature-specs",)
+        assert entry.is_compatible(model, dataset)
+
+        class BareMatrix:
+            modality = "tabular"
+            features = []
+
+        check = entry.is_compatible(model, BareMatrix())
+        assert not check
+        assert any("feature specs" in reason for reason in check.reasons)
+
+    def test_compatible_query_auto_selects_causal_explainers_for_scm_data(
+            self, loan):
+        from fairexp.datasets import make_scm_loan_dataset
+
+        dataset, model = loan
+        scm_dataset, _ = make_scm_loan_dataset(200, random_state=0)
+        with_scm = {e.name for e in ExplainerRegistry.compatible(
+            capability="causal", model=model, dataset=scm_dataset
+        )}
+        without_scm = {e.name for e in ExplainerRegistry.compatible(
+            capability="causal", model=model, dataset=dataset
+        )}
+        assert {"causal_recourse", "causal_paths",
+                "causal_recourse_fairness"} <= with_scm
+        assert without_scm & {"causal_recourse", "causal_paths"} == set()
+
+    def test_unknown_data_requirement_rejected_at_registration(self):
+        with pytest.raises(ValueError):
+            ExplainerRegistry.register("bogus_entry",
+                                       data_requirements=("telemetry",))

@@ -1,0 +1,181 @@
+"""Tests for the session-scoped persistent executor pool."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import ValidationError
+from fairexp.explanations import (
+    AuditSession,
+    CounterfactualEngine,
+    ExecutorPool,
+    GrowingSpheresCounterfactual,
+)
+
+
+@pytest.fixture
+def workload(loan_data, loan_model, loan_cf_generator):
+    dataset, train, test = loan_data
+    rejected = test.X[np.flatnonzero(loan_model.predict(test.X) == 0)[:16]]
+    return train, loan_model, loan_cf_generator.constraints, rejected
+
+
+def _generator(train, model, constraints):
+    return GrowingSpheresCounterfactual(model, train.X, constraints=constraints,
+                                        random_state=0)
+
+
+class _CountingFactory:
+    """Executor factory double that counts constructions."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.constructed = 0
+
+    def __call__(self, *args, **kwargs):
+        self.constructed += 1
+        return self.inner(*args, **kwargs)
+
+
+class TestExecutorPool:
+    def test_lazy_creation_and_reuse(self):
+        factory = _CountingFactory(ThreadPoolExecutor)
+        with ExecutorPool(max_workers=2, thread_factory=factory) as pool:
+            assert factory.constructed == 0  # nothing until first use
+            first = pool.executor("thread")
+            second = pool.executor("thread")
+            assert first is second
+            assert factory.constructed == 1
+            assert pool.created_counts == {"thread": 1, "process": 0}
+            assert pool.active_kinds() == ["thread"]
+
+    def test_shutdown_refuses_further_use(self):
+        pool = ExecutorPool(max_workers=1)
+        pool.executor("thread")
+        pool.shutdown()
+        with pytest.raises(ValidationError):
+            pool.executor("thread")
+
+    def test_reset_builds_a_fresh_executor(self):
+        factory = _CountingFactory(ThreadPoolExecutor)
+        with ExecutorPool(max_workers=1, thread_factory=factory) as pool:
+            first = pool.executor("thread")
+            pool.reset("thread")
+            assert pool.active_kinds() == []
+            second = pool.executor("thread")
+            assert second is not first
+            assert factory.constructed == 2
+
+    def test_invalid_kind_rejected(self):
+        with ExecutorPool() as pool:
+            with pytest.raises(ValidationError):
+                pool.executor("fiber")
+
+    def test_ensure(self):
+        pool = ExecutorPool()
+        assert ExecutorPool.ensure(pool) is pool
+        assert isinstance(ExecutorPool.ensure(None), ExecutorPool)
+        with pytest.raises(ValidationError):
+            ExecutorPool.ensure(ThreadPoolExecutor(max_workers=1))
+
+
+class TestEnginePooling:
+    def test_pooled_thread_shards_bitwise_equal_to_per_call(self, workload):
+        train, model, constraints, rejected = workload
+        per_call = CounterfactualEngine(
+            _generator(train, model, constraints), n_jobs=3
+        ).generate_aligned(rejected)
+        factory = _CountingFactory(ThreadPoolExecutor)
+        with ExecutorPool(thread_factory=factory) as pool:
+            engine = CounterfactualEngine(_generator(train, model, constraints),
+                                          n_jobs=3, pool=pool)
+            pooled_first = engine.generate_aligned(rejected)
+            pooled_second = engine.generate_aligned(rejected)
+        assert factory.constructed == 1  # reused across both calls
+        for reference, first, second in zip(per_call, pooled_first, pooled_second):
+            assert np.array_equal(reference.counterfactual, first.counterfactual)
+            assert np.array_equal(reference.counterfactual, second.counterfactual)
+
+    def test_engine_rejects_non_pool(self, workload):
+        train, model, constraints, _ = workload
+        with pytest.raises(ValidationError):
+            CounterfactualEngine(_generator(train, model, constraints),
+                                 pool=ThreadPoolExecutor(max_workers=1))
+
+    def test_broken_process_pool_resets_and_falls_back(self, workload):
+        """A pool whose process executor dies mid-call falls back to threads
+        for that call and leaves the pool usable (fresh executor next time)."""
+        train, model, constraints, rejected = workload
+
+        class ExplodingExecutor:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def map(self, *args, **kwargs):
+                raise RuntimeError("worker died")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        factory = _CountingFactory(ExplodingExecutor)
+        with ExecutorPool(process_factory=factory) as pool:
+            engine = CounterfactualEngine(_generator(train, model, constraints),
+                                          n_jobs=2, executor="process", pool=pool)
+            results = engine.generate_aligned(rejected)  # thread fallback
+            assert all(result is not None for result in results)
+            assert factory.constructed == 1
+            assert "process" not in pool.active_kinds()  # reset after breakage
+
+
+class TestSessionPooling:
+    def test_process_sweep_constructs_exactly_one_process_pool(self, workload):
+        """The PR's acceptance criterion: a session-scoped sweep with
+        executor="process" constructs exactly one ProcessPoolExecutor, with
+        results bitwise-equal to per-call pools."""
+        train, model, constraints, rejected = workload
+        per_call = CounterfactualEngine(
+            _generator(train, model, constraints), n_jobs=2, executor="process"
+        ).generate_aligned(rejected)
+
+        factory = _CountingFactory(ProcessPoolExecutor)
+        pool = ExecutorPool(max_workers=2, process_factory=factory)
+        with AuditSession(_generator(train, model, constraints), n_jobs=2,
+                          executor="process", pool=pool) as session:
+            # Three audits over three distinct populations: three sharded
+            # engine passes, one worker pool.
+            first = session.counterfactuals_for(rejected, np.arange(len(rejected)))
+            session.counterfactuals_for(rejected + 0.25, np.arange(8))
+            session.counterfactuals_for(rejected + 0.5, np.arange(8))
+        assert factory.constructed == 1
+        assert set(first) == {i for i, r in enumerate(per_call) if r is not None}
+        for i, reference in enumerate(per_call):
+            if reference is not None:
+                assert np.array_equal(reference.counterfactual,
+                                      first[i].counterfactual)
+
+    def test_session_owns_and_closes_its_own_pool(self, workload):
+        train, model, constraints, rejected = workload
+        with AuditSession(_generator(train, model, constraints), n_jobs=2) as session:
+            session.counterfactuals_for(rejected, np.arange(4))
+            pool = session.pool
+            assert pool.active_kinds() == ["thread"]
+        with pytest.raises(ValidationError):
+            pool.executor("thread")  # closed deterministically on exit
+        session.close()  # idempotent
+
+    def test_injected_pool_is_shared_not_owned(self, workload):
+        train, model, constraints, rejected = workload
+        with ExecutorPool(max_workers=2) as shared:
+            with AuditSession(_generator(train, model, constraints), n_jobs=2,
+                              pool=shared) as session:
+                session.counterfactuals_for(rejected, np.arange(4))
+            # The session exit must NOT shut the injected pool down.
+            shared.executor("thread").submit(lambda: None).result()
+
+    def test_sequential_session_never_spawns_workers(self, workload):
+        train, model, constraints, rejected = workload
+        with AuditSession(_generator(train, model, constraints)) as session:
+            session.counterfactuals_for(rejected, np.arange(4))
+            assert session.pool.active_kinds() == []
+            assert session.pool.created_counts == {"thread": 0, "process": 0}

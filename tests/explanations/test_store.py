@@ -671,3 +671,166 @@ class TestSessionIntegration:
         store = CounterfactualStore(tmp_path)
         assert CounterfactualStore.ensure(store) is store
         assert CounterfactualStore.ensure(str(tmp_path)).directory == tmp_path
+
+
+class TestCompressionAndFormatCompat:
+    def test_new_entries_are_compressed_and_versioned(self, tmp_path):
+        from fairexp.explanations.store import STORE_FORMAT_VERSION, _pack_results
+
+        store = CounterfactualStore(tmp_path)
+        # Repetitive payload so deflate has something to chew on.
+        results = {
+            i: Counterfactual(
+                original=np.zeros(16), counterfactual=np.ones(16),
+                original_prediction=0, counterfactual_prediction=1,
+                changed_features=tuple(range(16)), distance=16.0,
+            )
+            for i in range(64)
+        }
+        store.save("a" * 64, results, n_features=16)
+        manifest = json.loads(store._manifest_path("a" * 64).read_text())
+        assert manifest["format_version"] == STORE_FORMAT_VERSION == 2
+        import io
+
+        packed = _pack_results(results, 16)
+        uncompressed, compressed = io.BytesIO(), io.BytesIO()
+        np.savez(uncompressed, **packed)
+        np.savez_compressed(compressed, **packed)
+        on_disk = (store.directory / manifest["payload"]).stat().st_size
+        assert on_disk == len(compressed.getvalue())
+        assert on_disk < len(uncompressed.getvalue())
+        loaded = store.load("a" * 64)
+        assert set(loaded) == set(results)
+        assert np.array_equal(loaded[0].counterfactual, results[0].counterfactual)
+
+    def test_v1_uncompressed_entries_still_read(self, tmp_path):
+        """An entry published by a version-1 (uncompressed npz) build loads."""
+        import hashlib
+        import io
+
+        from fairexp.explanations.store import _pack_results
+
+        store = CounterfactualStore(tmp_path)
+        results = _some_results()
+        buffer = io.BytesIO()
+        np.savez(buffer, **_pack_results(results, 3))  # v1 wrote plain npz
+        blob = buffer.getvalue()
+        payload_path = store._payload_path("b" * 64, "deadbeef")
+        payload_path.write_bytes(blob)
+        store._manifest_path("b" * 64).write_text(json.dumps({
+            "format_version": 1,
+            "fingerprint": "b" * 64,
+            "payload": payload_path.name,
+            "payload_sha256": hashlib.sha256(blob).hexdigest(),
+            "n_rows": len(results),
+            "n_features": 3,
+            "updated_at": "2026-01-01T00:00:00+0000",
+        }))
+        loaded = store.load("b" * 64)
+        assert loaded is not None
+        assert loaded[7] is None
+        assert np.array_equal(loaded[3].counterfactual, results[3].counterfactual)
+
+    def test_payload_encoding_bump_does_not_bust_fingerprints(self, loan_workload):
+        """Fingerprints fold the fingerprint version, not the payload format
+        version — otherwise read-compat across the v1->v2 bump would be moot."""
+        from fairexp.explanations import store as store_module
+
+        dataset, train, subset, model, constraints = loan_workload
+        generator = _generator(model, train, constraints)
+        before = population_fingerprint(generator, subset.X)
+        original = store_module.STORE_FORMAT_VERSION
+        try:
+            store_module.STORE_FORMAT_VERSION = original + 1
+            assert population_fingerprint(generator, subset.X) == before
+        finally:
+            store_module.STORE_FORMAT_VERSION = original
+
+
+class TestStoreMetrics:
+    def test_bytes_read_accumulates_on_validated_loads(self, tmp_path):
+        store = CounterfactualStore(tmp_path)
+        store.save("a" * 64, _some_results(), n_features=3)
+        assert store.bytes_read == 0
+        store.load("a" * 64)
+        payload_bytes = sum(p.stat().st_size for p in store.directory.glob("*.npz"))
+        assert store.bytes_read == payload_bytes
+        store.load("a" * 64)
+        assert store.bytes_read == 2 * payload_bytes
+        store.load("missing" * 9 + "f")  # misses read nothing
+        assert store.bytes_read == 2 * payload_bytes
+        assert store.stats()["store_bytes_read"] == store.bytes_read
+        store.reset_counts()
+        assert store.bytes_read == 0
+
+    def test_stats_report_entry_ages(self, tmp_path):
+        store = CounterfactualStore(tmp_path)
+        assert store.stats()["store_entry_age_seconds_max"] == 0
+        store.save("a" * 64, _some_results(), n_features=3)
+        old = store._manifest_path("a" * 64)
+        os.utime(old, (old.stat().st_atime, old.stat().st_mtime - 3600))
+        stats = store.stats()
+        assert 3595 <= stats["store_entry_age_seconds_max"] <= 3605
+        assert stats["store_entry_age_seconds_mean"] >= 3595
+
+    def test_entry_details_oldest_first(self, tmp_path):
+        store = CounterfactualStore(tmp_path)
+        store.save("a" * 64, _some_results(), n_features=3)
+        store.save("b" * 64, _some_results(), n_features=3)
+        older = store._manifest_path("b" * 64)
+        os.utime(older, (older.stat().st_atime, older.stat().st_mtime - 600))
+        details = store.entry_details()
+        assert [d["fingerprint"][0] for d in details] == ["b", "a"]
+        for detail in details:
+            assert detail["n_rows"] == 2
+            assert detail["bytes"] > 0
+            assert detail["format_version"] == 2
+
+    def test_session_stats_fold_in_bytes_read(self, tmp_path, loan_workload):
+        dataset, train, subset, model, constraints = loan_workload
+        cold = AuditSession(_generator(model, train, constraints), store=tmp_path)
+        cold.precompute(subset.X)
+        warm = AuditSession(_generator(model, train, constraints), store=tmp_path)
+        warm.precompute(subset.X)
+        stats = warm.stats()
+        assert stats["store_row_hits"] > 0
+        assert stats["store_bytes_read"] > 0
+
+
+class TestExplicitEviction:
+    def test_evict_by_fingerprint_prefix(self, tmp_path):
+        store = CounterfactualStore(tmp_path)
+        store.save("a" * 64, _some_results(), n_features=3)
+        store.save("b" * 64, _some_results(), n_features=3)
+        assert store.evict(fingerprint="a") == 1
+        assert store.entries() == ["b" * 64]
+        assert store.evict(fingerprint="nope") == 0
+
+    def test_ambiguous_prefix_raises_instead_of_mass_deleting(self, tmp_path):
+        store = CounterfactualStore(tmp_path)
+        store.save("ab" + "0" * 62, _some_results(), n_features=3)
+        store.save("ac" + "0" * 62, _some_results(), n_features=3)
+        with pytest.raises(ValueError, match="ambiguous"):
+            store.evict(fingerprint="a")
+        assert len(store.entries()) == 2  # nothing was deleted
+        assert store.evict(fingerprint="ab") == 1
+
+    def test_fingerprint_and_bounds_compose(self, tmp_path):
+        store = CounterfactualStore(tmp_path)
+        for letter in "abc":
+            store.save(letter * 64, _some_results(), n_features=3)
+        removed = store.evict(fingerprint="a", max_entries=1)
+        assert removed == 2  # the named entry plus one more for the bound
+        assert len(store.entries()) == 1
+
+    def test_evict_to_entry_and_byte_bounds(self, tmp_path):
+        store = CounterfactualStore(tmp_path)
+        for k, letter in enumerate("abcd"):
+            store.save(letter * 64, _some_results(), n_features=3)
+            older = store._manifest_path(letter * 64)
+            os.utime(older, (older.stat().st_atime,
+                             older.stat().st_mtime - (4 - k) * 100))
+        assert store.evict(max_entries=2) == 2
+        assert store.entries() == ["c" * 64, "d" * 64]  # oldest two evicted
+        assert store.evict(max_bytes=0) == 2
+        assert store.entries() == []
