@@ -1,0 +1,164 @@
+"""CI smoke for the out-of-process serving path — importable and runnable.
+
+Not a test module.  Where ``benchmarks/test_bench_serving.py`` runs the
+scoring server on an in-process thread, this script exercises the REAL
+deployment shape: it exports the E1 loan model's compute graph to an
+``.npz`` archive, launches ``python -m fairexp serve --graph …`` as a
+separate process (which therefore scores without ever importing the
+training classes it doesn't have in memory), and asserts over the loopback
+wire that
+
+* remote predictions are **bitwise-equal** to in-process ``model.predict``;
+* 4 concurrent callers sharing one coalescing client issue **strictly
+  fewer** wire calls than their 4 sequential independent counterparts,
+  with per-caller row accounting intact.
+
+As a script it prints one JSON object with the parity/coalescing numbers
+and appends the same point to ``BENCH_SERVING.json`` next to the
+benchmark's trajectory (CI uploads the artifact directory).  Loopback
+only: the server binds 127.0.0.1 and no external network is touched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from fairexp.datasets import make_loan_dataset
+from fairexp.explanations import (
+    CoalescingScoringClient,
+    RemoteScoringBackend,
+    export_model,
+)
+from fairexp.models import LogisticRegression
+
+N_CALLERS = 4
+
+
+def build_workload(n_samples: int = 500):
+    """The E1 loan workload: fitted model + the matrix to score."""
+    dataset = make_loan_dataset(n_samples, direct_bias=1.2, recourse_gap=1.0,
+                                random_state=0)
+    train, test = dataset.split(test_size=0.3, random_state=1)
+    model = LogisticRegression(n_iter=1000, random_state=0).fit(train.X, train.y)
+    return model, test.X
+
+
+def launch_server(graph_path: str) -> tuple[subprocess.Popen, str]:
+    """Start ``python -m fairexp serve`` and return (process, base URL)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "fairexp", "serve", "--graph", graph_path],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    line = process.stdout.readline().strip()  # "serving <model> on <url>"
+    if not line or process.poll() is not None:
+        raise RuntimeError(f"scoring server failed to start: {line!r}")
+    return process, line.rsplit(" ", 1)[-1]
+
+
+def run_checks(url: str, model, X: np.ndarray) -> dict:
+    """Parity + coalescing assertions against a live server; numbers returned."""
+    reference = np.asarray(model.predict(X))
+
+    # Bitwise parity over the wire.
+    solo = RemoteScoringBackend(url, window=0.0)
+    remote = solo.predict(X)
+    assert np.array_equal(remote, reference), "remote labels diverge from model.predict"
+    solo.close()
+
+    # Independent baseline: sequential callers, private clients.
+    slices = np.array_split(np.arange(X.shape[0]), N_CALLERS)
+    independent_clients = [CoalescingScoringClient(url, window=0.0)
+                           for _ in range(N_CALLERS)]
+    independent_rows = []
+    for k, rows in enumerate(slices):
+        backend = RemoteScoringBackend(independent_clients[k])
+        for start in range(0, len(rows), 8):  # several batches per caller
+            backend.predict(X[rows[start:start + 8]])
+        independent_rows.append(backend.row_count)
+        backend.close()
+    independent_wire_calls = sum(c.wire_call_count for c in independent_clients)
+
+    # Coalescing run: the same batches, concurrent callers, one client.
+    client = CoalescingScoringClient(url, window=0.25)
+    backends = [RemoteScoringBackend(client) for _ in range(N_CALLERS)]
+    barrier = threading.Barrier(N_CALLERS)
+    failures: list[BaseException] = []
+
+    def run(k):
+        try:
+            barrier.wait(timeout=30)
+            rows = slices[k]
+            for start in range(0, len(rows), 8):
+                out = backends[k].predict(X[rows[start:start + 8]])
+                assert np.array_equal(out, reference[rows[start:start + 8]])
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            failures.append(error)
+        finally:
+            backends[k].close()
+
+    threads = [threading.Thread(target=run, args=(k,)) for k in range(N_CALLERS)]
+    start_time = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - start_time
+    if failures:
+        raise failures[0]
+
+    coalesced_rows = [backend.row_count for backend in backends]
+    assert 0 < client.wire_call_count < independent_wire_calls, (
+        f"coalescing did not reduce wire calls: {client.wire_call_count} vs "
+        f"{independent_wire_calls}"
+    )
+    assert coalesced_rows == independent_rows, "per-caller row accounting drifted"
+    assert client.wire_row_count == sum(coalesced_rows)
+
+    return {
+        "experiment": "SERVING_SUBPROCESS",
+        "n_rows_scored": int(X.shape[0]),
+        "parity_bitwise": True,
+        "independent_wire_calls": independent_wire_calls,
+        "coalesced_wire_calls": client.wire_call_count,
+        "coalescing_factor": independent_wire_calls / max(client.wire_call_count, 1),
+        "rows_per_caller": coalesced_rows,
+        "coalesced_wall_seconds": elapsed,
+    }
+
+
+def main() -> dict:
+    """Export, serve out of process, verify; returns the recorded point."""
+    model, X = build_workload()
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_path = os.path.join(tmp, "e1_model.npz")
+        export_model(model).save(graph_path)
+        process, url = launch_server(graph_path)
+        try:
+            point = run_checks(url, model, X)
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import emit_trajectory
+
+    class _NoBenchmark:
+        stats = None
+
+    emit_trajectory("SERVING_SUBPROCESS", _NoBenchmark(), point)
+    return point
+
+
+if __name__ == "__main__":
+    print(json.dumps(main(), indent=2))

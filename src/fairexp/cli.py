@@ -1,24 +1,30 @@
 """Command-line interface: ``python -m fairexp``.
 
-The only command family today is ``store`` — operational tooling for the
-cross-process :class:`~fairexp.explanations.store.CounterfactualStore`:
+Three command families:
 
-``python -m fairexp store inspect [--dir DIR] [--json]``
-    List every published entry: fingerprint, rows, bytes on disk, age since
-    the last recency bump, and manifest format version.
+``python -m fairexp store {inspect,evict,clear}``
+    Operational tooling for the cross-process
+    :class:`~fairexp.explanations.store.CounterfactualStore` — list entry
+    fingerprints/ages/sizes, discard entries by prefix or LRU bounds, or
+    clear the directory.  The store directory resolves from ``--dir`` or
+    the ``FAIREXP_STORE_DIR`` environment variable — the same variable the
+    experiment runners opt in with, so the CLI inspects exactly what a
+    sweep would warm-start from.
 
-``python -m fairexp store evict [--dir DIR] [--fingerprint PREFIX]
-[--max-entries N] [--max-bytes BYTES]``
-    Discard one entry by fingerprint prefix, or the oldest entries until
-    the directory fits the given bounds.
+``python -m fairexp serve --graph MODEL.npz [--host HOST] [--port PORT]``
+    Run the loopback scoring server over an exported
+    :class:`~fairexp.explanations.serving.ComputeGraph` archive (written by
+    ``ComputeGraph.save``).  The serving process needs only the graph file
+    — never the training classes — and prints one ``serving on URL`` line
+    so launchers (CI, ``benchmarks/serving_workload.py``) can connect a
+    :class:`~fairexp.explanations.serving.RemoteScoringBackend` to it.
 
-``python -m fairexp store clear [--dir DIR]``
-    Remove every entry (manifests, payloads, leftover temp files).
-
-The store directory resolves from ``--dir`` or, when omitted, from the
-``FAIREXP_STORE_DIR`` environment variable — the same variable the
-experiment runners opt in with, so the CLI inspects exactly what a sweep
-would warm-start from.
+``python -m fairexp run EXPERIMENT [--backend {numpy,onnx,remote}]``
+    Run one experiment (``E1/E2`` … ``E14``, ``FIG1``/``FIG2``/``TAB1``)
+    and print its result dictionary as JSON.  For the counterfactual-heavy
+    runners (E1–E9) ``--backend`` selects where predict batches run:
+    in-process NumPy, the exported ONNX-style graph, or a
+    loopback remote scoring server spun up for the run.
 """
 
 from __future__ import annotations
@@ -106,6 +112,49 @@ def _cmd_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the store commands must stay usable in minimal
+    # environments, and serve pulls in the HTTP server machinery.
+    from .explanations.serving import ComputeGraph, ScoringServer
+
+    if not os.path.isfile(args.graph):
+        raise SystemExit(f"graph archive does not exist: {args.graph}")
+    graph = ComputeGraph.load(args.graph)
+    server = ScoringServer(graph, host=args.host, port=args.port)
+    # One parseable line, flushed before blocking: launchers (CI scripts,
+    # benchmarks/serving_workload.py) read it to discover the bound port.
+    print(f"serving {graph.source} ({graph.n_features} features) on {server.url}",
+          flush=True)
+    try:
+        server.serve_until_interrupted()
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import inspect
+
+    from .experiments import ALL_EXPERIMENTS
+
+    runner = ALL_EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        known = ", ".join(ALL_EXPERIMENTS)
+        raise SystemExit(f"unknown experiment {args.experiment!r}; one of: {known}")
+    kwargs = {}
+    if "backend" in inspect.signature(runner).parameters:
+        kwargs["backend"] = args.backend
+    elif args.backend != "numpy":
+        raise SystemExit(
+            f"experiment {args.experiment} does not route predicts through a "
+            "session backend; only --backend numpy applies"
+        )
+    results = runner(**kwargs)
+    results.pop("rendered", None)
+    print(json.dumps(results, indent=2, default=str))
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fairexp",
@@ -147,6 +196,28 @@ def _build_parser() -> argparse.ArgumentParser:
     clear_parser = actions.add_parser("clear", help="remove every entry")
     add_dir(clear_parser)
     clear_parser.set_defaults(func=_cmd_clear)
+
+    serve_parser = commands.add_parser(
+        "serve", help="serve an exported compute graph over loopback HTTP"
+    )
+    serve_parser.add_argument("--graph", required=True,
+                              help="ComputeGraph .npz archive (ComputeGraph.save)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: loopback only)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="port to bind (default: an ephemeral port)")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    run_parser = commands.add_parser(
+        "run", help="run one experiment and print its results as JSON"
+    )
+    run_parser.add_argument("experiment",
+                            help="experiment id (E1/E2, E3, ..., FIG1, TAB1)")
+    run_parser.add_argument("--backend", choices=("numpy", "onnx", "remote"),
+                            default="numpy",
+                            help="predict dispatch for E1-E9 sessions "
+                                 "(default: in-process numpy)")
+    run_parser.set_defaults(func=_cmd_run)
     return parser
 
 

@@ -19,6 +19,8 @@ and take no store.)  Leave the variable unset to keep every run cold.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from .causal import CausalGraph
@@ -52,11 +54,15 @@ from .core import (
     render_taxonomy,
 )
 from .datasets import make_adult_like, make_loan_dataset, make_scm_loan_dataset
+from .exceptions import ValidationError
 from .explanations import (
     ActionabilityConstraints,
     AuditSession,
     CounterfactualStore,
     ExplainerRegistry,
+    OnnxExportBackend,
+    RemoteScoringBackend,
+    serve_model,
 )
 from .fairness import statistical_parity_difference
 from .fairness.mitigation import (
@@ -113,6 +119,41 @@ def _generator_for(dataset, train, model, *, seed=0, name="growing_spheres"):
     return generator_cls(model, train.X, constraints=constraints, random_state=seed)
 
 
+@contextmanager
+def _serving_backend(model, backend):
+    """Resolve a runner's ``backend`` name for one fitted model.
+
+    A context manager yielding the predict backend the runner's sessions
+    dispatch through: ``None`` for the in-process default, an
+    :class:`~fairexp.explanations.OnnxExportBackend` over the model's
+    exported compute graph for ``"onnx"``, or a
+    :class:`~fairexp.explanations.RemoteScoringBackend` connected to a
+    loopback scoring server spun up for the run for ``"remote"`` — the
+    same serving path a separate ``python -m fairexp serve`` process runs.
+    Exiting the block always tears the remote server/client down, even
+    when an audit inside raises (exactly the scorer-failure path the
+    backend accounting is hardened against).
+    """
+    if backend in (None, "numpy"):
+        yield None
+        return
+    if backend == "onnx":
+        yield OnnxExportBackend(model)
+        return
+    if backend == "remote":
+        server = serve_model(model)
+        remote = RemoteScoringBackend(server.url)
+        try:
+            yield remote
+        finally:
+            remote.close()
+            server.close()
+        return
+    raise ValidationError(
+        f"backend must be 'numpy', 'onnx' or 'remote', got {backend!r}"
+    )
+
+
 def _experiment_store():
     """The cross-process store the E1–E9 sessions share, or ``None``.
 
@@ -123,17 +164,19 @@ def _experiment_store():
 
 
 def _session_for(dataset, train, model, *, seed=0, name="growing_spheres", n_jobs=1,
-                 schedule=None, executor="auto"):
+                 schedule=None, executor="auto", predict_backend=None):
     """One shared-pass :class:`AuditSession` per workload: every audit of the
     workload draws counterfactuals and predictions from the same engine +
     backend, so overlapping populations are explained once — and, with
     ``FAIREXP_STORE_DIR`` set, across processes too.  ``schedule`` (a
     :class:`~fairexp.explanations.SearchSchedule` or a name like
     ``"adaptive"``) selects the candidate-search schedule every audit of the
-    sweep runs under; sharded passes reuse the session's executor pool."""
+    sweep runs under; ``predict_backend`` (from :func:`_serving_backend`)
+    reroutes the sweep's predict batches out of process; sharded passes
+    reuse the session's executor pool."""
     return AuditSession(_generator_for(dataset, train, model, seed=seed, name=name),
                         n_jobs=n_jobs, schedule=schedule, executor=executor,
-                        store=_experiment_store())
+                        backend=predict_backend, store=_experiment_store())
 
 
 # --------------------------------------------------------------------------
@@ -193,7 +236,8 @@ def run_table1() -> dict:
 # E1 / E2 — burden and NAWB
 # --------------------------------------------------------------------------
 def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80,
-                          n_jobs: int = 1, schedule=None) -> dict:
+                          n_jobs: int = 1, schedule=None,
+                          backend: str = "numpy") -> dict:
     """Burden [72] and NAWB [73] on a biased vs. an unbiased loan model.
 
     Both explainers share one :class:`AuditSession` per workload: burden
@@ -203,15 +247,18 @@ def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80,
     workload so the benchmarks can track predict-call reduction;
     ``schedule`` selects the search schedule (``"adaptive"`` issues strictly
     fewer predict calls than the default geometric ladder, asserted in
-    ``benchmarks/test_bench_schedules.py``).
+    ``benchmarks/test_bench_schedules.py``); ``backend`` selects where the
+    predict batches run (``"onnx"`` = exported compute graph, ``"remote"``
+    = loopback scoring server).
     """
-    results: dict[str, float] = {}
+    results: dict[str, float] = {"predict_backend": backend}
     for label, direct_bias, recourse_gap in (("biased", 1.2, 1.0), ("fair", 0.0, 0.0)):
         dataset, train, test, model = _loan_workload(
             n_samples, direct_bias=direct_bias, recourse_gap=recourse_gap, seed=0
         )
-        with _session_for(dataset, train, model, n_jobs=n_jobs,
-                          schedule=schedule) as session:
+        with _serving_backend(model, backend) as predict_backend, \
+                _session_for(dataset, train, model, n_jobs=n_jobs, schedule=schedule,
+                             predict_backend=predict_backend) as session:
             subset = test.subset(np.arange(min(audit_size, test.n_samples)))
             burden = BurdenExplainer(session=session).explain(subset.X,
                                                               subset.sensitive_values)
@@ -235,7 +282,8 @@ def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80,
 # --------------------------------------------------------------------------
 # E3 — PreCoF
 # --------------------------------------------------------------------------
-def run_e3_precof(n_samples: int = 600, audit_size: int = 80, schedule=None) -> dict:
+def run_e3_precof(n_samples: int = 600, audit_size: int = 80, schedule=None,
+                  backend: str = "numpy") -> dict:
     """PreCoF [71]: explicit bias via sensitive flips, implicit bias via proxies."""
     dataset = make_adult_like(n_samples, direct_bias=1.2, proxy_bias=0.9, random_state=0)
     train, test = dataset.split(test_size=0.3, random_state=1)
@@ -246,8 +294,10 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80, schedule=None) -> 
     # session pins a frozen model.
     spheres_cls = ExplainerRegistry.get("growing_spheres")
     model_explicit = LogisticRegression(n_iter=1200, random_state=0).fit(train.X, train.y)
-    with AuditSession(spheres_cls(model_explicit, train.X, random_state=0),
-                      schedule=schedule, store=_experiment_store()) as session_explicit:
+    with _serving_backend(model_explicit, backend) as backend_explicit, \
+            AuditSession(spheres_cls(model_explicit, train.X, random_state=0),
+                         schedule=schedule, backend=backend_explicit,
+                         store=_experiment_store()) as session_explicit:
         explicit = PreCoFExplainer(
             feature_names=dataset.feature_names, sensitive_feature=dataset.sensitive,
             mode="explicit", session=session_explicit,
@@ -259,8 +309,10 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80, schedule=None) -> 
     X_sub_blind, blind_specs = subset.features_without_sensitive()
     blind_names = [spec.name for spec in blind_specs]
     model_blind = LogisticRegression(n_iter=1200, random_state=0).fit(X_train_blind, train.y)
-    with AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0),
-                      schedule=schedule, store=_experiment_store()) as session_blind:
+    with _serving_backend(model_blind, backend) as backend_blind, \
+            AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0),
+                         schedule=schedule, backend=backend_blind,
+                         store=_experiment_store()) as session_blind:
         implicit = PreCoFExplainer(
             feature_names=blind_names, sensitive_feature=dataset.sensitive,
             mode="implicit", session=session_blind,
@@ -281,15 +333,17 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80, schedule=None) -> 
 # --------------------------------------------------------------------------
 # E4 — FACTS
 # --------------------------------------------------------------------------
-def run_e4_facts(n_samples: int = 700) -> dict:
+def run_e4_facts(n_samples: int = 700, backend: str = "numpy") -> dict:
     """FACTS [77]: equal effectiveness / equal choice of recourse across subgroups."""
     dataset, train, test, model = _loan_workload(n_samples)
     # Generator-less session: FACTS never asks for counterfactuals, but its
-    # action scoring routes through the session's counting/memoizing adapter.
-    session = AuditSession(model=model)
-    explainer = FACTSExplainer(session.model, dataset.feature_names, dataset.sensitive_index,
-                               random_state=0)
-    result = explainer.explain(test.X, test.sensitive_values)
+    # action scoring routes through the session's counting/memoizing adapter
+    # (and, with backend= set, out of process).
+    with _serving_backend(model, backend) as predict_backend:
+        session = AuditSession(model=model, backend=predict_backend)
+        explainer = FACTSExplainer(session.model, dataset.feature_names,
+                                   dataset.sensitive_index, random_state=0)
+        result = explainer.explain(test.X, test.sensitive_values)
     top = result.top_biased(3)
     return {
         "global_effectiveness_gap": result.global_audit.effectiveness_gap,
@@ -305,13 +359,16 @@ def run_e4_facts(n_samples: int = 700) -> dict:
 # --------------------------------------------------------------------------
 # E5 — group counterfactuals (GLOBE-CE, CF trees, recourse sets) + CF ablation
 # --------------------------------------------------------------------------
-def run_e5_group_counterfactuals(n_samples: int = 600, schedule=None) -> dict:
+def run_e5_group_counterfactuals(n_samples: int = 600, schedule=None,
+                                 backend: str = "numpy") -> dict:
     """GLOBE-CE [75], CF trees [76] and recourse sets [74] + CF search ablation."""
     dataset, train, test, model = _loan_workload(n_samples)
     constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
     # One session per workload: GLOBE-CE, the CF tree and the recourse set all
     # score candidates through the same counting/memoizing adapter.
-    with _session_for(dataset, train, model, schedule=schedule) as session:
+    with _serving_backend(model, backend) as predict_backend, \
+            _session_for(dataset, train, model, schedule=schedule,
+                         predict_backend=predict_backend) as session:
 
         globe = GlobeCEExplainer(feature_names=dataset.feature_names, random_state=0,
                                  session=session).explain(test.X, test.sensitive_values)
@@ -362,35 +419,38 @@ def run_e5_group_counterfactuals(n_samples: int = 600, schedule=None) -> dict:
 # --------------------------------------------------------------------------
 # E6 — actionable recourse over an SCM
 # --------------------------------------------------------------------------
-def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
+def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12,
+                           backend: str = "numpy") -> dict:
     """Actionable recourse [65]: SCM-intervention cost vs independent manipulation cost."""
     dataset, scm = make_scm_loan_dataset(n_samples, random_state=0)
     train, test = dataset.split(test_size=0.3, random_state=1)
     model = LogisticRegression(n_iter=1000, random_state=0).fit(train.X, train.y)
     # Generator-less session: the flipset grid search repeats many small
     # intervention matrices, which the session's memoizing backend coalesces.
-    session = AuditSession(model=model)
-    # The SCM travels on the dataset, so the causal explainer is auto-selected
-    # through the registry's declared data requirements instead of being
-    # hard-coded: only SCM-carrying datasets offer it.
-    causal_entries = {
-        entry.name
-        for entry in ExplainerRegistry.compatible(capability="causal",
-                                                  model=model, dataset=train)
-    }
-    explainer_cls = ExplainerRegistry.get("causal_recourse")
-    explainer = explainer_cls(
-        session.model, scm, dataset.feature_names,
-        actionable=["education", "income", "savings"],
-        scales={"education": 2.0, "income": 10.0, "savings": 5.0},
-        value_ranges={"education": (4, 20), "income": (5, 200), "savings": (0, 100)},
-        grid_size=6,
-    )
-    rejected = test.X[session.predict(test.X) == 0][:audit_size]
-    causal_costs, independent_costs = [], []
-    for row in rejected:
-        causal_costs.append(explainer.recourse_cost(row))
-        independent_costs.append(explainer.independent_manipulation_cost(row))
+    with _serving_backend(model, backend) as predict_backend:
+        session = AuditSession(model=model, backend=predict_backend)
+        # The SCM travels on the dataset, so the causal explainer is
+        # auto-selected through the registry's declared data requirements
+        # instead of being hard-coded: only SCM-carrying datasets offer it.
+        causal_entries = {
+            entry.name
+            for entry in ExplainerRegistry.compatible(capability="causal",
+                                                      model=model, dataset=train)
+        }
+        explainer_cls = ExplainerRegistry.get("causal_recourse")
+        explainer = explainer_cls(
+            session.model, scm, dataset.feature_names,
+            actionable=["education", "income", "savings"],
+            scales={"education": 2.0, "income": 10.0, "savings": 5.0},
+            value_ranges={"education": (4, 20), "income": (5, 200),
+                          "savings": (0, 100)},
+            grid_size=6,
+        )
+        rejected = test.X[session.predict(test.X) == 0][:audit_size]
+        causal_costs, independent_costs = [], []
+        for row in rejected:
+            causal_costs.append(explainer.recourse_cost(row))
+            independent_costs.append(explainer.independent_manipulation_cost(row))
     causal_costs = np.asarray(causal_costs)
     independent_costs = np.asarray(independent_costs)
     finite = np.isfinite(causal_costs) & np.isfinite(independent_costs)
@@ -411,14 +471,15 @@ def run_e6_causal_recourse(n_samples: int = 500, audit_size: int = 12) -> dict:
 # --------------------------------------------------------------------------
 # E7 — fair recourse (distance-based + causal)
 # --------------------------------------------------------------------------
-def run_e7_fair_recourse(n_samples: int = 600) -> dict:
+def run_e7_fair_recourse(n_samples: int = 600, backend: str = "numpy") -> dict:
     """Equalizing recourse [79] and fair causal recourse [80]."""
     dataset, train, test, model = _loan_workload(n_samples)
     # Generator-less session: prediction sharing only (no counterfactuals
     # to persist, so no store is attached).
-    base_session = AuditSession(model=model)
-    base_report = recourse_gap_report(X=test.X, sensitive=test.sensitive_values,
-                                      session=base_session)
+    with _serving_backend(model, backend) as predict_backend:
+        base_session = AuditSession(model=model, backend=predict_backend)
+        base_report = recourse_gap_report(X=test.X, sensitive=test.sensitive_values,
+                                          session=base_session)
 
     regularized = RecourseRegularizedClassifier(recourse_weight=3.0, n_iter=1200,
                                                 random_state=0).fit(
@@ -453,24 +514,28 @@ def run_e7_fair_recourse(n_samples: int = 600) -> dict:
 # --------------------------------------------------------------------------
 # E8 — fairness Shapley + causal path decomposition
 # --------------------------------------------------------------------------
-def run_e8_fairness_shap(n_samples: int = 600, audit_size: int = 120) -> dict:
+def run_e8_fairness_shap(n_samples: int = 600, audit_size: int = 120,
+                         backend: str = "numpy") -> dict:
     """Fairness-Shapley decomposition [81] and causal path decomposition [82]."""
     dataset, train, test, model = _loan_workload(n_samples)
     subset = test.subset(np.arange(min(audit_size, test.n_samples)))
 
     # The exact and sampled Shapley passes evaluate many identical coalition
     # matrices; one generator-less session memoizes them across both runs.
-    session = AuditSession(model=model)
-    exact = FairnessShapExplainer(session.model, train.X[:80],
-                                  feature_names=dataset.feature_names,
-                                  method="exact", n_background=8, random_state=0).explain(
-        subset.X, subset.sensitive_values
-    )
-    sampled = FairnessShapExplainer(session.model, train.X[:80],
-                                    feature_names=dataset.feature_names,
-                                    method="sampling", n_permutations=60, n_background=8,
-                                    random_state=0).explain(subset.X, subset.sensitive_values)
-    sampling_error = float(np.max(np.abs(exact.values - sampled.values)))
+    with _serving_backend(model, backend) as predict_backend:
+        session = AuditSession(model=model, backend=predict_backend)
+        exact = FairnessShapExplainer(session.model, train.X[:80],
+                                      feature_names=dataset.feature_names,
+                                      method="exact", n_background=8,
+                                      random_state=0).explain(
+            subset.X, subset.sensitive_values
+        )
+        sampled = FairnessShapExplainer(session.model, train.X[:80],
+                                        feature_names=dataset.feature_names,
+                                        method="sampling", n_permutations=60,
+                                        n_background=8, random_state=0).explain(
+            subset.X, subset.sensitive_values)
+        sampling_error = float(np.max(np.abs(exact.values - sampled.values)))
 
     scm_dataset, scm = make_scm_loan_dataset(500, random_state=0)
     scm_train, scm_test = scm_dataset.split(test_size=0.3, random_state=1)
@@ -498,7 +563,7 @@ def run_e8_fairness_shap(n_samples: int = 600, audit_size: int = 120) -> dict:
 # --------------------------------------------------------------------------
 # E9 — data-based explanations (Gopher)
 # --------------------------------------------------------------------------
-def run_e9_data_explanations(n_samples: int = 600) -> dict:
+def run_e9_data_explanations(n_samples: int = 600, backend: str = "numpy") -> dict:
     """Gopher [63, 83]: returned pattern reduces unfairness more than random patterns."""
     dataset = make_adult_like(n_samples, direct_bias=1.2, proxy_bias=0.8, random_state=0)
     factory = lambda: LogisticRegression(n_iter=500, random_state=0)  # noqa: E731
@@ -507,9 +572,24 @@ def run_e9_data_explanations(n_samples: int = 600) -> dict:
     result = explainer.explain(dataset.X, dataset.y, dataset.sensitive_values)
     best = result.patterns[0]
 
+    # Gopher's search refits the factory model per candidate pattern, so the
+    # refit loop itself stays in-process; the requested backend is still
+    # exercised (and its export verified bitwise) against the factory model
+    # fitted on the full workload — E9's model family must stay servable.
+    backend_parity = True
+    if backend not in (None, "numpy"):
+        reference = factory().fit(dataset.X, dataset.y)
+        with _serving_backend(reference, backend) as predict_backend:
+            backend_parity = bool(
+                np.array_equal(predict_backend.predict(dataset.X),
+                               reference.predict(dataset.X))
+            )
+
     # Baseline: mean reduction over all candidate patterns (proxy for a random pattern).
     all_reductions = [pattern.unfairness_reduction for pattern in result.patterns]
     return {
+        "predict_backend": backend,
+        "backend_parity": backend_parity,
         "baseline_unfairness": result.baseline_unfairness,
         "best_pattern": best.describe(),
         "best_reduction": best.unfairness_reduction,

@@ -44,7 +44,16 @@ from .backends import (
     ensure_backend,
 )
 from .engine import BatchModelAdapter, CounterfactualEngine, generator_config, shard_indices
-from .pool import ExecutorPool
+from .pool import ExecutorPool, SharedExecutorPool
+from .serving import (
+    CoalescingScoringClient,
+    ComputeGraph,
+    OnnxExportBackend,
+    RemoteScoringBackend,
+    ScoringServer,
+    export_model,
+    serve_model,
+)
 from .schedules import (
     AdaptiveSchedule,
     GeometricSchedule,
@@ -109,6 +118,14 @@ __all__ = [
     "CallablePredictBackend",
     "MemoizingPredictBackend",
     "ensure_backend",
+    "SharedExecutorPool",
+    "ComputeGraph",
+    "export_model",
+    "OnnxExportBackend",
+    "CoalescingScoringClient",
+    "RemoteScoringBackend",
+    "ScoringServer",
+    "serve_model",
     "shard_indices",
     "FeatureAttribution",
     "Counterfactual",

@@ -15,6 +15,12 @@ the benchmarks rely on:
   backend that serves repeated matrices from a memo, so audits sharing a
   session never pay twice for the same population.
 
+The out-of-process backends — :class:`~fairexp.explanations.serving.OnnxExportBackend`
+(a serialized NumPy compute graph, no model import needed) and
+:class:`~fairexp.explanations.serving.RemoteScoringBackend` (a coalescing
+client over ``python -m fairexp serve``) — build on these classes and live
+in :mod:`fairexp.explanations.serving`.
+
 All backends are thread-safe with respect to their counters and memo, which
 is what lets the engine execute shards of a work-list across a worker pool
 against one shared backend (see
@@ -95,12 +101,19 @@ class NumpyPredictBackend:
         return np.asarray(self.model.predict(X))
 
     def predict(self, X) -> np.ndarray:
-        """Labels for ``X`` via one counted vectorized model call."""
+        """Labels for ``X`` via one counted vectorized model call.
+
+        Counting happens only after ``_run`` returns: a raising predict
+        (exactly what a remote scorer timeout looks like) must not inflate
+        the session accounting the BENCH_* trajectories are built from —
+        callers retrying a failed batch would otherwise double-count it.
+        """
         X = np.atleast_2d(np.asarray(X, dtype=float))
+        result = self._run(X)
         with self._lock:
             self.call_count += 1
             self.row_count += int(X.shape[0])
-        return self._run(X)
+        return result
 
     def reset_counts(self) -> None:
         """Zero the call/row counters."""

@@ -437,7 +437,12 @@ def _process_shard_spec(generator) -> dict | None:
     if backend is None or type(backend) is NumpyPredictBackend:
         if model is None:
             return None
-    elif type(backend) is CallablePredictBackend:
+    elif (type(backend) is CallablePredictBackend
+          or getattr(backend, "ships_fn_to_workers", False)):
+        # Plain callable backends ship their fn; serving backends opt in
+        # explicitly — OnnxExportBackend ships its (picklable, model-free)
+        # compute graph, while RemoteScoringBackend declines (its coalescing
+        # client's locks and sockets cannot cross a process boundary).
         spec["fn"] = backend.fn
         spec["fn_name"] = backend.name
     else:
@@ -613,7 +618,10 @@ class CounterfactualEngine:
                 return self.generator.generate_batch_aligned(X[shard])
 
             if self.pool is not None:
-                parts = list(self.pool.executor("thread").map(run_shard, shards))
+                # Generation-tracked pool pass: a concurrent reset() cannot
+                # shut the executor down under this map, and the pool's
+                # busy-worker/queue-depth stats see every shard.
+                parts = self.pool.map("thread", run_shard, shards)
             else:
                 with ThreadPoolExecutor(max_workers=len(shards)) as pool:
                     parts = list(pool.map(run_shard, shards))
@@ -638,9 +646,7 @@ class CounterfactualEngine:
         specs, shard_X = [spec] * len(shards), [X[shard] for shard in shards]
         try:
             if self.pool is not None:
-                outcomes = list(
-                    self.pool.executor("process").map(_run_process_shard, specs, shard_X)
-                )
+                outcomes = self.pool.map("process", _run_process_shard, specs, shard_X)
             else:
                 with ProcessPoolExecutor(max_workers=len(shards)) as pool:
                     outcomes = list(pool.map(_run_process_shard, specs, shard_X))
@@ -670,12 +676,18 @@ class CounterfactualEngine:
         Rows whose search exhausts its budget are simply absent from the
         result, mirroring the ``try/except InfeasibleRecourseError`` pattern
         the per-instance loops used.
+
+        Duplicate indices are deduped (preserving first-occurrence order,
+        exactly as :meth:`AuditSession.counterfactuals_for` does) so a
+        repeated index never pays for — or runs — a second search of the
+        same row.
         """
         X = np.asarray(X, dtype=float)
         indices = np.asarray(indices, dtype=int)
         if indices.size == 0:
             return {}
-        results = self.generate_aligned(X[indices])
+        distinct = list(dict.fromkeys(int(i) for i in indices))
+        results = self.generate_aligned(X[distinct])
         return {
-            int(i): result for i, result in zip(indices, results) if result is not None
+            i: result for i, result in zip(distinct, results) if result is not None
         }

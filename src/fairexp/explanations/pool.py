@@ -1,4 +1,4 @@
-"""Session-scoped persistent executor pools for sharded search.
+"""Persistent executor pools for sharded search — per session or process-wide.
 
 Before this module existed, every sharded
 :meth:`~fairexp.explanations.engine.CounterfactualEngine.generate_aligned`
@@ -20,11 +20,30 @@ threads it into every engine call, so a whole sweep with
 shards are deterministic and every instance seeds its own random stream, so
 pooled and per-call execution are bitwise-identical.
 
+Two features make one pool safe to share across **concurrent** sessions of
+one process (the ROADMAP's pool follow-on):
+
+* **Generation tracking** — every executor lives in a generation record
+  that counts in-flight :meth:`~ExecutorPool.map` passes.  ``reset()``
+  retires the record (the next request builds a fresh executor) but defers
+  the actual ``shutdown`` until the last in-flight pass drains, so one
+  session observing a broken process pool can never shut an executor out
+  from under another session's running ``map``.
+* :meth:`ExecutorPool.shared` — a refcounted process-wide pool:  every
+  acquisition returns the same :class:`SharedExecutorPool` and bumps its
+  refcount; :meth:`~SharedExecutorPool.shutdown` (what a session's
+  ``close()`` calls) releases one reference, and only the last release
+  tears the workers down.  N concurrent process-sharded sessions therefore
+  construct exactly one ``ProcessPoolExecutor`` between them (asserted in
+  ``benchmarks/test_bench_serving.py``).
+
 Shutdown is deterministic: pools are context managers, and the session's
-own context-manager exit closes the pool it created.  A broken process
-pool (e.g. a worker killed mid-sweep) is :meth:`~ExecutorPool.reset` by the
-engine, which then falls back to thread sharding for that call; the next
-process-sharded call lazily builds a fresh pool.
+own context-manager exit closes (or, for the shared pool, releases) the
+pool it created.  A broken process pool (e.g. a worker killed mid-sweep) is
+:meth:`~ExecutorPool.reset` by the engine, which then falls back to thread
+sharding for that call; the next process-sharded call lazily builds a fresh
+pool.  :meth:`~ExecutorPool.stats` exposes utilization — busy workers and
+queue depth per kind — which sessions fold into their own ``stats()``.
 """
 
 from __future__ import annotations
@@ -35,9 +54,32 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..exceptions import ValidationError
 
-__all__ = ["ExecutorPool"]
+__all__ = ["ExecutorPool", "SharedExecutorPool"]
 
 _KINDS = ("thread", "process")
+
+
+class _ExecutorRecord:
+    """One executor generation: the live executor plus its usage counters.
+
+    ``inflight`` counts :meth:`ExecutorPool.map` passes currently running on
+    this executor; ``pending`` counts submitted-but-unfinished tasks (the
+    busy-worker/queue-depth observable).  A retired record (its pool called
+    ``reset``) shuts its executor down only once ``inflight`` drains to
+    zero, so resets never yank an executor from under a running pass.
+    """
+
+    __slots__ = ("executor", "kind", "generation", "workers",
+                 "inflight", "pending", "retired")
+
+    def __init__(self, executor, kind: str, generation: int, workers: int) -> None:
+        self.executor = executor
+        self.kind = kind
+        self.generation = generation
+        self.workers = workers
+        self.inflight = 0
+        self.pending = 0
+        self.retired = False
 
 
 class ExecutorPool:
@@ -69,65 +111,196 @@ class ExecutorPool:
                  process_factory=ProcessPoolExecutor) -> None:
         self.max_workers = max_workers
         self._factories = {"thread": thread_factory, "process": process_factory}
-        self._executors: dict[str, object] = {}
+        self._records: dict[str, _ExecutorRecord] = {}
         self.created_counts: dict[str, int] = {kind: 0 for kind in _KINDS}
+        self._generation = 0
         self._lock = threading.Lock()
         self._closed = False
 
     @staticmethod
     def ensure(pool) -> "ExecutorPool":
-        """Coerce ``pool`` (an :class:`ExecutorPool` or ``None``) to a pool."""
+        """Coerce ``pool`` (an :class:`ExecutorPool`, ``"shared"`` or
+        ``None``) to a pool.
+
+        ``None`` builds a fresh private pool; the string ``"shared"``
+        acquires (a reference on) the process-wide :meth:`shared` pool.
+        """
         if pool is None:
             return ExecutorPool()
+        if pool == "shared":
+            return ExecutorPool.shared()
         if not isinstance(pool, ExecutorPool):
             raise ValidationError(
-                f"pool must be an ExecutorPool or None, got {type(pool).__name__}"
+                f"pool must be an ExecutorPool, 'shared' or None, "
+                f"got {type(pool).__name__}"
             )
         return pool
 
+    @classmethod
+    def shared(cls, **kwargs) -> "SharedExecutorPool":
+        """Acquire the process-wide refcounted pool (see
+        :class:`SharedExecutorPool`).
+
+        Keyword arguments (``max_workers`` and the factories) configure the
+        pool only when this acquisition *creates* it; passing configuration
+        while the shared pool is already alive raises instead of silently
+        ignoring it.  Every successful call must be balanced by one
+        :meth:`~SharedExecutorPool.shutdown` (or ``release``) — sessions
+        built with ``pool="shared"`` do this from their own ``close()``.
+        """
+        with _shared_lock:
+            global _shared_pool
+            if _shared_pool is None:
+                _shared_pool = SharedExecutorPool(**kwargs)
+            elif kwargs:
+                raise ValidationError(
+                    "the shared ExecutorPool is already running; its "
+                    "configuration cannot be changed until every holder "
+                    "has released it"
+                )
+            _shared_pool._refcount += 1
+            return _shared_pool
+
     # ------------------------------------------------------------ executors
-    def executor(self, kind: str):
-        """The live executor of ``kind`` (``"thread"`` / ``"process"``),
-        created lazily on first request and reused afterwards."""
+    def _record(self, kind: str, *, lease: bool = False) -> _ExecutorRecord:
+        """The live record of ``kind``, created lazily (caller holds no lock).
+
+        With ``lease=True`` the in-flight count is taken under the same
+        lock acquisition that resolved the record, so a concurrent
+        :meth:`reset` can never observe the record lease-free and shut its
+        executor down between resolution and the lease being taken.
+        """
         if kind not in _KINDS:
             raise ValidationError(f"executor kind must be one of {_KINDS}, got {kind!r}")
         with self._lock:
             if self._closed:
                 raise ValidationError("ExecutorPool is closed")
-            executor = self._executors.get(kind)
-            if executor is None:
+            record = self._records.get(kind)
+            if record is None:
                 workers = self.max_workers or os.cpu_count() or 1
-                executor = self._factories[kind](max_workers=workers)
-                self._executors[kind] = executor
+                self._generation += 1
+                record = _ExecutorRecord(self._factories[kind](max_workers=workers),
+                                         kind, self._generation, workers)
+                self._records[kind] = record
                 self.created_counts[kind] += 1
-            return executor
+            if lease:
+                record.inflight += 1
+            return record
+
+    def executor(self, kind: str):
+        """The live executor of ``kind`` (``"thread"`` / ``"process"``),
+        created lazily on first request and reused afterwards.
+
+        Prefer :meth:`map` for sharded passes: direct executor access is
+        not generation-tracked, so a concurrent ``reset`` may shut the
+        returned executor down mid-use.
+        """
+        return self._record(kind).executor
+
+    def map(self, kind: str, fn, *iterables) -> list:
+        """Run ``fn`` over ``zip(*iterables)`` on the ``kind`` executor.
+
+        Equivalent to ``list(executor.map(fn, *iterables))`` — results in
+        input order, the first raising task re-raising here — but
+        generation-safe and instrumented: the pass holds an in-flight lease
+        on its executor (a concurrent :meth:`reset` defers the shutdown
+        until the pass drains) and per-task completion feeds the
+        busy-worker / queue-depth numbers :meth:`stats` reports.
+        """
+        record = self._record(kind, lease=True)
+        try:
+            def task_done(_future, record=record):
+                with self._lock:
+                    record.pending -= 1
+
+            futures = []
+            for args in zip(*iterables):
+                with self._lock:
+                    record.pending += 1
+                try:
+                    future = record.executor.submit(fn, *args)
+                except RuntimeError as error:
+                    # A concurrent shutdown() closed this executor between
+                    # our lease and the submit; surface it as the pool-level
+                    # error every other closed-pool path raises.  (A reset()
+                    # can never trigger this — retired executors drain their
+                    # leases before shutting down.)
+                    with self._lock:
+                        record.pending -= 1
+                        closed = self._closed
+                    for submitted in futures:
+                        submitted.cancel()
+                    if closed:
+                        raise ValidationError("ExecutorPool is closed") from error
+                    raise
+                future.add_done_callback(task_done)
+                futures.append(future)
+            return [future.result() for future in futures]
+        finally:
+            self._release_lease(record)
+
+    def _release_lease(self, record: _ExecutorRecord) -> None:
+        with self._lock:
+            record.inflight -= 1
+            shutdown_now = record.retired and record.inflight == 0
+        if shutdown_now:
+            record.executor.shutdown(wait=False, cancel_futures=True)
 
     def active_kinds(self) -> list[str]:
         """Kinds whose executor is currently alive (constructed, not reset)."""
         with self._lock:
-            return sorted(self._executors)
+            return sorted(self._records)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-kind pool utilization: executors created over the pool's
+        lifetime, configured workers, busy workers and queue depth.
+
+        ``busy_workers`` is the number of workers currently executing a
+        task (pending tasks capped at the worker count); ``queue_depth`` is
+        how many submitted tasks are waiting for a free worker.  Both are
+        ``0`` for kinds without a live executor.
+        """
+        with self._lock:
+            stats: dict[str, dict[str, int]] = {}
+            for kind in _KINDS:
+                record = self._records.get(kind)
+                pending = record.pending if record is not None else 0
+                workers = record.workers if record is not None else 0
+                stats[kind] = {
+                    "executors_created": self.created_counts[kind],
+                    "workers": workers,
+                    "busy_workers": min(pending, workers),
+                    "queue_depth": max(0, pending - workers),
+                }
+            return stats
 
     # ------------------------------------------------------------- lifecycle
     def reset(self, kind: str) -> None:
-        """Tear down one executor so the next request builds a fresh one.
+        """Retire one executor so the next request builds a fresh one.
 
         This is the engine's escape hatch for a broken process pool: the
-        dead executor is shut down without waiting, forgotten, and the call
-        that observed the breakage falls back to thread sharding.
+        record is forgotten immediately (new requests get a new generation)
+        but the dead executor is only shut down once every in-flight
+        :meth:`map` pass on it has drained — a reset can never yank an
+        executor out from under another session's running pass.
         """
         with self._lock:
-            executor = self._executors.pop(kind, None)
-        if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
+            record = self._records.pop(kind, None)
+            if record is None:
+                return
+            record.retired = True
+            shutdown_now = record.inflight == 0
+        if shutdown_now:
+            record.executor.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self, wait: bool = True) -> None:
         """Shut down every live executor; the pool refuses further use."""
         with self._lock:
-            executors = list(self._executors.values())
-            self._executors.clear()
+            records = list(self._records.values())
+            self._records.clear()
             self._closed = True
-        for executor in executors:
-            executor.shutdown(wait=wait)
+        for record in records:
+            record.executor.shutdown(wait=wait)
 
     def __del__(self):
         # Best-effort backstop for callers that never reach close()/__exit__:
@@ -151,3 +324,49 @@ class ExecutorPool:
     def __repr__(self) -> str:
         state = "closed" if self._closed else ",".join(self.active_kinds()) or "idle"
         return f"ExecutorPool(max_workers={self.max_workers}, {state})"
+
+
+class SharedExecutorPool(ExecutorPool):
+    """The process-wide refcounted pool behind :meth:`ExecutorPool.shared`.
+
+    Behaves exactly like an :class:`ExecutorPool` except for teardown:
+    :meth:`shutdown` releases one reference, and only the release that
+    drops the refcount to zero actually stops the executors (and clears the
+    process-wide slot so the next :meth:`~ExecutorPool.shared` acquisition
+    builds a fresh pool).  This is what lets N concurrent sessions pass
+    ``pool="shared"``, each ``close()`` their session normally, and still
+    construct exactly one ``ProcessPoolExecutor`` between them.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._refcount = 0
+
+    @property
+    def refcount(self) -> int:
+        """Live references (acquisitions not yet released)."""
+        with _shared_lock:
+            return self._refcount
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release one reference; the last release shuts the workers down."""
+        with _shared_lock:
+            global _shared_pool
+            if self._refcount > 0:
+                self._refcount -= 1
+            if self._refcount > 0:
+                return
+            if _shared_pool is self:
+                _shared_pool = None
+        super().shutdown(wait=wait)
+
+    release = shutdown
+
+    def __repr__(self) -> str:
+        return super().__repr__().replace(
+            "ExecutorPool(", f"SharedExecutorPool(refcount={self._refcount}, ", 1
+        )
+
+
+_shared_pool: SharedExecutorPool | None = None
+_shared_lock = threading.Lock()

@@ -186,6 +186,12 @@ class _AdaptiveCursor:
         sequential ones — and sharding config must never need to bust a
         store fingerprint.
         """
+        if self.n_steps <= 0:
+            # Degenerate ladder (a custom generator's draw_schedule() may be
+            # empty): there is no rung to probe — end the pass like
+            # _GeometricCursor does instead of planning rung -1.
+            self.finished.update(pending)
+            return {}
         probes: dict[int, int] = {}
         for i in pending:
             if i not in self._lo:  # feasibility probe at the widest rung

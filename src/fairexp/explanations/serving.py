@@ -1,0 +1,724 @@
+"""Out-of-process serving: ONNX-style model export and remote scoring.
+
+PRs 1–4 built the predict plumbing — the
+:class:`~fairexp.explanations.backends.PredictBackend` protocol, process
+sharding, the session-scoped executor pool — but every predict still ran
+in-process against the from-scratch training classes.  This module supplies
+the two real out-of-process backends the ROADMAP asks for:
+
+* :class:`ComputeGraph` / :func:`export_model` — an "ONNX-style" export: a
+  fitted linear / MLP / tree / forest model is compiled to a serializable
+  list of NumPy ops (``standardize``, ``matvec``, ``matmul``, ``relu``,
+  ``softmax``, ``forest`` …) that reproduces ``model.predict`` **bitwise**
+  without importing :mod:`fairexp.models`.  Graphs pickle into process-shard
+  specs and :meth:`~ComputeGraph.save` to ``.npz`` files a scoring server in
+  another process can load.
+* :class:`OnnxExportBackend` — a
+  :class:`~fairexp.explanations.backends.CallablePredictBackend` over an
+  exported graph (``releases_gil=True``: the graph is pure vectorized
+  NumPy), verified against the source model at construction.
+* :class:`ScoringServer` + :class:`RemoteScoringBackend` — a loopback HTTP
+  scoring server (also shipped as ``python -m fairexp serve``) and its
+  batched client.  The client side is a :class:`CoalescingScoringClient`:
+  predict batches from *concurrent* sessions that land within a small
+  window are stacked into **one** wire call, while each caller's
+  call/row accounting is folded back into its own backend only after the
+  dispatch succeeds — N concurrent sessions issue strictly fewer wire
+  calls than N independent ones (asserted in
+  ``benchmarks/test_bench_serving.py``).
+
+The wire format is deliberately boring: ``POST /score`` with a raw ``.npy``
+payload of the candidate matrix, answered with a raw ``.npy`` payload of the
+labels.  No pickle crosses the wire, so a server never executes anything a
+client sends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .backends import CallablePredictBackend, NumpyPredictBackend
+
+__all__ = [
+    "ComputeGraph",
+    "export_model",
+    "OnnxExportBackend",
+    "CoalescingScoringClient",
+    "RemoteScoringBackend",
+    "ScoringServer",
+    "serve_model",
+]
+
+
+# ---------------------------------------------------------------------------
+# Compute-graph export
+# ---------------------------------------------------------------------------
+def _softmax_rows(z: np.ndarray) -> np.ndarray:
+    # Bitwise mirror of fairexp.utils.softmax (axis=-1) so the exported MLP
+    # graph reproduces predict_proba exactly without importing fairexp.utils.
+    shifted = z - np.max(z, axis=-1, keepdims=True)
+    exp_z = np.exp(shifted)
+    return exp_z / np.sum(exp_z, axis=-1, keepdims=True)
+
+
+def _run_packed_tree(tree: dict, X: np.ndarray) -> np.ndarray:
+    """Evaluate one packed decision tree: per-row leaf value vectors.
+
+    Nodes are stored as parallel arrays (``feature`` is ``-1`` at leaves);
+    every row starts at the root and is routed ``x[feature] <= threshold``
+    → left child, exactly the comparison ``TreeNode.predict_one`` makes, so
+    each row lands on the identical leaf and returns its stored ``value``.
+    """
+    feature, threshold = tree["feature"], tree["threshold"]
+    left, right, value = tree["left"], tree["right"], tree["value"]
+    nodes = np.zeros(X.shape[0], dtype=np.int64)
+    pending = feature[nodes] >= 0
+    while np.any(pending):
+        idx = nodes[pending]
+        go_left = X[pending, feature[idx]] <= threshold[idx]
+        nodes[pending] = np.where(go_left, left[idx], right[idx])
+        pending = feature[nodes] >= 0
+    return value[nodes]
+
+
+def _apply_op(op: dict, X: np.ndarray) -> np.ndarray:
+    """Apply one graph op.  Each arm mirrors the source model's own NumPy
+    expression token for token — that equivalence is what makes the whole
+    graph bitwise-equal to ``model.predict``."""
+    kind = op["op"]
+    if kind == "standardize":
+        return (X - op["mean"]) / op["scale"]
+    if kind == "matvec":
+        return X @ op["w"] + op["b"]
+    if kind == "matmul":
+        return X @ op["w"]
+    if kind == "add":
+        return X + op["b"]
+    if kind == "relu":
+        return np.maximum(X, 0.0)
+    if kind == "softmax":
+        return _softmax_rows(X)
+    if kind == "ge_zero":
+        return (X >= 0).astype(int)
+    if kind == "argmax_classes":
+        return op["classes"][np.argmax(X, axis=1)]
+    if kind == "forest":
+        n_classes = int(op["n_classes"])
+        total = np.zeros((X.shape[0], n_classes))
+        for tree in op["trees"]:
+            proba = _run_packed_tree(tree, X)
+            aligned = np.zeros((X.shape[0], n_classes))
+            for j, column in enumerate(tree["align"]):
+                aligned[:, int(column)] = proba[:, j]
+            total += aligned
+        return total / float(op["divisor"])
+    raise ValidationError(f"unknown compute-graph op {kind!r}")
+
+
+class ComputeGraph:
+    """A serializable op list evaluated with nothing but NumPy.
+
+    This is the "ONNX-style" export target: :func:`export_model` compiles a
+    fitted model into a graph, and :meth:`run` replays the model's own
+    predict arithmetic op by op — bitwise-equal labels, no
+    :mod:`fairexp.models` import required.  Graphs pickle (into
+    process-shard specs) and round-trip through :meth:`save` /
+    :meth:`load` ``.npz`` files (how ``python -m fairexp serve`` receives a
+    model without receiving code).
+    """
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, ops: list[dict], *, n_features: int,
+                 source: str = "unknown") -> None:
+        self.ops = list(ops)
+        self.n_features = int(n_features)
+        self.source = str(source)
+
+    def run(self, X) -> np.ndarray:
+        """Labels for ``X``: every op applied in order."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.n_features:
+            raise ValidationError(
+                f"graph expects {self.n_features} features, got {X.shape[1]}"
+            )
+        out = X
+        for op in self.ops:
+            out = _apply_op(op, out)
+        return np.asarray(out)
+
+    # Exported graphs slot directly into CallablePredictBackend(fn=graph).
+    __call__ = run
+
+    def signature(self) -> str:
+        """Content digest of the graph (ops, shapes and every weight byte).
+
+        This is the graph's identity for the persistent store's dispatch
+        token: two sessions scoring through byte-identical graphs share
+        counterfactual entries, any weight or topology difference keys them
+        apart — reproducible across processes, unlike a pickled closure.
+        """
+        digest = hashlib.sha256()
+        for key, array in sorted(self._flatten().items()):
+            digest.update(key.encode())
+            digest.update(str(array.dtype).encode() + str(array.shape).encode())
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:
+        names = "->".join(op["op"] for op in self.ops)
+        return f"ComputeGraph({self.source}: {names})"
+
+    # ------------------------------------------------------------ round-trip
+    def _flatten(self) -> dict[str, np.ndarray]:
+        """Graph as flat ``{key: array}`` pairs (the ``.npz`` payload)."""
+        arrays: dict[str, np.ndarray] = {
+            "__meta__": np.frombuffer(json.dumps({
+                "format_version": self.FORMAT_VERSION,
+                "n_features": self.n_features,
+                "source": self.source,
+                "ops": [op["op"] for op in self.ops],
+            }).encode("utf-8"), dtype=np.uint8),
+        }
+        for i, op in enumerate(self.ops):
+            for key, val in op.items():
+                if key == "op":
+                    continue
+                if key == "trees":
+                    for t, tree in enumerate(val):
+                        for tree_key, arr in tree.items():
+                            arrays[f"op{i}.t{t}.{tree_key}"] = np.asarray(arr)
+                else:
+                    arrays[f"op{i}.{key}"] = np.asarray(val)
+        return arrays
+
+    def save(self, path) -> None:
+        """Persist the graph to a compressed ``.npz`` archive."""
+        np.savez_compressed(path, **self._flatten())
+
+    @classmethod
+    def load(cls, path) -> "ComputeGraph":
+        """Load a graph previously written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as payload:
+            try:
+                meta = json.loads(bytes(payload["__meta__"]).decode("utf-8"))
+            except (KeyError, ValueError) as error:
+                raise ValidationError(f"not a compute-graph archive: {path}") from error
+            if meta.get("format_version") != cls.FORMAT_VERSION:
+                raise ValidationError(
+                    f"unsupported compute-graph format {meta.get('format_version')!r}"
+                )
+            ops: list[dict] = []
+            for i, kind in enumerate(meta["ops"]):
+                op: dict = {"op": kind}
+                trees: dict[int, dict] = {}
+                prefix = f"op{i}."
+                for key in payload.files:
+                    if not key.startswith(prefix):
+                        continue
+                    tail = key[len(prefix):]
+                    if tail.startswith("t") and "." in tail:
+                        index, _, tree_key = tail.partition(".")
+                        trees.setdefault(int(index[1:]), {})[tree_key] = payload[key]
+                    else:
+                        value = payload[key]
+                        op[tail] = value if value.ndim else value[()]
+                if trees:
+                    op["trees"] = [trees[t] for t in sorted(trees)]
+                ops.append(op)
+        return cls(ops, n_features=int(meta["n_features"]), source=meta["source"])
+
+
+def _pack_tree(root, n_classes: int, align: np.ndarray) -> dict:
+    """Flatten a fitted ``TreeNode`` tree into parallel node arrays."""
+    feature: list[int] = []
+    threshold: list[float] = []
+    left: list[int] = []
+    right: list[int] = []
+    value: list[np.ndarray] = []
+
+    def walk(node) -> int:
+        index = len(feature)
+        feature.append(-1 if node.is_leaf else int(node.feature))
+        threshold.append(float(node.threshold))
+        left.append(-1)
+        right.append(-1)
+        value.append(np.asarray(node.value, dtype=float))
+        if not node.is_leaf:
+            left[index] = walk(node.left)
+            right[index] = walk(node.right)
+        return index
+
+    walk(root)
+    return {
+        "feature": np.asarray(feature, dtype=np.int64),
+        "threshold": np.asarray(threshold, dtype=float),
+        "left": np.asarray(left, dtype=np.int64),
+        "right": np.asarray(right, dtype=np.int64),
+        "value": np.vstack(value),
+        "align": np.asarray(align, dtype=np.int64),
+    }
+
+
+def export_model(model) -> ComputeGraph:
+    """Compile a fitted fairexp model to a :class:`ComputeGraph`.
+
+    Dispatch is structural (duck-typed on fitted attributes), so the export
+    covers every from-scratch family used by experiments E1–E9 without
+    importing their classes:
+
+    * linear (``coef_`` / ``intercept_`` with a ``>= 0`` decision):
+      :class:`~fairexp.models.LogisticRegression` and the mitigation
+      classifiers built on the same surface;
+    * MLP (``weights_`` / ``biases_`` with internal standardization):
+      :class:`~fairexp.models.MLPClassifier`;
+    * decision trees and forests (``root_`` / ``estimators_``):
+      :class:`~fairexp.models.DecisionTreeClassifier` and
+      :class:`~fairexp.models.RandomForestClassifier`.
+
+    The returned graph's :meth:`~ComputeGraph.run` is bitwise-equal to
+    ``model.predict`` (asserted per model family in
+    ``tests/explanations/test_serving.py``); anything else raises a
+    :class:`~fairexp.exceptions.ValidationError` naming the model type.
+    """
+    name = type(model).__name__
+    estimators = getattr(model, "estimators_", None)
+    if estimators:
+        classes = np.asarray(model.classes_)
+        trees = []
+        for tree in estimators:
+            align = np.asarray([
+                int(np.flatnonzero(classes == cls)[0]) for cls in tree.classes_
+            ], dtype=np.int64)
+            trees.append(_pack_tree(tree.root_, classes.shape[0], align))
+        ops = [
+            {"op": "forest", "n_classes": classes.shape[0],
+             "divisor": float(len(trees)), "trees": trees},
+            {"op": "argmax_classes", "classes": classes},
+        ]
+        return ComputeGraph(ops, n_features=int(estimators[0].n_features_),
+                            source=name)
+    if getattr(model, "root_", None) is not None:
+        classes = np.asarray(model.classes_)
+        align = np.arange(classes.shape[0], dtype=np.int64)
+        ops = [
+            {"op": "forest", "n_classes": classes.shape[0], "divisor": 1.0,
+             "trees": [_pack_tree(model.root_, classes.shape[0], align)]},
+            {"op": "argmax_classes", "classes": classes},
+        ]
+        return ComputeGraph(ops, n_features=int(model.n_features_), source=name)
+    weights = getattr(model, "weights_", None)
+    if weights:
+        ops: list[dict] = [{
+            "op": "standardize",
+            "mean": np.asarray(model._mean, dtype=float),
+            "scale": np.asarray(model._scale, dtype=float),
+        }]
+        for layer, (W, b) in enumerate(zip(weights, model.biases_)):
+            ops.append({"op": "matmul", "w": np.asarray(W, dtype=float)})
+            ops.append({"op": "add", "b": np.asarray(b, dtype=float)})
+            ops.append({"op": "relu"} if layer < len(weights) - 1
+                       else {"op": "softmax"})
+        ops.append({"op": "argmax_classes", "classes": np.asarray(model.classes_)})
+        return ComputeGraph(ops, n_features=weights[0].shape[0], source=name)
+    coef = getattr(model, "coef_", None)
+    if coef is not None:
+        coef = np.asarray(coef, dtype=float)
+        ops = [
+            {"op": "matvec", "w": coef, "b": float(model.intercept_)},
+            {"op": "ge_zero"},
+        ]
+        return ComputeGraph(ops, n_features=coef.shape[0], source=name)
+    raise ValidationError(
+        f"cannot export {name} to a compute graph: expected a fitted linear "
+        "(coef_/intercept_), MLP (weights_/biases_), tree (root_) or forest "
+        "(estimators_) model"
+    )
+
+
+class OnnxExportBackend(CallablePredictBackend):
+    """Predict backend over an exported :class:`ComputeGraph`.
+
+    Scoring never touches the training class: the graph is pure NumPy, so
+    the backend declares ``releases_gil=True`` (BLAS/ufunc loops drop the
+    GIL and thread-sharding scales), and the graph ships whole into
+    process-shard specs — workers and remote processes score without
+    importing :mod:`fairexp.models`.
+
+    Parameters
+    ----------
+    model_or_graph:
+        A fitted model (compiled via :func:`export_model`) or an existing
+        :class:`ComputeGraph` (e.g. loaded from an ``.npz`` export).
+    verify_on:
+        Optional matrix checked at construction: the graph's labels must be
+        bitwise-equal to ``model.predict`` on it, so an unfaithful export
+        fails fast instead of silently skewing an audit.  Requires a model
+        (ignored for pre-built graphs).
+    """
+
+    # The engine may rebuild this backend inside process-shard workers by
+    # shipping ``fn`` (the picklable graph) — see engine._process_shard_spec.
+    ships_fn_to_workers = True
+
+    def __init__(self, model_or_graph, *, name: str = "onnx",
+                 verify_on=None) -> None:
+        if isinstance(model_or_graph, ComputeGraph):
+            graph, model = model_or_graph, None
+        else:
+            graph, model = export_model(model_or_graph), model_or_graph
+        super().__init__(graph, name=name, releases_gil=True)
+        self.graph = graph
+        if verify_on is not None and model is not None:
+            reference = np.asarray(model.predict(verify_on))
+            exported = graph.run(verify_on)
+            if not np.array_equal(reference, exported):
+                raise ValidationError(
+                    f"exported graph diverges from {type(model).__name__}."
+                    "predict on the verification matrix"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+def _encode_array(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _decode_array(blob: bytes) -> np.ndarray:
+    return np.load(io.BytesIO(blob), allow_pickle=False)
+
+
+# ---------------------------------------------------------------------------
+# Scoring server
+# ---------------------------------------------------------------------------
+class ScoringServer:
+    """Loopback HTTP scoring server over any ``f(X) -> labels`` scorer.
+
+    ``POST /score`` takes a raw ``.npy`` matrix and answers with a raw
+    ``.npy`` label vector; ``GET /healthz`` answers ``ok``; ``GET /stats``
+    reports ``{"requests": n, "rows": m}`` — the *server-side* wire-call
+    count the CI smoke test asserts coalescing against.  The server binds
+    loopback only (scoring audits is not an internet service) and runs its
+    request loop on a daemon thread; it is a context manager, and
+    :meth:`close` is idempotent.
+
+    ``python -m fairexp serve --graph model.npz`` wraps this class around a
+    :class:`ComputeGraph` archive, which is how a scoring process serves a
+    model without importing (or even having) the training code.
+    """
+
+    def __init__(self, scorer, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.scorer = scorer if callable(scorer) else scorer.predict
+        self.request_count = 0
+        self.row_count = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            """Request handler bound to this server's scorer and counters."""
+
+            def log_message(self, *args):
+                """Silence per-request stderr noise (stats are on /stats)."""
+
+            def _reply(self, status: int, body: bytes,
+                       content_type: str = "application/octet-stream") -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                """Serve the ``/healthz`` probe and the ``/stats`` counters."""
+                if self.path == "/healthz":
+                    self._reply(200, b"ok", "text/plain")
+                elif self.path == "/stats":
+                    with server._lock:
+                        stats = {"requests": server.request_count,
+                                 "rows": server.row_count}
+                    self._reply(200, json.dumps(stats).encode(), "application/json")
+                else:
+                    self._reply(404, b"not found", "text/plain")
+
+            def do_POST(self):
+                """Score one ``/score`` batch: ``.npy`` matrix in, labels out."""
+                if self.path != "/score":
+                    self._reply(404, b"not found", "text/plain")
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    X = _decode_array(self.rfile.read(length))
+                    labels = np.asarray(server.scorer(X))
+                except Exception as error:  # noqa: BLE001 - wire boundary
+                    self._reply(400, str(error).encode(), "text/plain")
+                    return
+                with server._lock:
+                    server.request_count += 1
+                    server.row_count += int(np.atleast_2d(X).shape[0])
+                self._reply(200, _encode_array(labels))
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="fairexp-scoring-server", daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server (``http://host:port``)."""
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_until_interrupted(self) -> None:
+        """Block the calling thread until the server stops.
+
+        Returns when :meth:`close` is called from another thread or the
+        wait is interrupted (Ctrl-C) — this is what ``python -m fairexp
+        serve`` parks its main thread on.
+        """
+        try:
+            while self._thread.is_alive():
+                self._thread.join(timeout=1.0)
+        except KeyboardInterrupt:
+            pass
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ScoringServer":
+        """Use the server as a context manager; :meth:`close` on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Stop the server on block exit."""
+        self.close()
+
+
+def serve_model(model, *, host: str = "127.0.0.1", port: int = 0) -> ScoringServer:
+    """Start a loopback :class:`ScoringServer` over ``model``'s exported graph.
+
+    Convenience for tests, benchmarks and the experiment runners'
+    ``backend="remote"`` mode: the model is compiled with
+    :func:`export_model` so the serving path is the same one a separate
+    ``python -m fairexp serve`` process would run.
+    """
+    return ScoringServer(export_model(model), host=host, port=port)
+
+
+# ---------------------------------------------------------------------------
+# Coalescing remote client
+# ---------------------------------------------------------------------------
+class _PendingScore:
+    """One caller's batch waiting for a coalesced wire call."""
+
+    __slots__ = ("X", "event", "result", "error")
+
+    def __init__(self, X: np.ndarray) -> None:
+        self.X = X
+        self.event = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: Exception | None = None
+
+
+class CoalescingScoringClient:
+    """Batched scoring client with cross-caller request coalescing.
+
+    Callers block in :meth:`score`; the first caller to arrive becomes the
+    *leader* of a dispatch window.  The leader waits until either every
+    registered peer has a batch pending or ``window`` seconds elapse, then
+    stacks all pending matrices into ONE ``POST /score`` wire call and
+    fans the label slices back out.  Concurrent sessions sharing a client
+    therefore issue strictly fewer wire calls than the same sessions with
+    private clients — the tentpole's serving acceptance criterion.
+
+    A failed wire call raises in **every** coalesced caller; backends count
+    calls/rows only after a successful dispatch (see
+    :class:`~fairexp.explanations.backends.NumpyPredictBackend.predict`), so
+    a scorer timeout never inflates session accounting.
+
+    Parameters
+    ----------
+    url:
+        Base URL of a :class:`ScoringServer` (``http://127.0.0.1:PORT``).
+    window:
+        Seconds the window leader waits for peers before dispatching.
+        ``0`` disables coalescing (every batch is its own wire call).
+    timeout:
+        Socket timeout for the wire call.
+
+    Attributes
+    ----------
+    wire_call_count, wire_row_count:
+        Wire calls issued and total rows across them — the observable the
+        coalescing benchmark asserts on.
+    coalesced_count:
+        Number of caller batches that shared another batch's wire call.
+    """
+
+    def __init__(self, url: str, *, window: float = 0.02,
+                 timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.window = float(window)
+        self.timeout = float(timeout)
+        self.wire_call_count = 0
+        self.wire_row_count = 0
+        self.coalesced_count = 0
+        self.registered_count = 0
+        self._pending: list[_PendingScore] = []
+        self._leader_active = False
+        self._cond = threading.Condition()
+
+    # ----------------------------------------------------------- registration
+    def register(self) -> None:
+        """Announce one more concurrent caller (a backend attaching).
+
+        The window leader stops waiting as soon as every registered caller
+        has a batch pending, which makes the first wave of a concurrent
+        sweep coalesce deterministically instead of racing the window.
+        """
+        with self._cond:
+            self.registered_count += 1
+
+    def unregister(self) -> None:
+        """Detach one caller (a backend closing)."""
+        with self._cond:
+            self.registered_count = max(0, self.registered_count - 1)
+            self._cond.notify_all()
+
+    # -------------------------------------------------------------- scoring
+    def score(self, X: np.ndarray) -> np.ndarray:
+        """Labels for ``X`` via a (possibly shared) wire call."""
+        request = _PendingScore(np.atleast_2d(np.asarray(X, dtype=float)))
+        with self._cond:
+            self._pending.append(request)
+            self._cond.notify_all()
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        if lead:
+            self._lead_dispatch()
+        request.event.wait()
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def _lead_dispatch(self) -> None:
+        """Run one dispatch window: wait for peers, flush the batch."""
+        deadline = time.monotonic() + self.window
+        with self._cond:
+            while True:
+                enough = (self.registered_count > 0
+                          and len(self._pending) >= self.registered_count)
+                remaining = deadline - time.monotonic()
+                if enough or remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch, self._pending = self._pending, []
+            self._leader_active = False
+        self._flush(batch)
+
+    def _flush(self, batch: list[_PendingScore]) -> None:
+        try:
+            stacked = np.vstack([request.X for request in batch])
+            labels = self._wire_call(stacked)
+            if labels.shape[0] != stacked.shape[0]:
+                raise ValidationError(
+                    f"scoring server returned {labels.shape[0]} labels "
+                    f"for {stacked.shape[0]} rows"
+                )
+        except Exception as error:  # noqa: BLE001 - fan the failure out
+            for request in batch:
+                request.error = error
+                request.event.set()
+            return
+        with self._cond:
+            self.wire_call_count += 1
+            self.wire_row_count += int(stacked.shape[0])
+            self.coalesced_count += len(batch) - 1
+        offset = 0
+        for request in batch:
+            n = request.X.shape[0]
+            request.result = labels[offset:offset + n]
+            offset += n
+            request.event.set()
+
+    def _wire_call(self, X: np.ndarray) -> np.ndarray:
+        request = urllib.request.Request(
+            f"{self.url}/score", data=_encode_array(X),
+            headers={"Content-Type": "application/octet-stream"}, method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return np.asarray(_decode_array(response.read()))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode(errors="replace")
+            raise ValidationError(
+                f"scoring server rejected the batch ({error.code}): {detail}"
+            ) from error
+
+
+class RemoteScoringBackend(NumpyPredictBackend):
+    """Predict backend over a remote :class:`ScoringServer`.
+
+    Concurrent sessions that share one :class:`CoalescingScoringClient`
+    (pass the client instead of a URL) have their predict batches stacked
+    into shared wire calls; each backend still counts **its own** calls and
+    rows — and only after the dispatch succeeded — so per-session
+    accounting sums to exactly what independent runs would report.
+
+    The backend declares ``releases_gil=True``: the wire call blocks on a
+    socket, so thread-sharding across it scales (and is what lets the
+    batches of several shards coalesce at all).
+    """
+
+    ships_fn_to_workers = False  # the client's locks must not cross processes
+
+    def __init__(self, url_or_client, *, name: str = "remote",
+                 window: float = 0.02, timeout: float = 30.0) -> None:
+        if isinstance(url_or_client, CoalescingScoringClient):
+            client = url_or_client
+        else:
+            client = CoalescingScoringClient(str(url_or_client), window=window,
+                                             timeout=timeout)
+        super().__init__(model=None)
+        self.name = name
+        self.releases_gil = True
+        self.client = client
+        self._detached = False
+        client.register()
+
+    def _run(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(self.client.score(X))
+
+    def close(self) -> None:
+        """Detach from the shared client (stops the leader waiting on us).
+
+        Idempotent: a second close must not decrement ANOTHER live caller's
+        registration — that would let the window leader believe every peer
+        is gone and degrade coalescing to timeout-driven dispatch.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        self.client.unregister()

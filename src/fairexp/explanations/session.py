@@ -40,7 +40,7 @@ import hashlib
 import numpy as np
 
 from ..exceptions import ValidationError
-from .backends import MemoizingPredictBackend
+from .backends import MemoizingPredictBackend, ensure_backend
 from .base import Counterfactual
 from .engine import BatchModelAdapter, CounterfactualEngine
 from .pool import ExecutorPool
@@ -62,8 +62,19 @@ class AuditSession:
         never generate counterfactuals, e.g. GLOBE-CE or recourse sets) but
         raises on :meth:`counterfactuals_for`.
     model:
-        The classifier under audit; defaults to ``generator.model``.  Either
-        ``generator`` or ``model`` must be given.
+        The classifier under audit; defaults to ``generator.model``.  At
+        least one of ``generator``, ``model`` or ``backend`` must be given.
+    backend:
+        A :class:`~fairexp.explanations.backends.PredictBackend` every
+        predict batch of the sweep dispatches through — the passthrough
+        that points a whole audit sweep at an out-of-process scorer:
+        an :class:`~fairexp.explanations.serving.OnnxExportBackend`
+        (exported compute graph) or
+        :class:`~fairexp.explanations.serving.RemoteScoringBackend`
+        (coalescing client over ``python -m fairexp serve``).  ``None``
+        (default) keeps the in-process vectorized NumPy backend.  The
+        model object (when present) still serves attribute access —
+        gradients, probabilities — only ``predict`` routing changes.
     n_jobs:
         Workers for sharded counterfactual generation (forwarded to
         :class:`~fairexp.explanations.engine.CounterfactualEngine`).
@@ -87,7 +98,13 @@ class AuditSession:
         as a context manager (or call :meth:`close`) to tear workers down
         deterministically.  A sweep with ``executor="process"`` thereby
         constructs exactly one ``ProcessPoolExecutor``, reused across all
-        audits, instead of one per engine call.
+        audits, instead of one per engine call.  The string ``"shared"``
+        acquires the process-wide refcounted pool instead
+        (:meth:`ExecutorPool.shared`): concurrent sessions of one process
+        then share a single set of workers — N process-sharded sessions
+        construct exactly one ``ProcessPoolExecutor`` between them — and
+        each session's :meth:`close` releases its reference, the last one
+        stopping the workers.
     store:
         A :class:`~fairexp.explanations.store.CounterfactualStore` (or a
         directory path coerced into one) persisting each population's
@@ -108,11 +125,13 @@ class AuditSession:
         so the default only matters for long-lived multi-population sessions).
     """
 
-    def __init__(self, generator=None, *, model=None, n_jobs: int = 1,
+    def __init__(self, generator=None, *, model=None, backend=None, n_jobs: int = 1,
                  executor: str = "auto", schedule=None, pool=None, store=None,
                  cache_predictions: bool = True, max_populations: int = 32) -> None:
-        if generator is None and model is None:
-            raise ValidationError("AuditSession needs a generator or a model")
+        if generator is None and model is None and backend is None:
+            raise ValidationError(
+                "AuditSession needs a generator, a model or a backend"
+            )
         if generator is not None and model is not None and model is not generator.model \
                 and model is not getattr(generator.model, "model", None):
             raise ValidationError(
@@ -127,13 +146,42 @@ class AuditSession:
         # engine pass of the sweep reuses its workers, and close() (or the
         # context-manager exit) shuts them down deterministically.  An
         # injected pool is shared, not owned — its creator shuts it down.
-        self._owns_pool = pool is None
+        # pool="shared" acquires a reference on the process-wide refcounted
+        # pool; the session "owns" (and on close releases) that reference,
+        # while the workers live until the last concurrent holder releases.
+        self._owns_pool = pool is None or pool == "shared"
         self.pool = ExecutorPool.ensure(pool)
         self._closed = False
+        try:
+            self._finish_init(generator, model, backend, n_jobs, executor,
+                              schedule, cache_predictions)
+        except BaseException:
+            # A validation failure below must not leak the pool this
+            # half-built session would have owned — in particular a
+            # pool="shared" acquisition, whose reference nobody could ever
+            # release (the caller never receives the session to close()).
+            if self._owns_pool:
+                self.pool.shutdown()
+            raise
+
+    def _finish_init(self, generator, model, backend, n_jobs, executor,
+                     schedule, cache_predictions) -> None:
+        """Everything of ``__init__`` that may raise after the pool exists."""
+        if backend is not None:
+            backend = ensure_backend(backend)
         if generator is not None:
             if schedule is not None:
                 generator.schedule = resolve_schedule(schedule)
-            if not isinstance(generator.model, BatchModelAdapter):
+            if backend is not None:
+                # backend= rewires WHERE this sweep's predict batches run
+                # (ONNX graph, remote scorer, ...) while keeping the model
+                # object for attribute passthrough (gradients, proba).
+                base_model = generator.model
+                if isinstance(base_model, BatchModelAdapter):
+                    base_model = base_model.model
+                generator.model = BatchModelAdapter(base_model, backend=backend,
+                                                    cache=cache_predictions)
+            elif not isinstance(generator.model, BatchModelAdapter):
                 generator.model = BatchModelAdapter(generator.model,
                                                     cache=cache_predictions)
             self._adapter = generator.model
@@ -148,8 +196,12 @@ class AuditSession:
                     "schedule= requires a generator (a model-only session "
                     "never runs a counterfactual search)"
                 )
-            self._adapter = (model if isinstance(model, BatchModelAdapter)
-                             else BatchModelAdapter(model, cache=cache_predictions))
+            if backend is not None:
+                self._adapter = BatchModelAdapter(model, backend=backend,
+                                                  cache=cache_predictions)
+            else:
+                self._adapter = (model if isinstance(model, BatchModelAdapter)
+                                 else BatchModelAdapter(model, cache=cache_predictions))
             self.engine = None
         self._reconcile_cache(cache_predictions)
         self.result_reuse_count = 0
@@ -258,6 +310,20 @@ class AuditSession:
         return self._adapter.predict(X)
 
     # -------------------------------------------------------------- lifecycle
+    def _check_open(self) -> None:
+        """Raise a session-level error for use after :meth:`close`.
+
+        Without this, a sharded pass on a closed session surfaces as the
+        opaque "ExecutorPool is closed" from deep inside the engine — and a
+        *sequential* pass would silently succeed, so the failure mode would
+        even depend on ``n_jobs``.
+        """
+        if self._closed:
+            raise ValidationError(
+                "this AuditSession is closed; create a new session (or keep "
+                "the `with` block open) to run further audits"
+            )
+
     def close(self) -> None:
         """Shut down the session's executor pool (idempotent).
 
@@ -302,6 +368,7 @@ class AuditSession:
             raise ValidationError(
                 "this AuditSession was built without a counterfactual generator"
             )
+        self._check_open()
         X = np.atleast_2d(np.asarray(X, dtype=float))
         indices = np.asarray(indices, dtype=int)
         if indices.size == 0:
@@ -313,7 +380,14 @@ class AuditSession:
             # unbounded growth only hurts long-lived multi-population sessions).
             evicted = next(iter(self._results))
             self._results.pop(evicted)
-            self._store_fingerprints.pop(evicted, None)
+            memo = self._store_fingerprints.pop(evicted, None)
+            if memo is not None and memo[1] is not None:
+                # The published-fingerprint memo must fall with the results:
+                # after eviction the in-memory cache is no longer a superset
+                # of this session's own writes, so the next publish of a
+                # re-touched population has to do the disk read-back merge
+                # again or it would silently drop rows from the store entry.
+                self._published_fingerprints.discard(memo[1])
         first_touch = key not in self._results
         cache = self._results.setdefault(key, {})
         if first_touch:
@@ -422,6 +496,11 @@ class AuditSession:
             # sharing; stays 0 without a store attached).
             "store_row_hits": self.store_row_hits,
         }
+        # Pool utilization (executors created, busy workers, queue depth),
+        # flattened so the BENCH_* trajectory points stay scalar-valued.
+        for kind, metrics in self.pool.stats().items():
+            for name, value in metrics.items():
+                stats[f"pool_{kind}_{name}"] = value
         if self.store is not None:
             stats.update(self.store.stats())
         return stats

@@ -230,6 +230,16 @@ def _dispatch_token(model) -> bytes | None:
     backend = effective_backend(model)
     if backend is None or type(backend) is NumpyPredictBackend:
         return b"dispatch:model-predict"
+    # Imported lazily to keep this module importable before serving.py
+    # (package init order), and because only this branch needs it.
+    from .serving import OnnxExportBackend
+
+    if isinstance(backend, OnnxExportBackend):
+        # The exported graph carries its full predictor identity in its own
+        # bytes: content-hash it instead of pickling (reproducible across
+        # processes), so ONNX-backed sweeps can warm-start from the store —
+        # keyed apart from in-process sweeps and from any other graph.
+        return b"dispatch:onnx-graph:" + backend.graph.signature().encode()
     if type(backend) is CallablePredictBackend:
         try:
             parts = [b"dispatch:callable:", pickle.dumps(backend.fn)]

@@ -166,6 +166,31 @@ class TestCounterfactualEngine:
         for i, counterfactual in results.items():
             assert np.array_equal(counterfactual.original, rejected[i])
 
+    def test_generate_for_dedupes_duplicate_indices(self, loan_workload):
+        """A duplicated index must trigger (and pay for) exactly one search
+        of that row — matching AuditSession.counterfactuals_for, which
+        already dedupes while preserving order."""
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,
+                                                 random_state=0)
+        engine = CounterfactualEngine(generator)
+        searched_rows: list[int] = []
+        original = engine.generate_aligned
+
+        def spying_generate_aligned(X):
+            searched_rows.append(np.atleast_2d(X).shape[0])
+            return original(X)
+
+        engine.generate_aligned = spying_generate_aligned
+        duplicated = engine.generate_for(rejected, np.array([3, 7, 3, 11, 7, 3]))
+        assert searched_rows == [3]  # one search per DISTINCT row
+        engine.generate_aligned = original
+        reference = engine.generate_for(rejected, np.array([3, 7, 11]))
+        assert set(duplicated) == set(reference)
+        for i in reference:
+            assert np.array_equal(duplicated[i].counterfactual,
+                                  reference[i].counterfactual)
+
     def test_generate_for_empty_indices(self, loan_workload):
         model, background, constraints, rejected = loan_workload
         generator = GrowingSpheresCounterfactual(model, background, constraints=constraints,

@@ -179,3 +179,189 @@ class TestSessionPooling:
             session.counterfactuals_for(rejected, np.arange(4))
             assert session.pool.active_kinds() == []
             assert session.pool.created_counts == {"thread": 0, "process": 0}
+
+
+class TestPoolInstrumentation:
+    def test_stats_report_busy_workers_and_queue_depth(self):
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def blocked_task(_):
+            release.wait(timeout=10)
+            return True
+
+        with ExecutorPool(max_workers=2) as pool:
+            runner = threading.Thread(
+                target=lambda: pool.map("thread", blocked_task, range(5)))
+            runner.start()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:  # wait for all 5 submissions
+                stats = pool.stats()["thread"]
+                if stats["queue_depth"] == 3:
+                    break
+                time.sleep(0.01)
+            assert stats["executors_created"] == 1
+            assert stats["workers"] == 2
+            assert stats["busy_workers"] == 2
+            assert stats["queue_depth"] == 3
+            release.set()
+            runner.join(timeout=10)
+            assert not runner.is_alive()
+            drained = pool.stats()["thread"]
+            assert drained["busy_workers"] == 0 and drained["queue_depth"] == 0
+
+    def test_map_preserves_order_and_raises_first_error(self):
+        with ExecutorPool(max_workers=2) as pool:
+            assert pool.map("thread", lambda x: x * x, range(6)) == [
+                0, 1, 4, 9, 16, 25]
+            with pytest.raises(ZeroDivisionError):
+                pool.map("thread", lambda x: 1 // x, [2, 1, 0])
+
+    def test_reset_defers_shutdown_until_inflight_map_drains(self):
+        """reset() during another thread's map must not kill that map: the
+        retired executor drains first, and only the NEXT request builds a
+        fresh generation."""
+        import threading
+
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_task(x):
+            entered.set()
+            release.wait(timeout=5)
+            return x + 1
+
+        with ExecutorPool(max_workers=2) as pool:
+            results: list = []
+            runner = threading.Thread(
+                target=lambda: results.extend(pool.map("thread", slow_task, range(4))))
+            runner.start()
+            entered.wait(timeout=5)
+            pool.reset("thread")                  # concurrent with the map
+            assert pool.active_kinds() == []      # forgotten immediately ...
+            release.set()
+            runner.join(timeout=10)
+            assert results == [1, 2, 3, 4]        # ... but never shut down under it
+            pool.executor("thread")               # next request: fresh generation
+            assert pool.created_counts["thread"] == 2
+
+    def test_concurrent_executor_reset_shutdown_stress(self):
+        """Hammer executor()/map()/reset() from many threads, then shut down:
+        no deadlock, no exception besides the expected closed-pool error."""
+        import threading
+
+        errors: list[Exception] = []
+        stop = threading.Event()
+        pool = ExecutorPool(max_workers=2)
+
+        def hammer(worker: int):
+            while not stop.is_set():
+                try:
+                    if worker % 3 == 0:
+                        pool.reset("thread")
+                    else:
+                        pool.map("thread", lambda x: x, range(3))
+                except ValidationError:
+                    return  # pool closed under us: the documented outcome
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(6)]
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.3)
+        pool.shutdown()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "stress thread deadlocked"
+        assert errors == []
+
+
+class TestSharedExecutorPool:
+    def test_shared_is_refcounted_singleton(self):
+        from fairexp.explanations import SharedExecutorPool
+
+        first = ExecutorPool.shared(max_workers=1)
+        try:
+            assert isinstance(first, SharedExecutorPool)
+            second = ExecutorPool.shared()
+            assert second is first
+            assert first.refcount == 2
+            first.executor("thread")
+            second.shutdown()               # one release: still alive
+            assert first.refcount == 1
+            first.executor("thread").submit(lambda: None).result()
+        finally:
+            first.shutdown()                # last release: workers stop
+        with pytest.raises(ValidationError):
+            first.executor("thread")
+        fresh = ExecutorPool.shared(max_workers=1)  # next acquisition: new pool
+        try:
+            assert fresh is not first
+        finally:
+            fresh.shutdown()
+
+    def test_shared_rejects_reconfiguration_while_alive(self):
+        pool = ExecutorPool.shared(max_workers=1)
+        try:
+            with pytest.raises(ValidationError):
+                ExecutorPool.shared(max_workers=4)
+        finally:
+            pool.shutdown()
+
+    def test_ensure_accepts_shared_marker(self):
+        from fairexp.explanations import SharedExecutorPool
+
+        pool = ExecutorPool.ensure("shared")
+        try:
+            assert isinstance(pool, SharedExecutorPool)
+            assert pool.refcount >= 1
+            assert ExecutorPool.ensure("shared") is pool
+            pool.shutdown()  # release the second acquisition
+        finally:
+            pool.shutdown()
+
+    def test_sessions_with_shared_pool_build_one_executor_set(self, workload):
+        """Concurrent sessions on pool="shared" construct ONE thread executor
+        between them, and each close() releases without killing the others."""
+        train, model, constraints, rejected = workload
+        factory = _CountingFactory(ThreadPoolExecutor)
+        shared = ExecutorPool.shared(max_workers=2, thread_factory=factory)
+        try:
+            sessions = [
+                AuditSession(_generator(train, model, constraints), n_jobs=2,
+                             pool="shared")
+                for _ in range(3)
+            ]
+            assert all(s.pool is shared for s in sessions)
+            for offset, session in enumerate(sessions):
+                session.counterfactuals_for(rejected + 0.1 * offset, np.arange(4))
+            assert factory.constructed == 1
+            sessions[0].close()
+            # Remaining holders keep working after one session closes.
+            sessions[1].counterfactuals_for(rejected + 0.9, np.arange(2))
+            for session in sessions[1:]:
+                session.close()
+            assert shared.refcount == 1  # only our own acquisition remains
+        finally:
+            shared.shutdown()
+
+    def test_failed_session_construction_releases_shared_reference(self, loan_model):
+        """A session whose __init__ raises AFTER acquiring pool="shared" must
+        release its reference — a leaked refcount would pin the process-wide
+        pool (and its configuration) forever."""
+        with pytest.raises(ValidationError):
+            # schedule= without a generator is rejected after pool acquisition.
+            AuditSession(model=loan_model, schedule="adaptive", pool="shared")
+        # The shared slot is free again: acquiring WITH configuration succeeds,
+        # which the leaked reference would have turned into a ValidationError.
+        pool = ExecutorPool.shared(max_workers=1)
+        try:
+            assert pool.refcount == 1
+        finally:
+            pool.shutdown()

@@ -349,3 +349,47 @@ class TestScheduleFingerprinting:
         silent no-op — there is no search for it to drive."""
         with pytest.raises(ValidationError):
             AuditSession(model=loan_model, schedule="adaptive")
+
+
+class TestDegenerateLadders:
+    """Both cursors must end the pass cleanly at the ladder edges
+    (``n_steps == 0`` happens for a custom generator whose
+    ``draw_schedule()`` is empty; ``n_steps == 1`` is the smallest real
+    ladder)."""
+
+    @pytest.mark.parametrize("schedule_cls", [GeometricSchedule, AdaptiveSchedule])
+    def test_empty_ladder_plans_nothing(self, schedule_cls):
+        cursor = schedule_cls().begin(0)
+        plan = cursor.plan([0, 1, 2])
+        assert plan == {}
+        # No probe may ever name a negative rung — the pre-fix adaptive
+        # cursor planned its feasibility probe at rung -1 here.
+        assert all(rung >= 0 for rung in plan.values())
+        # A second call stays empty: the pass is over, not looping.
+        assert cursor.plan([0, 1, 2]) == {}
+
+    @pytest.mark.parametrize("schedule_cls", [GeometricSchedule, AdaptiveSchedule])
+    def test_single_rung_ladder_probes_rung_zero_only(self, schedule_cls):
+        cursor = schedule_cls().begin(1)
+        plan = cursor.plan([0, 1])
+        assert set(plan.values()) == {0}
+        for i, rung in plan.items():
+            cursor.observe(i, rung, n_hits=1 if i == 0 else 0, n_candidates=4)
+        # Hit or miss, a one-rung ladder finishes every instance in one wave.
+        assert cursor.finished >= {0}
+        follow_up = cursor.plan([i for i in (0, 1) if i not in cursor.finished])
+        assert all(rung == 0 for rung in follow_up.values())
+
+    def test_empty_draw_schedule_generator_ends_search(self, workload):
+        """End-to-end: a generator whose ladder is empty produces an
+        all-infeasible result instead of probing rung -1."""
+        train, model, constraints, rejected = workload
+
+        class NoLadderGenerator(RandomSearchCounterfactual):
+            def draw_schedule(self):
+                return []
+
+        generator = _generator(NoLadderGenerator, train, model, constraints,
+                               schedule=AdaptiveSchedule())
+        results = generator.generate_batch_aligned(rejected[:4])
+        assert results == [None, None, None, None]

@@ -1,0 +1,401 @@
+"""Tests for the serving layer: graph export parity, the ONNX-style backend,
+the loopback scoring server and the coalescing remote client."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from fairexp.exceptions import ValidationError
+from fairexp.explanations import (
+    AuditSession,
+    BatchModelAdapter,
+    CoalescingScoringClient,
+    ComputeGraph,
+    CounterfactualEngine,
+    GrowingSpheresCounterfactual,
+    OnnxExportBackend,
+    RemoteScoringBackend,
+    ScoringServer,
+    export_model,
+    serve_model,
+)
+from fairexp.fairness.mitigation import (
+    FairLogisticRegression,
+    RecourseRegularizedClassifier,
+)
+from fairexp.models import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+
+
+def _model_zoo(train):
+    """One fitted model per exportable family used across E1-E9."""
+    return {
+        "logistic": LogisticRegression(n_iter=600, random_state=0).fit(
+            train.X, train.y),
+        "fair_logistic": FairLogisticRegression(
+            fairness_weight=3.0, n_iter=400, random_state=0
+        ).fit(train.X, train.y, sensitive=train.sensitive_values),
+        "recourse_regularized": RecourseRegularizedClassifier(
+            recourse_weight=2.0, n_iter=400, random_state=0
+        ).fit(train.X, train.y, sensitive=train.sensitive_values),
+        "mlp": MLPClassifier(hidden_sizes=(12, 6), n_epochs=40, random_state=0).fit(
+            train.X, train.y),
+        "tree": DecisionTreeClassifier(max_depth=5, random_state=0).fit(
+            train.X, train.y),
+        "forest": RandomForestClassifier(n_estimators=7, max_depth=4,
+                                         random_state=0).fit(train.X, train.y),
+    }
+
+
+@pytest.fixture(scope="module")
+def zoo(loan_data):
+    _, train, test = loan_data
+    return _model_zoo(train), train, test
+
+
+class TestExportParity:
+    """The tentpole's acceptance criterion: bitwise-equal predict for every
+    exportable model family E1-E9 audit."""
+
+    @pytest.mark.parametrize("name", ["logistic", "fair_logistic",
+                                      "recourse_regularized", "mlp", "tree",
+                                      "forest"])
+    def test_graph_predict_bitwise_equals_model_predict(self, zoo, name):
+        models, train, test = zoo
+        model = models[name]
+        graph = export_model(model)
+        for X in (test.X, train.X[:50], test.X[:1],
+                  test.X + np.linspace(-0.5, 0.5, test.X.shape[1])):
+            assert np.array_equal(graph.run(X), np.asarray(model.predict(X)))
+
+    @pytest.mark.parametrize("name", ["logistic", "mlp", "forest"])
+    def test_graph_roundtrips_through_npz(self, zoo, name, tmp_path):
+        models, _, test = zoo
+        graph = export_model(models[name])
+        path = tmp_path / f"{name}.npz"
+        graph.save(path)
+        loaded = ComputeGraph.load(path)
+        assert loaded.source == graph.source
+        assert loaded.n_features == graph.n_features
+        assert np.array_equal(loaded.run(test.X), graph.run(test.X))
+
+    def test_export_rejects_unsupported_models(self):
+        class OpaqueModel:
+            def predict(self, X):
+                return np.zeros(len(X), dtype=int)
+
+        with pytest.raises(ValidationError, match="OpaqueModel"):
+            export_model(OpaqueModel())
+
+    def test_graph_rejects_wrong_feature_count(self, zoo):
+        models, _, test = zoo
+        graph = export_model(models["logistic"])
+        with pytest.raises(ValidationError, match="features"):
+            graph.run(test.X[:, :3])
+
+    def test_load_rejects_non_graph_archive(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        np.savez(path, junk=np.arange(3))
+        with pytest.raises(ValidationError, match="not a compute-graph"):
+            ComputeGraph.load(path)
+
+
+class TestOnnxExportBackend:
+    def test_backend_scores_without_the_model(self, zoo):
+        models, _, test = zoo
+        backend = OnnxExportBackend(models["logistic"])
+        assert backend.releases_gil
+        assert backend.name == "onnx"
+        out = backend.predict(test.X)
+        assert np.array_equal(out, models["logistic"].predict(test.X))
+        assert backend.call_count == 1
+        assert backend.row_count == test.X.shape[0]
+
+    def test_backend_accepts_prebuilt_graph(self, zoo):
+        models, _, test = zoo
+        graph = export_model(models["forest"])
+        backend = OnnxExportBackend(graph, name="forest-graph")
+        assert np.array_equal(backend.predict(test.X),
+                              models["forest"].predict(test.X))
+
+    def test_verify_on_catches_unfaithful_graphs(self, zoo):
+        models, _, test = zoo
+        model = models["logistic"]
+        OnnxExportBackend(model, verify_on=test.X)  # faithful: constructs
+        graph = export_model(model)
+        graph.ops[0]["b"] = graph.ops[0]["b"] + 10.0  # corrupt the intercept
+
+        class Lying:
+            pass
+
+        backend = OnnxExportBackend(graph)  # graphs skip verification ...
+        # ... but a model + corrupted-export combination must fail fast.
+        lying = Lying()
+        lying.coef_ = np.asarray(model.coef_) * -1.0
+        lying.intercept_ = float(model.intercept_)
+        lying.predict = model.predict
+        with pytest.raises(ValidationError, match="diverges"):
+            OnnxExportBackend(lying, verify_on=test.X)
+        assert backend.predict(test.X).shape == (test.X.shape[0],)
+
+    def test_engine_process_shards_ship_the_graph(self, zoo, loan_cf_generator):
+        """The ONNX backend opts into process sharding: workers rebuild the
+        (picklable, model-free) graph and their predict counts fold back."""
+        models, train, test = zoo
+        model = models["logistic"]
+        rejected = test.X[model.predict(test.X) == 0][:8]
+        constraints = loan_cf_generator.constraints
+
+        sequential = CounterfactualEngine(
+            GrowingSpheresCounterfactual(model, train.X, constraints=constraints,
+                                         random_state=0)
+        ).generate_aligned(rejected)
+
+        backend = OnnxExportBackend(model)
+        adapter = BatchModelAdapter(model, backend=backend, cache=False)
+        generator = GrowingSpheresCounterfactual(adapter, train.X,
+                                                 constraints=constraints,
+                                                 random_state=0)
+        engine = CounterfactualEngine(generator, n_jobs=2, executor="process")
+        sharded = engine.generate_aligned(rejected)
+        assert backend.row_count > 0  # workers' rows folded back via add_counts
+        for seq, par in zip(sequential, sharded):
+            assert (seq is None) == (par is None)
+            if seq is not None:
+                assert np.array_equal(seq.counterfactual, par.counterfactual)
+
+
+class TestScoringServer:
+    def test_serves_graph_over_loopback(self, zoo):
+        models, _, test = zoo
+        model = models["logistic"]
+        with serve_model(model) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0)
+            out = backend.predict(test.X)
+            assert np.array_equal(out, model.predict(test.X))
+            assert backend.call_count == 1
+            assert backend.client.wire_call_count == 1
+            assert server.request_count == 1
+            assert server.row_count == test.X.shape[0]
+
+    def test_server_close_is_idempotent(self, zoo):
+        models, _, _ = zoo
+        server = serve_model(models["logistic"])
+        server.close()
+        server.close()
+
+    def test_bad_batch_raises_and_counts_nothing(self, zoo):
+        """A server-side failure (wrong feature count -> 400) must raise in
+        the caller WITHOUT inflating call/row accounting — the satellite
+        counting fix, exercised over a real wire."""
+        models, _, test = zoo
+        with serve_model(models["logistic"]) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0)
+            with pytest.raises(ValidationError, match="rejected"):
+                backend.predict(test.X[:, :3])
+            assert backend.call_count == 0
+            assert backend.row_count == 0
+            assert backend.client.wire_call_count == 0
+            out = backend.predict(test.X)  # the backend stays usable
+            assert out.shape == (test.X.shape[0],)
+            assert backend.call_count == 1
+
+
+class TestCoalescing:
+    def test_concurrent_callers_share_one_wire_call(self, zoo):
+        models, _, test = zoo
+        model = models["logistic"]
+        with serve_model(model) as server:
+            client = CoalescingScoringClient(server.url, window=1.0)
+            backends = [RemoteScoringBackend(client) for _ in range(4)]
+            barrier = threading.Barrier(4)
+            outputs: list = [None] * 4
+
+            def score(k):
+                barrier.wait(timeout=10)
+                outputs[k] = backends[k].predict(test.X[k * 15:(k + 1) * 15])
+
+            threads = [threading.Thread(target=score, args=(k,)) for k in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            reference = model.predict(test.X)
+            for k in range(4):
+                assert np.array_equal(outputs[k], reference[k * 15:(k + 1) * 15])
+            # Four registered callers, four concurrent batches -> ONE wire
+            # call (the leader waits for every registered peer, so the first
+            # wave coalesces deterministically, not by racing the window).
+            assert client.wire_call_count == 1
+            assert client.coalesced_count == 3
+            assert server.request_count == 1
+            # Per-caller accounting is untouched by the stacking.
+            assert [b.call_count for b in backends] == [1, 1, 1, 1]
+            assert [b.row_count for b in backends] == [15, 15, 15, 15]
+
+    def test_sequential_caller_never_waits_for_absent_peers(self, zoo):
+        models, _, test = zoo
+        with serve_model(models["logistic"]) as server:
+            backend = RemoteScoringBackend(server.url, window=0.05)
+            for _ in range(3):
+                backend.predict(test.X[:10])
+            # One registered caller: each dispatch flushes as soon as its
+            # own batch is pending — no window-long stalls, no merging.
+            assert backend.client.wire_call_count == 3
+
+    def test_failed_wire_call_raises_in_every_coalesced_caller(self, zoo):
+        models, _, test = zoo
+        model = models["logistic"]
+        server = serve_model(model)
+        client = CoalescingScoringClient(server.url, window=0.5)
+        backends = [RemoteScoringBackend(client) for _ in range(2)]
+        server.close()  # the wire call will fail for the whole batch
+        errors: list = [None] * 2
+        barrier = threading.Barrier(2)
+
+        def score(k):
+            barrier.wait(timeout=10)
+            try:
+                backends[k].predict(test.X[:5])
+            except Exception as error:  # noqa: BLE001 - asserting propagation
+                errors[k] = error
+
+        threads = [threading.Thread(target=score, args=(k,)) for k in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(error is not None for error in errors)
+        assert client.wire_call_count == 0
+        assert [b.call_count for b in backends] == [0, 0]
+
+    def test_unregister_releases_the_window(self, zoo):
+        models, _, test = zoo
+        with serve_model(models["logistic"]) as server:
+            client = CoalescingScoringClient(server.url, window=5.0)
+            stays = RemoteScoringBackend(client)
+            leaves = RemoteScoringBackend(client)
+            leaves.close()
+            import time
+            start = time.monotonic()
+            stays.predict(test.X[:5])
+            # With the peer gone, the single registered caller dispatches
+            # immediately instead of waiting out the 5s window.
+            assert time.monotonic() - start < 2.0
+
+
+class TestRemoteSession:
+    def test_audit_session_over_remote_backend_matches_in_process(
+            self, zoo, loan_cf_generator):
+        models, train, test = zoo
+        model = models["logistic"]
+        constraints = loan_cf_generator.constraints
+        rejected_idx = np.flatnonzero(model.predict(test.X) == 0)[:6]
+
+        reference_session = AuditSession(
+            GrowingSpheresCounterfactual(model, train.X, constraints=constraints,
+                                         random_state=0))
+        reference = reference_session.counterfactuals_for(test.X, rejected_idx)
+
+        with serve_model(model) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0)
+            session = AuditSession(
+                GrowingSpheresCounterfactual(model, train.X,
+                                             constraints=constraints,
+                                             random_state=0),
+                backend=backend,
+            )
+            remote = session.counterfactuals_for(test.X, rejected_idx)
+            backend.close()
+        assert set(remote) == set(reference)
+        for i in reference:
+            assert np.array_equal(remote[i].counterfactual,
+                                  reference[i].counterfactual)
+        assert session.predict_row_count == reference_session.predict_row_count
+
+
+class TestBackendClose:
+    def test_double_close_keeps_peers_registered(self, zoo):
+        """close() is idempotent: a second close (the natural finally-block
+        pattern) must not decrement another live caller's registration."""
+        models, _, test = zoo
+        with serve_model(models["logistic"]) as server:
+            client = CoalescingScoringClient(server.url, window=5.0)
+            stays = RemoteScoringBackend(client)
+            leaves = RemoteScoringBackend(client)
+            leaves.close()
+            leaves.close()  # idempotent: must not unregister `stays`
+            assert client.registered_count == 1
+            import time
+            start = time.monotonic()
+            stays.predict(test.X[:5])  # dispatches immediately, no 5s stall
+            assert time.monotonic() - start < 2.0
+
+
+class TestServingStoreIntegration:
+    def test_onnx_sessions_persist_and_warm_start(self, zoo, loan_cf_generator,
+                                                  tmp_path):
+        """An ONNX-backed session stores its rows under the graph's content
+        hash: a second session over the same graph warm-starts with zero
+        engine predict calls, and in-process sessions key separately."""
+        from fairexp.explanations import CounterfactualStore
+
+        models, train, test = zoo
+        model = models["logistic"]
+        constraints = loan_cf_generator.constraints
+        rejected_idx = np.flatnonzero(model.predict(test.X) == 0)[:5]
+
+        def onnx_session():
+            return AuditSession(
+                GrowingSpheresCounterfactual(model, train.X,
+                                             constraints=constraints,
+                                             random_state=0),
+                backend=OnnxExportBackend(model), store=tmp_path,
+            )
+
+        first = onnx_session()
+        first.counterfactuals_for(test.X, rejected_idx)
+        assert first.engine_predict_call_count > 0
+        assert len(CounterfactualStore(tmp_path).entries()) == 1
+
+        warm = onnx_session()
+        warm.counterfactuals_for(test.X, rejected_idx)
+        assert warm.engine_predict_call_count == 0      # pure store read
+        assert warm.store_row_hits == len(rejected_idx)
+
+        # An in-process session over the same population keys a NEW entry:
+        # graph-backed and model-backed dispatch never alias by design.
+        plain = AuditSession(
+            GrowingSpheresCounterfactual(model, train.X, constraints=constraints,
+                                         random_state=0),
+            store=tmp_path,
+        )
+        plain.counterfactuals_for(test.X, rejected_idx)
+        assert len(CounterfactualStore(tmp_path).entries()) == 2
+
+    def test_remote_sessions_skip_the_store(self, zoo, loan_cf_generator,
+                                            tmp_path):
+        """A remote scorer has no reproducible identity (the model lives
+        behind a URL), so store publishing is skipped — correctness first."""
+        from fairexp.explanations import CounterfactualStore
+
+        models, train, test = zoo
+        model = models["logistic"]
+        rejected_idx = np.flatnonzero(model.predict(test.X) == 0)[:3]
+        with serve_model(model) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0)
+            with AuditSession(
+                GrowingSpheresCounterfactual(model, train.X,
+                                             constraints=loan_cf_generator.constraints,
+                                             random_state=0),
+                backend=backend, store=tmp_path,
+            ) as session:
+                results = session.counterfactuals_for(test.X, rejected_idx)
+            backend.close()
+        assert results
+        assert CounterfactualStore(tmp_path).entries() == []

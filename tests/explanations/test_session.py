@@ -438,3 +438,106 @@ class TestSessionRoutedAudits:
         )
         assert isinstance(explainer.engine, CounterfactualEngine)
         assert isinstance(explainer.generator.model, BatchModelAdapter)
+
+
+class TestSessionLifecycleAndEviction:
+    def test_closed_session_raises_a_session_level_error(self, workload,
+                                                         loan_cf_generator):
+        """Use after close() must name the SESSION, not surface the opaque
+        'ExecutorPool is closed' from deep inside a sharded engine pass."""
+        dataset, train, test, model, rejected_idx = workload
+        session = AuditSession(
+            _generator(GrowingSpheresCounterfactual, train, model,
+                       loan_cf_generator.constraints),
+            n_jobs=2,
+        )
+        session.counterfactuals_for(test.X, rejected_idx[:4])
+        session.close()
+        with pytest.raises(ValidationError, match="AuditSession is closed"):
+            session.counterfactuals_for(test.X, rejected_idx[:4])
+        with pytest.raises(ValidationError, match="AuditSession is closed"):
+            session.precompute(test.X[:8])
+
+    def test_evicted_population_republishes_with_merge(self, workload,
+                                                       loan_cf_generator, tmp_path):
+        """Evict -> re-touch -> publish must merge with the store again.
+
+        After eviction the in-memory cache is rebuilt from scratch, so it is
+        no longer guaranteed to be a superset of this session's earlier
+        writes; a publish that skips the disk read-back merge (merge=False)
+        would silently drop rows from the store entry."""
+        from fairexp.explanations import CounterfactualStore
+
+        dataset, train, test, model, _ = workload
+        store = CounterfactualStore(tmp_path)
+        merge_flags: list[bool] = []
+        original_save = store.save
+
+        def spying_save(fingerprint, rows, *, merge=True, **kwargs):
+            merge_flags.append(merge)
+            return original_save(fingerprint, rows, merge=merge, **kwargs)
+
+        store.save = spying_save
+        session = AuditSession(
+            _generator(GrowingSpheresCounterfactual, train, model,
+                       loan_cf_generator.constraints),
+            store=store, max_populations=1,
+        )
+        population_a = test.X[:20]
+        population_b = test.X[20:40]
+        session.counterfactuals_for(population_a, np.arange(3))   # publish #1 (A)
+        session.counterfactuals_for(population_b, np.arange(3))   # evicts A
+        # Re-touch A with rows the first pass never searched: the publish
+        # must read the disk entry back and merge (merge=True), exactly as
+        # a first-ever publish would.
+        session.counterfactuals_for(population_a, np.arange(3, 6))
+        assert merge_flags[0] is True
+        assert merge_flags[-1] is True, (
+            "re-publish after eviction skipped the read-back merge"
+        )
+        # All rows from both passes survived in the store entry.
+        from fairexp.explanations import population_fingerprint
+        fingerprint = population_fingerprint(session.generator, np.atleast_2d(
+            np.asarray(population_a, dtype=float)))
+        stored = store.load(fingerprint)
+        assert set(stored) >= set(range(6))
+
+    def test_backend_passthrough_routes_session_predicts(self, workload,
+                                                         loan_cf_generator):
+        """backend= reroutes every predict of the sweep while keeping audit
+        results identical to the in-process default."""
+        from fairexp.explanations import OnnxExportBackend
+
+        dataset, train, test, model, rejected_idx = workload
+        reference_session = AuditSession(
+            _generator(GrowingSpheresCounterfactual, train, model,
+                       loan_cf_generator.constraints))
+        reference = reference_session.counterfactuals_for(test.X, rejected_idx[:6])
+
+        backend = OnnxExportBackend(model, verify_on=test.X)
+        session = AuditSession(
+            _generator(GrowingSpheresCounterfactual, train, model,
+                       loan_cf_generator.constraints),
+            backend=backend,
+        )
+        routed = session.counterfactuals_for(test.X, rejected_idx[:6])
+        assert backend.call_count > 0          # the graph really served the sweep
+        assert session.predict_call_count == backend.call_count
+        assert set(routed) == set(reference)
+        for i in reference:
+            assert np.array_equal(routed[i].counterfactual,
+                                  reference[i].counterfactual)
+
+    def test_backend_only_session_shares_predictions(self, workload):
+        """A session built from just a backend (no model object) still
+        serves counted, memoized predictions."""
+        from fairexp.explanations import OnnxExportBackend
+
+        dataset, train, test, model, _ = workload
+        session = AuditSession(backend=OnnxExportBackend(model))
+        first = session.predict(test.X)
+        second = session.predict(test.X)
+        assert np.array_equal(first, model.predict(test.X))
+        assert np.array_equal(first, second)
+        assert session.predict_call_count == 1
+        assert session.cache_hit_count == 1
