@@ -10,6 +10,11 @@ Counterfactual-heavy benchmarks additionally record the number of
 :class:`fairexp.explanations.BatchModelAdapter`), so the BENCH_*.json
 trajectory tracks predict-call reduction and not just wall time.
 
+Every record additionally carries the active hot-path kernel selection
+(``kernel_path`` and ``kernel_numba_version``, via
+:func:`fairexp.explanations.active_kernel_info`), so wall-time trajectories
+recorded on numba-equipped and numpy-only environments stay comparable.
+
 Passing ``experiment="E1_E2"`` (or any display-item id) to :func:`record`
 appends one trajectory point — wall time, predict-call counters and the
 headline numbers — to ``benchmarks/artifacts/BENCH_<experiment>.json``.
@@ -24,6 +29,8 @@ import json
 import os
 import time
 from pathlib import Path
+
+from fairexp.explanations import active_kernel_info
 
 ARTIFACT_DIR = Path(os.environ.get("FAIREXP_BENCH_DIR",
                                    Path(__file__).resolve().parent / "artifacts"))
@@ -101,6 +108,11 @@ def record(benchmark, results: dict, *, adapter=None, experiment: str | None = N
         if callable(stats):
             for key, value in stats().items():
                 benchmark.extra_info.setdefault(key, value)
+    # Stamp the kernel dispatch outcome into every record (setdefault: a
+    # session's own ``kernel_path`` stat, reflecting an explicit ``kernels=``
+    # override, wins over the process-wide default).
+    for key, value in active_kernel_info().items():
+        benchmark.extra_info.setdefault(key, value)
     if experiment is not None:
         emit_trajectory(experiment, benchmark, dict(benchmark.extra_info))
     return results

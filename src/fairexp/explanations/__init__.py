@@ -44,6 +44,15 @@ from .backends import (
     ensure_backend,
 )
 from .engine import BatchModelAdapter, CounterfactualEngine, generator_config, shard_indices
+from .kernels import (
+    KernelSet,
+    active_kernel_info,
+    batch_counterfactual_distance,
+    build_prefix_revert_trials,
+    project_candidates,
+    rank_changed_features,
+    resolve_kernels,
+)
 from .pool import ExecutorPool, SharedExecutorPool
 from .serving import (
     CoalescingScoringClient,
@@ -145,6 +154,13 @@ __all__ = [
     "Predicate",
     "discretize_features",
     "frequent_predicate_sets",
+    "KernelSet",
+    "resolve_kernels",
+    "active_kernel_info",
+    "batch_counterfactual_distance",
+    "project_candidates",
+    "build_prefix_revert_trials",
+    "rank_changed_features",
     "ActionabilityConstraints",
     "counterfactual_distance",
     "BaseCounterfactualGenerator",

@@ -32,6 +32,7 @@ from ..exceptions import InfeasibleRecourseError, ValidationError
 from ..utils import check_random_state
 from .base import Counterfactual, ExplainerInfo, ExplainerRegistry
 from .engine import greedy_sparsify_batch, lockstep_candidate_search
+from .kernels import batch_counterfactual_distance, project_candidates, resolve_kernels
 from .schedules import resolve_schedule
 
 __all__ = [
@@ -89,7 +90,8 @@ class ActionabilityConstraints:
             constraints.monotone[j] = spec.monotone
         return constraints
 
-    def project(self, x_original: np.ndarray, candidate: np.ndarray) -> np.ndarray:
+    def project(self, x_original: np.ndarray, candidate: np.ndarray, *,
+                kernels=None) -> np.ndarray:
         """Project candidate counterfactuals onto the feasible set.
 
         Accepts a single candidate of shape ``(d,)`` or any stacked candidate
@@ -98,16 +100,16 @@ class ActionabilityConstraints:
         with ``x_original`` of shape ``(n_instances, 1, d)`` for the batched
         engine.  ``x_original`` must broadcast against ``candidate``; NaN
         bounds are treated as unbounded.
+
+        The projection cascade runs on the
+        :mod:`~fairexp.explanations.kernels` dispatch layer; ``kernels``
+        overrides the resolved kernel set for this call (all sets are
+        bitwise-equal, so this only changes speed).
         """
-        candidate = np.asarray(candidate, dtype=float)
-        x_original = np.asarray(x_original, dtype=float)
-        lower = np.where(np.isnan(self.lower), -np.inf, self.lower)
-        upper = np.where(np.isnan(self.upper), np.inf, self.upper)
-        projected = np.clip(candidate, lower, upper)
-        originals = np.broadcast_to(x_original, projected.shape)
-        projected = np.where(self.monotone == 1, np.maximum(projected, originals), projected)
-        projected = np.where(self.monotone == -1, np.minimum(projected, originals), projected)
-        return np.where(self.immutable, originals, projected)
+        return project_candidates(
+            x_original, candidate, immutable=self.immutable, lower=self.lower,
+            upper=self.upper, monotone=self.monotone, kernels=kernels,
+        )
 
     def is_feasible(self, x_original: np.ndarray, candidate: np.ndarray, *, atol=1e-9):
         """Whether ``candidate`` satisfies all constraints relative to ``x_original``.
@@ -123,28 +125,24 @@ class ActionabilityConstraints:
 
 
 def counterfactual_distance(
-    x: np.ndarray, x_prime: np.ndarray, *, scale: np.ndarray | None = None, metric: str = "l1"
+    x: np.ndarray, x_prime: np.ndarray, *, scale: np.ndarray | None = None,
+    metric: str = "l1", kernels=None,
 ) -> float:
     """Distance between an instance and its counterfactual.
 
     ``metric`` is ``"l1"`` (MAD-style, the default used for burden), ``"l2"``
     or ``"l0"`` (number of changed features).  ``scale`` normalizes features
     (e.g. per-feature standard deviation or median absolute deviation).
+
+    Delegates to the (bitwise-equal) batched kernel
+    :func:`~fairexp.explanations.kernels.batch_counterfactual_distance`;
+    callers scoring many pairs should call that directly with stacked rows.
     """
-    x = np.asarray(x, dtype=float)
-    x_prime = np.asarray(x_prime, dtype=float)
-    delta = x_prime - x
-    if scale is not None:
-        scale = np.asarray(scale, dtype=float).copy()
-        scale[scale == 0] = 1.0
-        delta = delta / scale
-    if metric == "l1":
-        return float(np.sum(np.abs(delta)))
-    if metric == "l2":
-        return float(np.linalg.norm(delta))
-    if metric == "l0":
-        return float(np.sum(~np.isclose(delta, 0.0)))
-    raise ValidationError(f"unknown metric {metric!r}")
+    x = np.asarray(x, dtype=float).reshape(1, -1)
+    x_prime = np.asarray(x_prime, dtype=float).reshape(1, -1)
+    return float(batch_counterfactual_distance(
+        x, x_prime, scale=scale, metric=metric, kernels=kernels
+    )[0])
 
 
 class BaseCounterfactualGenerator:
@@ -175,6 +173,14 @@ class BaseCounterfactualGenerator:
         (The sequential :meth:`generate` reference path always walks the
         full fixed ladder; generators without a rung ladder — gradient
         ascent — ignore the schedule.)
+    kernels:
+        Hot-path kernel selection for this generator's searches: ``None``
+        (default — honour the ``FAIREXP_KERNELS`` environment variable),
+        ``"auto"`` / ``"numpy"`` / ``"numba"``, or a resolved
+        :class:`~fairexp.explanations.kernels.KernelSet`.  All kernel sets
+        are bitwise-equal, so the choice only changes wall time — which is
+        why it is deliberately **not** part of ``generator_config`` and
+        never reaches store fingerprints.
 
     Attributes
     ----------
@@ -205,8 +211,10 @@ class BaseCounterfactualGenerator:
         metric: str = "l1",
         random_state=None,
         schedule=None,
+        kernels=None,
     ) -> None:
         self.model = model
+        self.kernels = kernels
         self.background = np.asarray(background, dtype=float)
         self.constraints = constraints or ActionabilityConstraints.unconstrained(
             self.background.shape[1]
@@ -254,25 +262,30 @@ class BaseCounterfactualGenerator:
                             ) -> list[Counterfactual]:
         """Build :class:`Counterfactual` results for many rows with two
         predict calls (originals + counterfactuals) instead of two per row."""
+        kernel_set = resolve_kernels(self.kernels)
         X_rows = np.atleast_2d(np.asarray(X_rows, dtype=float))
         candidates = self.constraints.project(
-            X_rows, np.atleast_2d(np.asarray(candidates, dtype=float))
+            X_rows, np.atleast_2d(np.asarray(candidates, dtype=float)),
+            kernels=kernel_set,
         )
         original_predictions = self._predict(X_rows)
         counterfactual_predictions = self._predict(candidates)
         feasible = self.constraints.is_feasible(X_rows, candidates)
+        changed_matrix = ~np.isclose(candidates, X_rows)
+        distances = kernel_set.batch_counterfactual_distance(
+            X_rows, candidates, scale=self.scale_, metric=self.metric
+        )
         results = []
         for k in range(X_rows.shape[0]):
             x, candidate = X_rows[k], candidates[k]
-            changed = tuple(int(j) for j in np.flatnonzero(~np.isclose(candidate, x)))
+            changed = tuple(int(j) for j in np.flatnonzero(changed_matrix[k]))
             results.append(Counterfactual(
                 original=x.copy(),
                 counterfactual=candidate.copy(),
                 original_prediction=int(original_predictions[k]),
                 counterfactual_prediction=int(counterfactual_predictions[k]),
                 changed_features=changed,
-                distance=counterfactual_distance(x, candidate, scale=self.scale_,
-                                                 metric=self.metric),
+                distance=float(distances[k]),
                 feasible=bool(feasible[k]),
             ))
         return results
@@ -376,10 +389,10 @@ class RandomSearchCounterfactual(BaseCounterfactualGenerator):
             hits = np.flatnonzero(predictions == self.target_class)
             if hits.size == 0:
                 continue
-            distances = np.array([
-                counterfactual_distance(x, candidates[i], scale=self.scale_, metric=self.metric)
-                for i in hits
-            ])
+            distances = batch_counterfactual_distance(
+                x, candidates[hits], scale=self.scale_, metric=self.metric,
+                kernels=self.kernels,
+            )
             best = candidates[hits[np.argmin(distances)]]
             best = self._sparsify(x, best)
             return self._make_result(x, best)
@@ -448,11 +461,10 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
             predictions = self._predict(candidates)
             hits = np.flatnonzero(predictions == self.target_class)
             if hits.size > 0:
-                distances = np.array([
-                    counterfactual_distance(x, candidates[i], scale=self.scale_,
-                                            metric=self.metric)
-                    for i in hits
-                ])
+                distances = batch_counterfactual_distance(
+                    x, candidates[hits], scale=self.scale_, metric=self.metric,
+                    kernels=self.kernels,
+                )
                 best = candidates[hits[np.argmin(distances)]]
                 best = self._sparsify(x, best)
                 return self._make_result(x, best)

@@ -50,6 +50,7 @@ from .backends import (
     ensure_backend,
 )
 from .base import Counterfactual
+from .kernels import resolve_kernels
 from .pool import ExecutorPool
 from .schedules import GeometricSchedule, SearchSchedule
 
@@ -177,7 +178,8 @@ class BatchModelAdapter:
         self.backend.reset_counts()
 
 
-def greedy_sparsify_batch(generator, X_rows: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+def greedy_sparsify_batch(generator, X_rows: np.ndarray, candidates: np.ndarray,
+                          kernels=None) -> np.ndarray:
     """Batched greedy sparsification, exactly equivalent to the sequential loop.
 
     The sequential ``_sparsify`` walks a candidate's changed features in order
@@ -191,33 +193,42 @@ def greedy_sparsify_batch(generator, X_rows: np.ndarray, candidates: np.ndarray)
     the greedy state exactly; the chain is then rebuilt from the remaining
     features.  Predict calls drop from (#changed features) per instance to
     (#rejected reverts + 1) rounds shared by the whole batch.
+
+    The greedy order and the trial chains run on the
+    :mod:`~fairexp.explanations.kernels` dispatch layer: ranking is computed
+    for the whole batch at once, and each instance's prefix chain is written
+    directly into the round's stacked trial matrix — one allocation per
+    round instead of one ``trial.copy()`` per feature per instance.
+    ``kernels`` overrides the generator's kernel choice for this call.
     """
+    kernel_set = resolve_kernels(
+        kernels if kernels is not None else getattr(generator, "kernels", None)
+    )
     X_rows = np.atleast_2d(np.asarray(X_rows, dtype=float))
     candidates = np.atleast_2d(np.asarray(candidates, dtype=float)).copy()
     n_rows = candidates.shape[0]
+    n_features = candidates.shape[1] if candidates.ndim == 2 else 0
 
     # Greedy order per instance, fixed once from the initial candidate (this is
     # what the sequential implementation does as well).
-    orders: list[list[int]] = []
-    for k in range(n_rows):
-        delta = candidates[k] - X_rows[k]
-        changed = np.flatnonzero(~np.isclose(candidates[k], X_rows[k]))
-        ranked = changed[np.argsort(np.abs(delta / generator.scale_)[changed])]
-        orders.append([int(j) for j in ranked])
+    orders: list[list[int]] = [
+        [int(j) for j in ranked]
+        for ranked in kernel_set.rank_changed_features(X_rows, candidates,
+                                                       generator.scale_)
+    ]
 
     active = [k for k in range(n_rows) if orders[k]]
     while active:
-        trials: list[np.ndarray] = []
-        spans: list[tuple[int, int]] = []
-        for k in active:
-            trial = candidates[k].copy()
-            rows = []
-            for column in orders[k]:
-                trial[column] = X_rows[k, column]
-                rows.append(trial.copy())
-            trials.append(np.stack(rows))
-            spans.append((k, len(orders[k])))
-        predictions = generator._predict(np.vstack(trials))
+        spans = [(k, len(orders[k])) for k in active]
+        trials = np.empty((sum(length for _, length in spans), n_features))
+        offset = 0
+        for k, length in spans:
+            kernel_set.build_prefix_revert_trials(
+                candidates[k], X_rows[k], orders[k],
+                out=trials[offset:offset + length],
+            )
+            offset += length
+        predictions = generator._predict(trials)
 
         offset = 0
         next_active: list[int] = []
@@ -263,11 +274,11 @@ def lockstep_candidate_search(
     candidate-draw totals of the pass are folded into the generator's
     ``search_step_count`` / ``search_draw_count`` accounting.
     """
-    from .counterfactual import counterfactual_distance
     from ..utils import check_random_state
 
     if schedule is None:
         schedule = getattr(generator, "schedule", None) or GeometricSchedule()
+    kernel_set = resolve_kernels(getattr(generator, "kernels", None))
     X = np.atleast_2d(np.asarray(X, dtype=float))
     n_instances, n_features = X.shape
     rngs = [check_random_state(generator.random_state) for _ in range(n_instances)]
@@ -291,22 +302,29 @@ def lockstep_candidate_search(
             break
         rows = list(plan)
         candidates = np.stack([draw(rngs[i], X[i], plan[i]) for i in rows])
-        projected = generator.constraints.project(X[rows][:, None, :], candidates)
+        projected = generator.constraints.project(X[rows][:, None, :], candidates,
+                                                  kernels=kernel_set)
         predictions = generator._predict(
             projected.reshape(-1, n_features)
         ).reshape(len(rows), -1)
         steps_taken += 1
         draws_issued += int(candidates.shape[0] * candidates.shape[1])
 
+        # ONE batched distance call over every hit of the wave (row-major
+        # nonzero keeps each instance's hits contiguous), instead of a
+        # Python list comprehension per instance per hit.
+        hit_rows, hit_columns = np.nonzero(predictions == generator.target_class)
+        if hit_rows.size:
+            wave_rows = np.asarray(rows, dtype=int)
+            wave_distances = kernel_set.batch_counterfactual_distance(
+                X[wave_rows[hit_rows]], projected[hit_rows, hit_columns],
+                scale=generator.scale_, metric=generator.metric,
+            )
+        bounds = np.searchsorted(hit_rows, np.arange(len(rows) + 1))
         for k, i in enumerate(rows):
-            hits = np.flatnonzero(predictions[k] == generator.target_class)
+            hits = hit_columns[bounds[k]:bounds[k + 1]]
             if hits.size:
-                distances = np.array([
-                    counterfactual_distance(X[i], projected[k, h],
-                                            scale=generator.scale_,
-                                            metric=generator.metric)
-                    for h in hits
-                ])
+                distances = wave_distances[bounds[k]:bounds[k + 1]]
                 pick = int(np.argmin(distances))
                 if i not in best or float(distances[pick]) < best[i][0]:
                     best[i] = (float(distances[pick]), projected[k, hits[pick]])
@@ -347,7 +365,11 @@ def _iter_init_parameters(generator):
         if init is None:
             continue
         for name, parameter in inspect.signature(init).parameters.items():
-            if name in ("self", "model", "background") or name in seen:
+            # "kernels" is excluded on purpose: kernel sets are bitwise-equal,
+            # so the choice must never reach generator_config — a store
+            # fingerprint that varied with FAIREXP_KERNELS would needlessly
+            # split identical populations across cache entries.
+            if name in ("self", "model", "background", "kernels") or name in seen:
                 continue
             if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
                                   inspect.Parameter.VAR_KEYWORD):
@@ -433,6 +455,11 @@ def _process_shard_spec(generator) -> dict | None:
         "fn_name": None,
         "background": np.asarray(generator.background, dtype=float),
         "params": generator_config(generator),
+        # Workers must run the same kernel path the parent resolved (a
+        # worker whose environment lacks numba still falls back gracefully,
+        # and stays bitwise-identical either way).  The resolved NAME is
+        # shipped — compiled kernel sets themselves don't pickle.
+        "kernels": resolve_kernels(getattr(generator, "kernels", None)).name,
     }
     if backend is None or type(backend) is NumpyPredictBackend:
         if model is None:
@@ -475,6 +502,9 @@ def _run_process_shard(spec: dict, X_shard: np.ndarray
     else:
         adapter = BatchModelAdapter(spec["model"], cache=False)
     generator = spec["cls"](adapter, spec["background"], **spec["params"])
+    # Set as an attribute (not a constructor argument) so third-party
+    # generator classes without a ``kernels`` parameter still rebuild.
+    generator.kernels = spec.get("kernels")
     results = generator.generate_batch_aligned(X_shard)
     return (results, adapter.predict_call_count, adapter.predict_row_count,
             generator.search_step_count, generator.search_draw_count)
@@ -528,10 +558,22 @@ class CounterfactualEngine:
         keeps the historical per-call pools.  Pooled and per-call execution
         are bitwise-identical — shards are deterministic and instances own
         their random streams.
+    kernels:
+        Hot-path kernel selection for this generator's searches
+        (see :func:`~fairexp.explanations.kernels.resolve_kernels`):
+        ``None`` (default) keeps the generator's own choice / the
+        ``FAIREXP_KERNELS`` environment variable; ``"auto"`` / ``"numpy"`` /
+        ``"numba"`` (or a resolved
+        :class:`~fairexp.explanations.kernels.KernelSet`) is installed on
+        the generator so every pass — including process-sharded workers,
+        which receive the resolved name in their shard spec — runs the same
+        path.  All kernel sets are bitwise-equal; the choice never reaches
+        store fingerprints.
     """
 
     def __init__(self, generator, *, adapt_model: bool = True, n_jobs: int = 1,
-                 executor: str = "auto", pool: ExecutorPool | None = None) -> None:
+                 executor: str = "auto", pool: ExecutorPool | None = None,
+                 kernels=None) -> None:
         if executor not in ("auto", "thread", "process"):
             raise ValidationError(
                 f"executor must be 'auto', 'thread' or 'process', got {executor!r}"
@@ -540,6 +582,9 @@ class CounterfactualEngine:
             raise ValidationError(
                 f"pool must be an ExecutorPool or None, got {type(pool).__name__}"
             )
+        if kernels is not None:
+            resolve_kernels(kernels)  # validate eagerly, before any search
+            generator.kernels = kernels
         self.generator = generator
         self.n_jobs = n_jobs
         self.executor = executor
@@ -569,6 +614,13 @@ class CounterfactualEngine:
     def search_draw_count(self) -> int:
         """Candidate draws issued across this generator's search passes."""
         return getattr(self.generator, "search_draw_count", 0)
+
+    @property
+    def kernel_path(self) -> str:
+        """The hot-path kernel set this engine's searches resolve to
+        (``"numpy"`` or ``"numba"``), surfaced in session stats and the
+        benchmark trajectories."""
+        return resolve_kernels(getattr(self.generator, "kernels", None)).name
 
     # ------------------------------------------------------------ generation
     def _resolve_n_jobs(self, n_rows: int) -> int:

@@ -1,0 +1,611 @@
+"""Compiled hot-path kernels with runtime dispatch.
+
+The engine's inner loops — candidate projection, hit-distance scoring, the
+sparsifier's prefix-revert trial chains and its greedy feature ranking — are
+the wall-time story of a large audit now that predict-call counts are
+optimized.  This module concentrates those loops behind four kernels:
+
+* :func:`batch_counterfactual_distance` — distances for many ``(x, x')``
+  pairs in one call (replaces the per-hit Python list comprehension);
+* :func:`project_candidates` — the actionability projection cascade over any
+  stacked candidate tensor, with masked in-place passes instead of a chain
+  of full-tensor ``np.where`` temporaries;
+* :func:`build_prefix_revert_trials` — one instance's cumulative
+  prefix-revert trial matrix in a single allocation (replaces the
+  per-feature ``trial.copy()`` chain);
+* :func:`rank_changed_features` — the sparsifier's greedy revert order for a
+  whole batch of instances at once.
+
+Each kernel has a vectorized NumPy reference implementation and an optional
+`numba <https://numba.pydata.org>`_ ``@njit`` fast path, selected at runtime
+by :func:`resolve_kernels`:
+
+* the ``FAIREXP_KERNELS`` environment variable (``auto`` / ``numpy`` /
+  ``numba``, default ``auto``: numba when importable, NumPy otherwise);
+* the ``kernels=`` parameter on
+  :class:`~fairexp.explanations.engine.CounterfactualEngine` /
+  :class:`~fairexp.explanations.session.AuditSession`, which overrides the
+  environment for one generator.
+
+Requesting ``numba`` in an environment without it falls back to the NumPy
+reference (with a one-time warning) rather than failing — the numpy-only
+test environment runs the identical suite.
+
+**Bitwise parity is the contract.**  Every kernel reproduces the
+pre-refactor loop implementations bit for bit (asserted in
+``tests/explanations/test_kernels.py``), which is why the kernel choice is
+deliberately **excluded** from ``generator_config`` and hence from store
+fingerprints: numpy- and numba-computed populations are interchangeable.
+Three exactness notes worth knowing about:
+
+* L1/L0 reductions use NumPy's pairwise-summation order; the numba path
+  replicates that algorithm exactly for rows of up to 128 features and
+  silently defers to the NumPy path beyond (reduction order would differ);
+* L2 always runs on the NumPy path (batched BLAS dot products, bitwise-equal
+  to the per-row ``np.linalg.norm`` the loops used; BLAS accumulation order
+  cannot be reproduced in nopython code);
+* :func:`rank_changed_features` keeps its (tiny, per-row) ``np.argsort`` on
+  NumPy in both kernel sets so unstable-sort tie order never diverges — the
+  numba set still vectorizes the magnitude/changed-mask computation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "KernelSet",
+    "active_kernel_info",
+    "batch_counterfactual_distance",
+    "build_prefix_revert_trials",
+    "numba_version",
+    "project_candidates",
+    "rank_changed_features",
+    "resolve_kernels",
+]
+
+#: Largest feature count the numba reduction kernels handle themselves;
+#: beyond it NumPy's pairwise summation recurses, and replicating that
+#: bitwise is not worth it — the dispatcher defers such rows to NumPy.
+NUMBA_MAX_REDUCE_FEATURES = 128
+
+_VALID_CHOICES = ("auto", "numpy", "numba")
+_ISCLOSE_ATOL = 1e-8  # np.isclose defaults the legacy loops relied on
+_ISCLOSE_RTOL = 1e-5
+
+
+def numba_version() -> str | None:
+    """The installed numba version, or ``None`` when numba is absent."""
+    try:
+        import numba
+    except Exception:
+        return None
+    return getattr(numba, "__version__", "unknown")
+
+
+# ---------------------------------------------------------------------------
+# NumPy reference kernels
+# ---------------------------------------------------------------------------
+def _sanitized_scale(scale, n_features: int) -> np.ndarray:
+    """Per-feature scale with zeros replaced by 1 (ones when ``scale=None``).
+
+    Dividing by 1.0 is a bitwise identity, so the no-scale case can share
+    the scaled code path.
+    """
+    if scale is None:
+        return np.ones(n_features, dtype=float)
+    scale = np.asarray(scale, dtype=float).copy()
+    scale[scale == 0] = 1.0
+    return scale
+
+
+def _np_batch_distance(X, candidates, *, scale=None, metric: str = "l1") -> np.ndarray:
+    """Vectorized reference: one distance per candidate row.
+
+    ``X`` is either ``(n, d)`` row-aligned with ``candidates`` or a single
+    ``(d,)`` instance broadcast against every candidate.  Bitwise-equal to
+    calling the scalar ``counterfactual_distance`` per row: L1/L0 reduce
+    with NumPy's per-row pairwise summation (identical to the 1-D sum), L2
+    uses batched BLAS dot products (identical to the 1-D ``np.linalg.norm``).
+    """
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=float))
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X[None, :]
+    delta = candidates - X
+    if scale is not None:
+        delta = delta / _sanitized_scale(scale, delta.shape[-1])
+    if metric == "l1":
+        return np.sum(np.abs(delta), axis=-1)
+    if metric == "l2":
+        # matmul's batched 1x1 products route through the same BLAS dot as
+        # np.linalg.norm on a 1-D vector — np.sum(delta**2, axis=-1) would
+        # NOT be bitwise-equal (pairwise summation vs. BLAS accumulation).
+        return np.sqrt(np.matmul(delta[:, None, :], delta[:, :, None])[:, 0, 0])
+    if metric == "l0":
+        return np.sum(~np.isclose(delta, 0.0), axis=-1).astype(float)
+    raise ValidationError(f"unknown metric {metric!r}")
+
+
+def _np_project(x_original, candidates, *, immutable, lower, upper, monotone) -> np.ndarray:
+    """Vectorized reference projection onto the feasible set.
+
+    Same semantics (and bitwise-identical output) as the historical
+    clip → ``np.where`` cascade, but the monotone/immutable passes write
+    in-place through ``where=`` masks instead of allocating a full-tensor
+    temporary per pass, and passes whose mask is empty are skipped entirely.
+    """
+    candidates = np.asarray(candidates, dtype=float)
+    x_original = np.asarray(x_original, dtype=float)
+    immutable = np.asarray(immutable, dtype=bool)
+    monotone = np.asarray(monotone)
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    lower = np.where(np.isnan(lower), -np.inf, lower)
+    upper = np.where(np.isnan(upper), np.inf, upper)
+    if np.isfinite(lower).any() or np.isfinite(upper).any():
+        projected = np.clip(candidates, lower, upper)
+    else:
+        projected = candidates.copy()
+    originals = np.broadcast_to(x_original, projected.shape)
+    increasing = monotone == 1
+    if increasing.any():
+        np.maximum(projected, originals, out=projected, where=increasing)
+    decreasing = monotone == -1
+    if decreasing.any():
+        np.minimum(projected, originals, out=projected, where=decreasing)
+    if immutable.any():
+        np.copyto(projected, originals, where=immutable)
+    return projected
+
+
+def _np_prefix_revert_trials(candidate, x_row, order, out=None) -> np.ndarray:
+    """Cumulative prefix-revert trial matrix for one instance.
+
+    Row ``j`` is ``candidate`` with features ``order[:j + 1]`` reverted to
+    their original values — exactly the chain the sequential sparsifier
+    builds with one ``trial.copy()`` per feature, produced here with a
+    single allocation (or written into ``out``) and one column-slice
+    assignment per reverted feature.
+    """
+    candidate = np.asarray(candidate, dtype=float)
+    x_row = np.asarray(x_row, dtype=float)
+    n_trials = len(order)
+    if out is None:
+        out = np.empty((n_trials, candidate.shape[0]), dtype=float)
+    out[:] = candidate
+    for j, column in enumerate(order):
+        out[j:, column] = x_row[column]
+    return out
+
+
+def _np_rank_changed_features(X_rows, candidates, scale) -> list[np.ndarray]:
+    """Greedy revert order for every instance of a batch.
+
+    Per row: the indices of features where candidate and original differ
+    (``~np.isclose``), sorted by scaled absolute delta — identical to the
+    historical per-row loop, but the delta/magnitude/changed-mask arithmetic
+    runs once over the whole batch.  The per-row ``argsort`` stays on the
+    (few-element) feature subset so tie order matches the legacy loop
+    exactly even though the default sort is unstable.
+    """
+    X_rows = np.atleast_2d(np.asarray(X_rows, dtype=float))
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=float))
+    if candidates.shape[0] == 0:
+        return []
+    changed = ~np.isclose(candidates, X_rows)
+    magnitudes = np.abs((candidates - X_rows) / np.asarray(scale, dtype=float))
+    orders = []
+    for k in range(candidates.shape[0]):
+        columns = np.flatnonzero(changed[k])
+        orders.append(columns[np.argsort(magnitudes[k, columns])])
+    return orders
+
+
+# ---------------------------------------------------------------------------
+# numba fast path (compiled lazily, absent-dependency safe)
+# ---------------------------------------------------------------------------
+_NUMBA_STATE: dict = {"kernels": None}  # None = not tried, False = unavailable
+_NUMBA_LOCK = threading.Lock()
+_warned_numba_missing = False
+
+
+def _compile_numba_kernels():
+    """Compile the ``@njit`` kernels once; ``False`` when numba is absent."""
+    try:
+        from numba import njit
+    except Exception:
+        return False
+
+    @njit(cache=True)
+    def pairwise_sum_block(values, n):  # pragma: no cover - compiled
+        # NumPy's pairwise_sum for n <= 128: sequential below 8 elements,
+        # otherwise eight partial accumulators combined as a balanced tree
+        # plus a sequential remainder.  Replicating the order is what makes
+        # the compiled L1 reduction bitwise-equal to np.sum.
+        if n < 8:
+            res = 0.0
+            for i in range(n):
+                res += values[i]
+            return res
+        r0 = values[0]
+        r1 = values[1]
+        r2 = values[2]
+        r3 = values[3]
+        r4 = values[4]
+        r5 = values[5]
+        r6 = values[6]
+        r7 = values[7]
+        i = 8
+        while i < n - (n % 8):
+            r0 += values[i]
+            r1 += values[i + 1]
+            r2 += values[i + 2]
+            r3 += values[i + 3]
+            r4 += values[i + 4]
+            r5 += values[i + 5]
+            r6 += values[i + 6]
+            r7 += values[i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += values[i]
+            i += 1
+        return res
+
+    @njit(cache=True)
+    def l1_distances(X, candidates, scale):  # pragma: no cover - compiled
+        n, d = candidates.shape
+        out = np.empty(n, dtype=np.float64)
+        buffer = np.empty(d, dtype=np.float64)
+        for i in range(n):
+            for j in range(d):
+                buffer[j] = abs((candidates[i, j] - X[i, j]) / scale[j])
+            out[i] = pairwise_sum_block(buffer, d)
+        return out
+
+    @njit(cache=True)
+    def l0_distances(X, candidates, scale):  # pragma: no cover - compiled
+        # ~np.isclose(delta, 0.0): |delta| <= atol (rtol term vanishes at 0);
+        # NaN/inf deltas compare False under <=, so they count as changed —
+        # exactly np.isclose's behaviour.  Integer counting has no float
+        # accumulation order, so no pairwise replication is needed.
+        n, d = candidates.shape
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            count = 0
+            for j in range(d):
+                delta = (candidates[i, j] - X[i, j]) / scale[j]
+                if not (abs(delta) <= 1e-8):
+                    count += 1
+            out[i] = float(count)
+        return out
+
+    @njit(cache=True)
+    def project_rows(x_rows, candidates, immutable, lower, upper,
+                     monotone):  # pragma: no cover - compiled
+        # One fused elementwise pass: clip -> monotone -> immutable, the
+        # same per-element result as the reference's staged masked passes.
+        n, d = candidates.shape
+        out = np.empty((n, d), dtype=np.float64)
+        for i in range(n):
+            for j in range(d):
+                value = candidates[i, j]
+                if value < lower[j]:
+                    value = lower[j]
+                if value > upper[j]:
+                    value = upper[j]
+                original = x_rows[i, j]
+                if monotone[j] == 1 and original > value:
+                    value = original
+                elif monotone[j] == -1 and original < value:
+                    value = original
+                if immutable[j]:
+                    value = original
+                out[i, j] = value
+        return out
+
+    @njit(cache=True)
+    def prefix_revert_trials(candidate, x_row, order, out):  # pragma: no cover
+        n_trials = order.shape[0]
+        d = candidate.shape[0]
+        for j in range(n_trials):
+            for column in range(d):
+                out[j, column] = candidate[column]
+        for j in range(n_trials):
+            column = order[j]
+            value = x_row[column]
+            for t in range(j, n_trials):
+                out[t, column] = value
+        return out
+
+    @njit(cache=True)
+    def changed_magnitudes(X_rows, candidates, scale):  # pragma: no cover
+        # np.isclose(a, b): |a - b| <= atol + rtol * |b| for finite pairs;
+        # equal infinities are close, NaN never is.  The legacy loop used
+        # the defaults, so they are hard-coded here.
+        n, d = candidates.shape
+        changed = np.empty((n, d), dtype=np.bool_)
+        magnitudes = np.empty((n, d), dtype=np.float64)
+        for i in range(n):
+            for j in range(d):
+                a = candidates[i, j]
+                b = X_rows[i, j]
+                delta = a - b
+                if np.isfinite(a) and np.isfinite(b):
+                    close = abs(delta) <= (1e-8 + 1e-5 * abs(b))
+                else:
+                    close = a == b
+                changed[i, j] = not close
+                magnitudes[i, j] = abs(delta / scale[j])
+        return changed, magnitudes
+
+    return {
+        "pairwise_sum_block": pairwise_sum_block,
+        "l1_distances": l1_distances,
+        "l0_distances": l0_distances,
+        "project_rows": project_rows,
+        "prefix_revert_trials": prefix_revert_trials,
+        "changed_magnitudes": changed_magnitudes,
+    }
+
+
+def _numba_kernels():
+    """The compiled kernel table, or ``False`` when numba is unavailable."""
+    kernels = _NUMBA_STATE["kernels"]
+    if kernels is None:
+        with _NUMBA_LOCK:
+            kernels = _NUMBA_STATE["kernels"]
+            if kernels is None:
+                kernels = _compile_numba_kernels()
+                _NUMBA_STATE["kernels"] = kernels
+    return kernels
+
+
+def _nb_batch_distance(X, candidates, *, scale=None, metric: str = "l1") -> np.ndarray:
+    """Numba-dispatched distances; defers to NumPy where exactness demands.
+
+    L2 (BLAS accumulation order) and rows wider than
+    :data:`NUMBA_MAX_REDUCE_FEATURES` (recursive pairwise splits) stay on
+    the NumPy reference so the compiled path never changes a bit.
+    """
+    candidates = np.ascontiguousarray(np.atleast_2d(np.asarray(candidates, dtype=float)))
+    n, d = candidates.shape
+    if metric == "l2" or d > NUMBA_MAX_REDUCE_FEATURES or n == 0:
+        return _np_batch_distance(X, candidates, scale=scale, metric=metric)
+    if metric not in ("l1", "l0"):
+        raise ValidationError(f"unknown metric {metric!r}")
+    kernels = _numba_kernels()
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = np.broadcast_to(X, candidates.shape)
+    X = np.ascontiguousarray(X)
+    clean_scale = _sanitized_scale(scale, d)
+    if metric == "l1":
+        return kernels["l1_distances"](X, candidates, clean_scale)
+    return kernels["l0_distances"](X, candidates, clean_scale)
+
+
+def _nb_project(x_original, candidates, *, immutable, lower, upper, monotone) -> np.ndarray:
+    """Numba-dispatched projection over the shapes the hot paths produce.
+
+    Handles ``(n, c, d)`` tensors against ``(n, 1, d)`` originals (the
+    lockstep wave), row-aligned 2-D pairs, one-original-many-candidates and
+    single rows; anything more exotic falls back to the NumPy reference.
+    """
+    candidates_arr = np.asarray(candidates, dtype=float)
+    x_arr = np.asarray(x_original, dtype=float)
+    kernels = _numba_kernels()
+    numpy_fallback = lambda: _np_project(  # noqa: E731 - local alias
+        x_original, candidates, immutable=immutable, lower=lower,
+        upper=upper, monotone=monotone,
+    )
+    if candidates_arr.ndim == 0 or candidates_arr.size == 0:
+        return numpy_fallback()
+    d = candidates_arr.shape[-1]
+    if candidates_arr.ndim == 3 and x_arr.ndim == 3 \
+            and x_arr.shape[0] == candidates_arr.shape[0] and x_arr.shape[1] == 1 \
+            and x_arr.shape[2] == d:
+        n, c, _ = candidates_arr.shape
+        flat = np.ascontiguousarray(candidates_arr).reshape(n * c, d)
+        x_rows = np.ascontiguousarray(np.repeat(x_arr[:, 0, :], c, axis=0))
+    elif candidates_arr.ndim == 2 and x_arr.ndim == 1 and x_arr.shape[0] == d:
+        flat = np.ascontiguousarray(candidates_arr)
+        x_rows = np.ascontiguousarray(np.broadcast_to(x_arr, flat.shape))
+    elif candidates_arr.ndim == 2 and x_arr.shape == candidates_arr.shape:
+        flat = np.ascontiguousarray(candidates_arr)
+        x_rows = np.ascontiguousarray(x_arr)
+    elif candidates_arr.ndim == 1 and x_arr.ndim == 1 and x_arr.shape[0] == d:
+        flat = np.ascontiguousarray(candidates_arr).reshape(1, d)
+        x_rows = np.ascontiguousarray(x_arr).reshape(1, d)
+    else:
+        return numpy_fallback()
+    lower_arr = np.asarray(lower, dtype=float)
+    upper_arr = np.asarray(upper, dtype=float)
+    lower_arr = np.ascontiguousarray(np.where(np.isnan(lower_arr), -np.inf, lower_arr))
+    upper_arr = np.ascontiguousarray(np.where(np.isnan(upper_arr), np.inf, upper_arr))
+    projected = kernels["project_rows"](
+        x_rows, flat,
+        np.ascontiguousarray(np.asarray(immutable, dtype=np.bool_)),
+        lower_arr, upper_arr,
+        np.ascontiguousarray(np.asarray(monotone, dtype=np.int64)),
+    )
+    return projected.reshape(candidates_arr.shape)
+
+
+def _nb_prefix_revert_trials(candidate, x_row, order, out=None) -> np.ndarray:
+    """Numba-dispatched prefix-revert trial construction."""
+    candidate = np.ascontiguousarray(np.asarray(candidate, dtype=float))
+    x_row = np.ascontiguousarray(np.asarray(x_row, dtype=float))
+    order_arr = np.ascontiguousarray(np.asarray(order, dtype=np.int64))
+    if out is None:
+        out = np.empty((order_arr.shape[0], candidate.shape[0]), dtype=float)
+    return _numba_kernels()["prefix_revert_trials"](candidate, x_row, order_arr, out)
+
+
+def _nb_rank_changed_features(X_rows, candidates, scale) -> list[np.ndarray]:
+    """Numba-dispatched greedy revert ordering.
+
+    The changed-mask / magnitude arithmetic is compiled; the per-row subset
+    ``argsort`` stays on NumPy in both kernel sets so unstable-sort tie
+    order can never diverge between paths.
+    """
+    X_rows = np.ascontiguousarray(np.atleast_2d(np.asarray(X_rows, dtype=float)))
+    candidates = np.ascontiguousarray(np.atleast_2d(np.asarray(candidates, dtype=float)))
+    if candidates.shape[0] == 0:
+        return []
+    changed, magnitudes = _numba_kernels()["changed_magnitudes"](
+        X_rows, candidates,
+        np.ascontiguousarray(np.asarray(scale, dtype=float)),
+    )
+    orders = []
+    for k in range(candidates.shape[0]):
+        columns = np.flatnonzero(changed[k])
+        orders.append(columns[np.argsort(magnitudes[k, columns])])
+    return orders
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+class KernelSet:
+    """One resolved set of hot-path kernels (immutable once constructed).
+
+    Attributes
+    ----------
+    name:
+        ``"numpy"`` or ``"numba"`` — the path that actually runs (a numba
+        request in a numba-less environment resolves to the ``"numpy"``
+        set, so the name is always truthful).
+    batch_counterfactual_distance, project_candidates,
+    build_prefix_revert_trials, rank_changed_features:
+        The four kernels, all bitwise-equal across sets.
+    """
+
+    __slots__ = ("name", "batch_counterfactual_distance", "project_candidates",
+                 "build_prefix_revert_trials", "rank_changed_features")
+
+    def __init__(self, name: str, distance: Callable, project: Callable,
+                 prefix_trials: Callable, rank_changed: Callable) -> None:
+        self.name = name
+        self.batch_counterfactual_distance = distance
+        self.project_candidates = project
+        self.build_prefix_revert_trials = prefix_trials
+        self.rank_changed_features = rank_changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        """Short identity, e.g. ``KernelSet('numba')``."""
+        return f"KernelSet({self.name!r})"
+
+
+_NUMPY_SET = KernelSet("numpy", _np_batch_distance, _np_project,
+                       _np_prefix_revert_trials, _np_rank_changed_features)
+_NUMBA_SET = KernelSet("numba", _nb_batch_distance, _nb_project,
+                       _nb_prefix_revert_trials, _nb_rank_changed_features)
+
+
+def resolve_kernels(choice=None) -> KernelSet:
+    """Resolve a kernel choice to the :class:`KernelSet` that will run.
+
+    ``choice`` is ``None`` (consult the ``FAIREXP_KERNELS`` environment
+    variable, default ``auto``), one of ``"auto"`` / ``"numpy"`` /
+    ``"numba"``, or an already-resolved :class:`KernelSet` (returned as-is).
+    ``auto`` picks numba exactly when it is importable; an explicit
+    ``numba`` request without the dependency falls back to the NumPy
+    reference with a one-time warning instead of failing.
+    """
+    global _warned_numba_missing
+    if isinstance(choice, KernelSet):
+        return choice
+    if choice is None:
+        choice = os.environ.get("FAIREXP_KERNELS", "auto") or "auto"
+    choice = str(choice).lower()
+    if choice not in _VALID_CHOICES:
+        raise ValidationError(
+            f"kernels must be one of {_VALID_CHOICES}, got {choice!r}"
+        )
+    if choice == "numpy":
+        return _NUMPY_SET
+    if _numba_kernels():
+        return _NUMBA_SET
+    if choice == "numba" and not _warned_numba_missing:
+        _warned_numba_missing = True
+        warnings.warn(
+            "FAIREXP_KERNELS/kernels= requested 'numba' but numba is not "
+            "installed; falling back to the (bitwise-identical) NumPy "
+            "reference kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return _NUMPY_SET
+
+
+def active_kernel_info(choice=None) -> dict[str, str]:
+    """The kernel path a given choice resolves to, for records and stats.
+
+    Returns ``{"kernel_path": "numpy" | "numba", "kernel_numba_version":
+    <numba version> | "numpy"}`` — the fields the benchmark harness stamps
+    into every ``BENCH_*.json`` trajectory point so perf curves stay
+    comparable across environments.
+    """
+    kernels = resolve_kernels(choice)
+    version = numba_version()
+    return {
+        "kernel_path": kernels.name,
+        "kernel_numba_version": version if kernels.name == "numba" and version else "numpy",
+    }
+
+
+# ------------------------------------------------------- module-level kernels
+def batch_counterfactual_distance(X, candidates, *, scale=None, metric: str = "l1",
+                                  kernels=None) -> np.ndarray:
+    """Distances between rows of ``X`` and ``candidates`` in one call.
+
+    ``X`` is ``(n, d)`` aligned with ``candidates`` or a single ``(d,)``
+    instance; returns shape ``(n,)``.  Bitwise-equal to the scalar
+    :func:`~fairexp.explanations.counterfactual.counterfactual_distance`
+    applied per row.  ``kernels`` picks the dispatch set
+    (see :func:`resolve_kernels`).
+    """
+    return resolve_kernels(kernels).batch_counterfactual_distance(
+        X, candidates, scale=scale, metric=metric
+    )
+
+
+def project_candidates(x_original, candidates, *, immutable, lower, upper,
+                       monotone, kernels=None) -> np.ndarray:
+    """Project stacked candidates onto the feasible set (clip → monotone → freeze).
+
+    Accepts any ``(..., d)`` candidate tensor with ``x_original``
+    broadcastable against it — the dispatch target of
+    :meth:`~fairexp.explanations.counterfactual.ActionabilityConstraints.project`.
+    """
+    return resolve_kernels(kernels).project_candidates(
+        x_original, candidates, immutable=immutable, lower=lower,
+        upper=upper, monotone=monotone,
+    )
+
+
+def build_prefix_revert_trials(candidate, x_row, order, out=None, *,
+                               kernels=None) -> np.ndarray:
+    """One instance's cumulative prefix-revert trial matrix, one allocation.
+
+    Row ``j`` of the result is ``candidate`` with features ``order[:j + 1]``
+    reverted to ``x_row``'s values; ``out`` (shape ``(len(order), d)``)
+    avoids even the single allocation when the caller stacks trials itself.
+    """
+    return resolve_kernels(kernels).build_prefix_revert_trials(
+        candidate, x_row, order, out
+    )
+
+
+def rank_changed_features(X_rows, candidates, scale, *, kernels=None) -> list[np.ndarray]:
+    """Greedy revert order (changed features by scaled magnitude) per instance."""
+    return resolve_kernels(kernels).rank_changed_features(X_rows, candidates, scale)

@@ -43,6 +43,7 @@ from ..exceptions import ValidationError
 from .backends import MemoizingPredictBackend, ensure_backend
 from .base import Counterfactual
 from .engine import BatchModelAdapter, CounterfactualEngine
+from .kernels import resolve_kernels
 from .pool import ExecutorPool
 from .schedules import resolve_schedule
 from .store import CounterfactualStore, population_fingerprint
@@ -90,6 +91,17 @@ class AuditSession:
         generator's own schedule.  Because the schedule is part of the
         generator's search configuration it also keys the persistent store:
         geometric and adaptive results never alias.
+    kernels:
+        Hot-path kernel selection for the sweep's searches (``"auto"`` /
+        ``"numpy"`` / ``"numba"`` or a resolved
+        :class:`~fairexp.explanations.kernels.KernelSet`), installed on the
+        generator like ``schedule`` and forwarded to process-shard workers.
+        ``None`` (default) keeps the generator's choice / the
+        ``FAIREXP_KERNELS`` environment variable.  Unlike ``schedule``, the
+        kernel choice is bitwise-neutral, so it never reaches the store
+        fingerprint — numpy- and numba-computed populations share entries.
+        The path that actually ran is reported by :meth:`stats` as
+        ``kernel_path``.
     pool:
         An :class:`~fairexp.explanations.pool.ExecutorPool` the engine runs
         every sharded pass on.  ``None`` (default) makes the session create
@@ -126,8 +138,9 @@ class AuditSession:
     """
 
     def __init__(self, generator=None, *, model=None, backend=None, n_jobs: int = 1,
-                 executor: str = "auto", schedule=None, pool=None, store=None,
-                 cache_predictions: bool = True, max_populations: int = 32) -> None:
+                 executor: str = "auto", schedule=None, kernels=None, pool=None,
+                 store=None, cache_predictions: bool = True,
+                 max_populations: int = 32) -> None:
         if generator is None and model is None and backend is None:
             raise ValidationError(
                 "AuditSession needs a generator, a model or a backend"
@@ -154,7 +167,7 @@ class AuditSession:
         self._closed = False
         try:
             self._finish_init(generator, model, backend, n_jobs, executor,
-                              schedule, cache_predictions)
+                              schedule, kernels, cache_predictions)
         except BaseException:
             # A validation failure below must not leak the pool this
             # half-built session would have owned — in particular a
@@ -165,13 +178,16 @@ class AuditSession:
             raise
 
     def _finish_init(self, generator, model, backend, n_jobs, executor,
-                     schedule, cache_predictions) -> None:
+                     schedule, kernels, cache_predictions) -> None:
         """Everything of ``__init__`` that may raise after the pool exists."""
         if backend is not None:
             backend = ensure_backend(backend)
         if generator is not None:
             if schedule is not None:
                 generator.schedule = resolve_schedule(schedule)
+            if kernels is not None:
+                resolve_kernels(kernels)  # validate eagerly, before any search
+                generator.kernels = kernels
             if backend is not None:
                 # backend= rewires WHERE this sweep's predict batches run
                 # (ONNX graph, remote scorer, ...) while keeping the model
@@ -194,6 +210,13 @@ class AuditSession:
                 # schedules when nothing changed.
                 raise ValidationError(
                     "schedule= requires a generator (a model-only session "
+                    "never runs a counterfactual search)"
+                )
+            if kernels is not None:
+                # Same reasoning: the hot-path kernels only run inside the
+                # candidate search, which a model-only session never does.
+                raise ValidationError(
+                    "kernels= requires a generator (a model-only session "
                     "never runs a counterfactual search)"
                 )
             if backend is not None:
@@ -496,6 +519,14 @@ class AuditSession:
             # sharing; stays 0 without a store attached).
             "store_row_hits": self.store_row_hits,
         }
+        # Which hot-path kernel set the sweep's searches resolve to ("numpy"
+        # or "numba") — stamped into the BENCH_* trajectories so wall-time
+        # curves from different environments stay comparable.  Model-only
+        # sessions report the process-wide default.
+        stats["kernel_path"] = (
+            self.engine.kernel_path if self.engine is not None
+            else resolve_kernels(None).name
+        )
         # Pool utilization (executors created, busy workers, queue depth),
         # flattened so the BENCH_* trajectory points stay scalar-valued.
         for kind, metrics in self.pool.stats().items():
