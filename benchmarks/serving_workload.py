@@ -13,10 +13,18 @@ wire that
   fewer** wire calls than their 4 sequential independent counterparts,
   with per-caller row accounting intact.
 
+It then relaunches the server as a TWO-graph fleet
+(``--graph a.npz --graph b.npz``) and asserts cross-graph routing
+correctness: batches routed by each graph's content hash come back
+bitwise-equal to THAT graph's model (the two models disagree on part of
+the matrix, so a misroute cannot cancel out), a header-less request is
+refused, and the server's ``/stats`` books each graph's rows separately.
+
 As a script it prints one JSON object with the parity/coalescing numbers
-and appends the same point to ``BENCH_SERVING.json`` next to the
-benchmark's trajectory (CI uploads the artifact directory).  Loopback
-only: the server binds 127.0.0.1 and no external network is touched.
+and appends the same points to ``BENCH_SERVING.json`` /
+``BENCH_SERVING_FLEET_SUBPROCESS.json`` next to the benchmarks'
+trajectories (CI uploads the artifact directory).  Loopback only: the
+server binds 127.0.0.1 and no external network is touched.
 """
 
 from __future__ import annotations
@@ -37,31 +45,38 @@ from fairexp.explanations import (
     RemoteScoringBackend,
     export_model,
 )
-from fairexp.models import LogisticRegression
+from fairexp.models import DecisionTreeClassifier, LogisticRegression
 
 N_CALLERS = 4
 
 
 def build_workload(n_samples: int = 500):
-    """The E1 loan workload: fitted model + the matrix to score."""
+    """The E1 loan workload: two fitted models + the matrix to score."""
     dataset = make_loan_dataset(n_samples, direct_bias=1.2, recourse_gap=1.0,
                                 random_state=0)
     train, test = dataset.split(test_size=0.3, random_state=1)
     model = LogisticRegression(n_iter=1000, random_state=0).fit(train.X, train.y)
-    return model, test.X
+    tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(train.X,
+                                                                   train.y)
+    return model, tree, test.X
 
 
-def launch_server(graph_path: str) -> tuple[subprocess.Popen, str]:
-    """Start ``python -m fairexp serve`` and return (process, base URL)."""
+def launch_server(graph_paths) -> tuple[subprocess.Popen, str]:
+    """Start ``python -m fairexp serve`` over one or more ``.npz`` archives
+    and return (process, base URL)."""
+    if isinstance(graph_paths, str):
+        graph_paths = [graph_paths]
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                        "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    process = subprocess.Popen(
-        [sys.executable, "-m", "fairexp", "serve", "--graph", graph_path],
-        stdout=subprocess.PIPE, text=True, env=env,
-    )
-    line = process.stdout.readline().strip()  # "serving <model> on <url>"
+    argv = [sys.executable, "-m", "fairexp", "serve"]
+    for path in graph_paths:
+        argv += ["--graph", path]
+    process = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True, env=env)
+    # First line is the launcher contract ("serving … on <url>"); the
+    # per-graph hash lines that follow are informational.
+    line = process.stdout.readline().strip()
     if not line or process.poll() is not None:
         raise RuntimeError(f"scoring server failed to start: {line!r}")
     return process, line.rsplit(" ", 1)[-1]
@@ -138,15 +153,83 @@ def run_checks(url: str, model, X: np.ndarray) -> dict:
     }
 
 
+def run_fleet_checks(url: str, fleet: dict, X: np.ndarray) -> dict:
+    """Cross-graph routing assertions against a live 2-graph fleet server.
+
+    ``fleet`` maps each graph to its source model; the models disagree on
+    part of ``X``, so a misrouted batch cannot come back bitwise-correct.
+    """
+    import urllib.request
+
+    graphs = list(fleet)
+    references = {graph: np.asarray(model.predict(X))
+                  for graph, model in fleet.items()}
+    assert not np.array_equal(references[graphs[0]], references[graphs[1]]), \
+        "fleet models agree everywhere; routing errors would be invisible"
+
+    client = CoalescingScoringClient(url, window=0.0)
+    rows_routed = {}
+    for graph in graphs:
+        backend = RemoteScoringBackend(client, graph=graph)
+        out = backend.predict(X)
+        assert np.array_equal(out, references[graph]), (
+            f"fleet misroute: labels for {graph.source} diverge from its model"
+        )
+        rows_routed[graph.signature()] = backend.row_count
+        backend.close()
+
+    # A fleet must refuse to guess: header-less requests are an error.
+    headerless = RemoteScoringBackend(client)
+    try:
+        headerless.predict(X[:4])
+        raise AssertionError("fleet server accepted a header-less request")
+    except Exception as error:  # noqa: BLE001 - asserting the refusal shape
+        assert "X-Fairexp-Graph" in str(error), error
+    finally:
+        headerless.close()
+
+    # Server-side /stats books each graph's rows separately.
+    with urllib.request.urlopen(f"{url}/stats", timeout=10) as reply:
+        stats = json.loads(reply.read().decode("utf-8"))
+    for signature, rows in rows_routed.items():
+        assert stats["graphs"][signature]["rows"] == rows, (
+            f"/stats rows for {signature[:12]} drifted"
+        )
+
+    return {
+        "experiment": "SERVING_FLEET_SUBPROCESS",
+        "n_graphs": len(graphs),
+        "n_rows_per_graph": int(X.shape[0]),
+        "routing_bitwise": True,
+        "headerless_refused": True,
+        "server_requests": stats["requests"],
+        "server_rows": stats["rows"],
+    }
+
+
 def main() -> dict:
-    """Export, serve out of process, verify; returns the recorded point."""
-    model, X = build_workload()
+    """Export, serve out of process, verify; returns the recorded points."""
+    model, tree, X = build_workload()
     with tempfile.TemporaryDirectory() as tmp:
         graph_path = os.path.join(tmp, "e1_model.npz")
         export_model(model).save(graph_path)
         process, url = launch_server(graph_path)
         try:
             point = run_checks(url, model, X)
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+        # Same archives, fleet shape: one server process, two graphs,
+        # hash-routed requests.
+        tree_path = os.path.join(tmp, "e1_tree.npz")
+        model_graph, tree_graph = export_model(model), export_model(tree)
+        model_graph.save(graph_path)
+        tree_graph.save(tree_path)
+        process, url = launch_server([graph_path, tree_path])
+        try:
+            fleet_point = run_fleet_checks(
+                url, {model_graph: model, tree_graph: tree}, X)
         finally:
             process.terminate()
             process.wait(timeout=30)
@@ -157,7 +240,8 @@ def main() -> dict:
         stats = None
 
     emit_trajectory("SERVING_SUBPROCESS", _NoBenchmark(), point)
-    return point
+    emit_trajectory("SERVING_FLEET_SUBPROCESS", _NoBenchmark(), fleet_point)
+    return {**point, **fleet_point}
 
 
 if __name__ == "__main__":

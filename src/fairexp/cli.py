@@ -11,13 +11,22 @@ Three command families:
     experiment runners opt in with, so the CLI inspects exactly what a
     sweep would warm-start from.
 
-``python -m fairexp serve --graph MODEL.npz [--host HOST] [--port PORT]``
-    Run the loopback scoring server over an exported
-    :class:`~fairexp.explanations.serving.ComputeGraph` archive (written by
-    ``ComputeGraph.save``).  The serving process needs only the graph file
-    — never the training classes — and prints one ``serving on URL`` line
-    so launchers (CI, ``benchmarks/serving_workload.py``) can connect a
-    :class:`~fairexp.explanations.serving.RemoteScoringBackend` to it.
+``python -m fairexp serve --graph A.npz [--graph B.npz | --graph-dir DIR]``
+    Run the loopback scoring server over one or more exported
+    :class:`~fairexp.explanations.serving.ComputeGraph` archives (written
+    by ``ComputeGraph.save``).  Several ``--graph`` flags (or a
+    ``--graph-dir`` of ``.npz`` archives) load a model *fleet* into one
+    server: requests route by graph content hash.  ``--max-inflight``
+    bounds concurrently admitted batches (overload sheds with ``429``
+    instead of queueing without bound).  The serving process needs only
+    the graph files — never the training classes — and prints one
+    ``serving ... on URL`` first line so launchers (CI,
+    ``benchmarks/serving_workload.py``) can connect a
+    :class:`~fairexp.explanations.serving.RemoteScoringBackend` to it,
+    followed by one ``<hash>  <source>`` line per hosted graph.
+    ``fairexp serve --stats-url URL`` instead queries a *running* server's
+    ``/stats`` endpoint and pretty-prints the global and per-graph
+    counters (requests, rows, sheds, coalescing factor, window).
 
 ``python -m fairexp run EXPERIMENT [--backend {numpy,onnx,remote}]``
     Run one experiment (``E1/E2`` … ``E14``, ``FIG1``/``FIG2``/``TAB1``)
@@ -112,19 +121,71 @@ def _cmd_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_server_stats(url: str) -> int:
+    """Fetch a running server's ``/stats`` and pretty-print the counters."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(f"{url.rstrip('/')}/stats", timeout=10) as reply:
+            stats = json.loads(reply.read().decode("utf-8"))
+    except (urllib.error.URLError, ValueError) as error:
+        raise SystemExit(f"could not fetch stats from {url}: {error}") from None
+    limit = stats.get("max_inflight")
+    print(f"{url}: {stats.get('requests', 0)} requests, "
+          f"{stats.get('rows', 0)} rows, {stats.get('shed', 0)} shed, "
+          f"{stats.get('inflight', 0)} in flight "
+          f"(peak {stats.get('peak_inflight', 0)}, "
+          f"limit {'none' if limit is None else limit})")
+    graphs = stats.get("graphs", {})
+    if graphs:
+        print(f"{'GRAPH':<14} {'SOURCE':<24} {'REQS':>6} {'ROWS':>8} "
+              f"{'SHED':>5} {'COALESCE':>8} {'WINDOW':>8}")
+        for key, entry in graphs.items():
+            factor = entry.get("coalescing_factor")
+            window = entry.get("window")
+            print(f"{key[:12]:<14} {str(entry.get('source', '?'))[:24]:<24} "
+                  f"{entry.get('requests', 0):>6} {entry.get('rows', 0):>8} "
+                  f"{entry.get('shed', 0):>5} "
+                  f"{'-' if factor is None else format(factor, '.2f'):>8} "
+                  f"{'-' if window is None else format(window, '.4f'):>8}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily: the store commands must stay usable in minimal
     # environments, and serve pulls in the HTTP server machinery.
     from .explanations.serving import ComputeGraph, ScoringServer
 
-    if not os.path.isfile(args.graph):
-        raise SystemExit(f"graph archive does not exist: {args.graph}")
-    graph = ComputeGraph.load(args.graph)
-    server = ScoringServer(graph, host=args.host, port=args.port)
-    # One parseable line, flushed before blocking: launchers (CI scripts,
-    # benchmarks/serving_workload.py) read it to discover the bound port.
-    print(f"serving {graph.source} ({graph.n_features} features) on {server.url}",
-          flush=True)
+    if args.stats_url:
+        return _print_server_stats(args.stats_url)
+    paths = list(args.graph or [])
+    if args.graph_dir:
+        if not os.path.isdir(args.graph_dir):
+            raise SystemExit(f"graph directory does not exist: {args.graph_dir}")
+        paths.extend(sorted(
+            os.path.join(args.graph_dir, name)
+            for name in os.listdir(args.graph_dir) if name.endswith(".npz")
+        ))
+    if not paths:
+        raise SystemExit("serve needs --graph, --graph-dir or --stats-url")
+    for path in paths:
+        if not os.path.isfile(path):
+            raise SystemExit(f"graph archive does not exist: {path}")
+    graphs = [ComputeGraph.load(path) for path in paths]
+    server = ScoringServer(graphs, host=args.host, port=args.port,
+                           max_inflight=args.max_inflight)
+    # One parseable first line, flushed before blocking: launchers (CI
+    # scripts, benchmarks/serving_workload.py) read it to discover the
+    # bound port.  Per-graph hash lines follow so fleet clients can route.
+    if len(graphs) == 1:
+        print(f"serving {graphs[0].source} ({graphs[0].n_features} features) "
+              f"on {server.url}", flush=True)
+    else:
+        print(f"serving {len(graphs)} graphs on {server.url}", flush=True)
+    for key, graph in zip(server.graph_keys(), graphs):
+        print(f"  {key}  {graph.source} ({graph.n_features} features)",
+              flush=True)
     try:
         server.serve_until_interrupted()
     finally:
@@ -198,14 +259,24 @@ def _build_parser() -> argparse.ArgumentParser:
     clear_parser.set_defaults(func=_cmd_clear)
 
     serve_parser = commands.add_parser(
-        "serve", help="serve an exported compute graph over loopback HTTP"
+        "serve", help="serve exported compute graphs over loopback HTTP"
     )
-    serve_parser.add_argument("--graph", required=True,
-                              help="ComputeGraph .npz archive (ComputeGraph.save)")
+    serve_parser.add_argument("--graph", action="append", default=None,
+                              help="ComputeGraph .npz archive (repeat to host "
+                                   "a fleet routed by content hash)")
+    serve_parser.add_argument("--graph-dir", default=None,
+                              help="directory whose .npz archives are all "
+                                   "loaded into the fleet")
     serve_parser.add_argument("--host", default="127.0.0.1",
                               help="bind address (default: loopback only)")
     serve_parser.add_argument("--port", type=int, default=0,
                               help="port to bind (default: an ephemeral port)")
+    serve_parser.add_argument("--max-inflight", type=int, default=None,
+                              help="admission limit: concurrent batches beyond "
+                                   "this are shed with 429 (default: unbounded)")
+    serve_parser.add_argument("--stats-url", default=None,
+                              help="query a RUNNING server's /stats and "
+                                   "pretty-print it instead of serving")
     serve_parser.set_defaults(func=_cmd_serve)
 
     run_parser = commands.add_parser(

@@ -58,11 +58,13 @@ from .exceptions import ValidationError
 from .explanations import (
     ActionabilityConstraints,
     AuditSession,
+    CoalescingScoringClient,
     CounterfactualStore,
     ExplainerRegistry,
     OnnxExportBackend,
     RemoteScoringBackend,
-    serve_model,
+    ScoringServer,
+    export_model,
 )
 from .fairness import statistical_parity_difference
 from .fairness.mitigation import (
@@ -120,38 +122,50 @@ def _generator_for(dataset, train, model, *, seed=0, name="growing_spheres"):
 
 
 @contextmanager
-def _serving_backend(model, backend):
-    """Resolve a runner's ``backend`` name for one fitted model.
+def _serving_fleet(models, backend):
+    """Resolve a runner's ``backend`` name for a list of fitted models.
 
-    A context manager yielding the predict backend the runner's sessions
-    dispatch through: ``None`` for the in-process default, an
-    :class:`~fairexp.explanations.OnnxExportBackend` over the model's
-    exported compute graph for ``"onnx"``, or a
-    :class:`~fairexp.explanations.RemoteScoringBackend` connected to a
-    loopback scoring server spun up for the run for ``"remote"`` — the
-    same serving path a separate ``python -m fairexp serve`` process runs.
-    Exiting the block always tears the remote server/client down, even
-    when an audit inside raises (exactly the scorer-failure path the
-    backend accounting is hardened against).
+    A context manager yielding one predict backend per model (``None``
+    entries for the in-process default): exported
+    :class:`~fairexp.explanations.OnnxExportBackend` graphs for
+    ``"onnx"``, or — for ``"remote"`` — **one** loopback
+    :class:`~fairexp.explanations.ScoringServer` hosting every model's
+    compute graph as a fleet, each backend routing its batches by the
+    graph's content hash through one shared coalescing client.  This is
+    the same serving path a separate ``python -m fairexp serve --graph a
+    --graph b`` process runs.  Exiting the block always tears the remote
+    server/client down, even when an audit inside raises (exactly the
+    scorer-failure path the backend accounting is hardened against).
     """
     if backend in (None, "numpy"):
-        yield None
+        yield [None] * len(models)
         return
     if backend == "onnx":
-        yield OnnxExportBackend(model)
+        yield [OnnxExportBackend(model) for model in models]
         return
     if backend == "remote":
-        server = serve_model(model)
-        remote = RemoteScoringBackend(server.url)
+        graphs = [export_model(model) for model in models]
+        server = ScoringServer(graphs)
+        client = CoalescingScoringClient(server.url, window="auto")
+        remotes = [RemoteScoringBackend(client, graph=graph)
+                   for graph in graphs]
         try:
-            yield remote
+            yield remotes
         finally:
-            remote.close()
+            for remote in remotes:
+                remote.close()
             server.close()
         return
     raise ValidationError(
         f"backend must be 'numpy', 'onnx' or 'remote', got {backend!r}"
     )
+
+
+@contextmanager
+def _serving_backend(model, backend):
+    """Single-model convenience over :func:`_serving_fleet`."""
+    with _serving_fleet([model], backend) as backends:
+        yield backends[0]
 
 
 def _experiment_store():
@@ -289,34 +303,40 @@ def run_e3_precof(n_samples: int = 600, audit_size: int = 80, schedule=None,
     train, test = dataset.split(test_size=0.3, random_state=1)
     subset = test.subset(np.arange(min(audit_size, test.n_samples)))
 
-    # Explicit analysis: model sees the sensitive attribute, counterfactuals may
-    # flip it.  One session per trained model (explicit vs. blind), since a
-    # session pins a frozen model.
+    # Two trained models (explicit vs. blind), one session each (a session
+    # pins a frozen model).  With backend="remote" BOTH models' graphs are
+    # hosted by ONE fleet server and each session's batches route by graph
+    # content hash — the multi-model deployment shape, not a server per
+    # model.
     spheres_cls = ExplainerRegistry.get("growing_spheres")
     model_explicit = LogisticRegression(n_iter=1200, random_state=0).fit(train.X, train.y)
-    with _serving_backend(model_explicit, backend) as backend_explicit, \
-            AuditSession(spheres_cls(model_explicit, train.X, random_state=0),
-                         schedule=schedule, backend=backend_explicit,
-                         store=_experiment_store()) as session_explicit:
-        explicit = PreCoFExplainer(
-            feature_names=dataset.feature_names, sensitive_feature=dataset.sensitive,
-            mode="explicit", session=session_explicit,
-        ).explain(subset.X, subset.sensitive_values)
-
-    # Implicit analysis: sensitive attribute removed from training (fairness through
-    # unawareness); the proxy attribute should surface in the change-frequency gap.
     X_train_blind, _ = train.features_without_sensitive()
     X_sub_blind, blind_specs = subset.features_without_sensitive()
     blind_names = [spec.name for spec in blind_specs]
     model_blind = LogisticRegression(n_iter=1200, random_state=0).fit(X_train_blind, train.y)
-    with _serving_backend(model_blind, backend) as backend_blind, \
-            AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0),
-                         schedule=schedule, backend=backend_blind,
-                         store=_experiment_store()) as session_blind:
-        implicit = PreCoFExplainer(
-            feature_names=blind_names, sensitive_feature=dataset.sensitive,
-            mode="implicit", session=session_blind,
-        ).explain(X_sub_blind, subset.sensitive_values)
+
+    with _serving_fleet([model_explicit, model_blind], backend) as \
+            (backend_explicit, backend_blind):
+        # Explicit analysis: model sees the sensitive attribute,
+        # counterfactuals may flip it.
+        with AuditSession(spheres_cls(model_explicit, train.X, random_state=0),
+                          schedule=schedule, backend=backend_explicit,
+                          store=_experiment_store()) as session_explicit:
+            explicit = PreCoFExplainer(
+                feature_names=dataset.feature_names, sensitive_feature=dataset.sensitive,
+                mode="explicit", session=session_explicit,
+            ).explain(subset.X, subset.sensitive_values)
+
+        # Implicit analysis: sensitive attribute removed from training
+        # (fairness through unawareness); the proxy attribute should
+        # surface in the change-frequency gap.
+        with AuditSession(spheres_cls(model_blind, X_train_blind, random_state=0),
+                          schedule=schedule, backend=backend_blind,
+                          store=_experiment_store()) as session_blind:
+            implicit = PreCoFExplainer(
+                feature_names=blind_names, sensitive_feature=dataset.sensitive,
+                mode="implicit", session=session_blind,
+            ).explain(X_sub_blind, subset.sensitive_values)
     implicit_top = implicit.implicit_bias_attributes(3)
 
     return {

@@ -61,6 +61,7 @@ from .serving import (
     RemoteScoringBackend,
     ScoringServer,
     export_model,
+    serve_fleet,
     serve_model,
 )
 from .schedules import (
@@ -135,6 +136,7 @@ __all__ = [
     "RemoteScoringBackend",
     "ScoringServer",
     "serve_model",
+    "serve_fleet",
     "shard_indices",
     "FeatureAttribution",
     "Counterfactual",

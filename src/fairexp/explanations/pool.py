@@ -70,7 +70,7 @@ class _ExecutorRecord:
     """
 
     __slots__ = ("executor", "kind", "generation", "workers",
-                 "inflight", "pending", "retired")
+                 "inflight", "pending", "peak_pending", "retired")
 
     def __init__(self, executor, kind: str, generation: int, workers: int) -> None:
         self.executor = executor
@@ -79,6 +79,7 @@ class _ExecutorRecord:
         self.workers = workers
         self.inflight = 0
         self.pending = 0
+        self.peak_pending = 0
         self.retired = False
 
 
@@ -217,6 +218,7 @@ class ExecutorPool:
             for args in zip(*iterables):
                 with self._lock:
                     record.pending += 1
+                    record.peak_pending = max(record.peak_pending, record.pending)
                 try:
                     future = record.executor.submit(fn, *args)
                 except RuntimeError as error:
@@ -251,14 +253,32 @@ class ExecutorPool:
         with self._lock:
             return sorted(self._records)
 
+    def pending(self, kind: str) -> int:
+        """Submitted-but-unfinished tasks on the ``kind`` executor right now.
+
+        This is the instantaneous load gauge (busy workers + queued tasks)
+        that admission-control callers — e.g. a
+        :class:`~fairexp.explanations.serving.ScoringServer` running its
+        scorers on an attached pool — compare against their shed bound.
+        ``0`` when the kind has no live executor.
+        """
+        if kind not in _KINDS:
+            raise ValidationError(f"executor kind must be one of {_KINDS}, got {kind!r}")
+        with self._lock:
+            record = self._records.get(kind)
+            return record.pending if record is not None else 0
+
     def stats(self) -> dict[str, dict[str, int]]:
         """Per-kind pool utilization: executors created over the pool's
         lifetime, configured workers, busy workers and queue depth.
 
         ``busy_workers`` is the number of workers currently executing a
         task (pending tasks capped at the worker count); ``queue_depth`` is
-        how many submitted tasks are waiting for a free worker.  Both are
-        ``0`` for kinds without a live executor.
+        how many submitted tasks are waiting for a free worker; both are
+        ``0`` for kinds without a live executor.  ``peak_pending`` is the
+        high-water mark of submitted-but-unfinished tasks over the live
+        executor's lifetime — the saturation observable the sustained-load
+        serving benchmark records.
         """
         with self._lock:
             stats: dict[str, dict[str, int]] = {}
@@ -271,6 +291,7 @@ class ExecutorPool:
                     "workers": workers,
                     "busy_workers": min(pending, workers),
                     "queue_depth": max(0, pending - workers),
+                    "peak_pending": record.peak_pending if record is not None else 0,
                 }
             return stats
 

@@ -19,13 +19,26 @@ the two real out-of-process backends the ROADMAP asks for:
   NumPy), verified against the source model at construction.
 * :class:`ScoringServer` + :class:`RemoteScoringBackend` — a loopback HTTP
   scoring server (also shipped as ``python -m fairexp serve``) and its
-  batched client.  The client side is a :class:`CoalescingScoringClient`:
-  predict batches from *concurrent* sessions that land within a small
-  window are stacked into **one** wire call, while each caller's
-  call/row accounting is folded back into its own backend only after the
-  dispatch succeeds — N concurrent sessions issue strictly fewer wire
-  calls than N independent ones (asserted in
-  ``benchmarks/test_bench_serving.py``).
+  batched client.  One server hosts a whole model **fleet**: graphs are
+  keyed by content hash (:meth:`ComputeGraph.signature`, the same identity
+  the persistent store fingerprints by), requests carry the hash in an
+  ``X-Fairexp-Graph`` header and are routed to the matching graph.  The
+  client side is a :class:`CoalescingScoringClient`: predict batches from
+  *concurrent* sessions that land within a dispatch window are stacked
+  into **one** wire call per graph, while each caller's call/row
+  accounting is folded back into its own backend only after the dispatch
+  succeeds — N concurrent sessions issue strictly fewer wire calls than N
+  independent ones (asserted in ``benchmarks/test_bench_serving.py`` and
+  ``benchmarks/test_bench_serving_fleet.py``).  The window is either a
+  fixed number of seconds or ``"auto"``: an EWMA of observed
+  inter-arrival times per graph, clamped to configurable bounds, so a
+  busy lane dispatches quickly and a sparse one waits longer for peers.
+
+Sustained overload degrades gracefully instead of queueing without bound:
+the server tracks its in-flight batch count and, past ``max_inflight``,
+answers new batches with a fast ``429`` *shed* reply that the client turns
+into a bounded retry-with-backoff — rows are only counted after a dispatch
+finally succeeds, so shed-then-retry never skews session accounting.
 
 The wire format is deliberately boring: ``POST /score`` with a raw ``.npy``
 payload of the candidate matrix, answered with a raw ``.npy`` payload of the
@@ -57,6 +70,7 @@ __all__ = [
     "RemoteScoringBackend",
     "ScoringServer",
     "serve_model",
+    "serve_fleet",
 ]
 
 
@@ -406,40 +420,90 @@ def _decode_array(blob: bytes) -> np.ndarray:
 # Scoring server
 # ---------------------------------------------------------------------------
 class ScoringServer:
-    """Loopback HTTP scoring server over any ``f(X) -> labels`` scorer.
+    """Loopback HTTP scoring server hosting a fleet of scorers.
 
     ``POST /score`` takes a raw ``.npy`` matrix and answers with a raw
     ``.npy`` label vector; ``GET /healthz`` answers ``ok``; ``GET /stats``
-    reports ``{"requests": n, "rows": m}`` — the *server-side* wire-call
-    count the CI smoke test asserts coalescing against.  The server binds
-    loopback only (scoring audits is not an internet service) and runs its
-    request loop on a daemon thread; it is a context manager, and
-    :meth:`close` is idempotent.
+    reports the JSON from :meth:`stats` — global and per-graph request/row
+    counters, shed counts, the last client-reported window per graph and
+    the server-side coalescing factor.  The server binds loopback only
+    (scoring audits is not an internet service) and runs its request loop
+    on a daemon thread; it is a context manager, and :meth:`close` is
+    idempotent and thread-safe.
 
-    ``python -m fairexp serve --graph model.npz`` wraps this class around a
-    :class:`ComputeGraph` archive, which is how a scoring process serves a
-    model without importing (or even having) the training code.
+    **Fleet routing.**  ``scorer`` may be a single scorer, a list of
+    :class:`ComputeGraph`\\ s, or a ``{key: scorer}`` mapping: every scorer
+    is registered under a routing key — a graph's content hash
+    (:meth:`ComputeGraph.signature`) when it has one — and requests carry
+    the key in an ``X-Fairexp-Graph`` header.  A server hosting exactly one
+    scorer also accepts header-less requests (the single-graph wire shape
+    of earlier releases); a fleet rejects them with ``400``.
+
+    **Admission control.**  ``max_inflight`` bounds concurrently admitted
+    ``/score`` batches.  Past the bound, new batches get a fast ``429``
+    reply with a ``Retry-After`` hint instead of deepening the queue — the
+    client's bounded retry-with-backoff (see
+    :class:`CoalescingScoringClient`) turns sustained overload into higher
+    latency rather than unbounded server memory growth.  ``None`` (the
+    default) disables shedding.
+
+    With ``pool=`` (an :class:`~fairexp.explanations.pool.ExecutorPool`)
+    scorer evaluation runs on the pool's thread executor instead of the
+    request thread, so busy-worker / queue-depth numbers show up in the
+    pool's (and this server's) stats.
+
+    ``python -m fairexp serve --graph a.npz --graph b.npz`` wraps this
+    class around :class:`ComputeGraph` archives, which is how a scoring
+    process serves a model fleet without importing (or even having) the
+    training code.
     """
 
-    def __init__(self, scorer, *, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.scorer = scorer if callable(scorer) else scorer.predict
+    def __init__(self, scorer, *, host: str = "127.0.0.1", port: int = 0,
+                 max_inflight: int | None = None, retry_after: float = 0.05,
+                 pool=None) -> None:
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.retry_after = float(retry_after)
+        self.pool = pool
         self.request_count = 0
         self.row_count = 0
+        self.shed_count = 0
+        self.peak_inflight = 0
+        self._inflight = 0
+        self._scorers: dict[str, object] = {}
+        self._sources: dict[str, str] = {}
+        self._graph_stats: dict[str, dict] = {}
+        self._anonymous = 0
         self._closed = False
         self._lock = threading.Lock()
+        self._close_lock = threading.Lock()
+        if isinstance(scorer, dict):
+            for key, item in scorer.items():
+                self.add_scorer(item, key=key)
+        elif isinstance(scorer, (list, tuple)):
+            for item in scorer:
+                self.add_scorer(item)
+        else:
+            self.add_scorer(scorer)
+        if not self._scorers:
+            raise ValidationError("ScoringServer needs at least one scorer")
+        # Kept for single-scorer back-compat introspection.
+        self.scorer = next(iter(self._scorers.values()))
         server = self
 
         class Handler(BaseHTTPRequestHandler):
-            """Request handler bound to this server's scorer and counters."""
+            """Request handler bound to this server's fleet and counters."""
 
             def log_message(self, *args):
                 """Silence per-request stderr noise (stats are on /stats)."""
 
             def _reply(self, status: int, body: bytes,
-                       content_type: str = "application/octet-stream") -> None:
+                       content_type: str = "application/octet-stream",
+                       headers: dict | None = None) -> None:
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(body)
 
@@ -448,10 +512,8 @@ class ScoringServer:
                 if self.path == "/healthz":
                     self._reply(200, b"ok", "text/plain")
                 elif self.path == "/stats":
-                    with server._lock:
-                        stats = {"requests": server.request_count,
-                                 "rows": server.row_count}
-                    self._reply(200, json.dumps(stats).encode(), "application/json")
+                    self._reply(200, json.dumps(server.stats()).encode(),
+                                "application/json")
                 else:
                     self._reply(404, b"not found", "text/plain")
 
@@ -460,16 +522,41 @@ class ScoringServer:
                 if self.path != "/score":
                     self._reply(404, b"not found", "text/plain")
                     return
-                try:
-                    length = int(self.headers.get("Content-Length", "0"))
-                    X = _decode_array(self.rfile.read(length))
-                    labels = np.asarray(server.scorer(X))
-                except Exception as error:  # noqa: BLE001 - wire boundary
-                    self._reply(400, str(error).encode(), "text/plain")
+                key, refusal = server._route(self.headers.get("X-Fairexp-Graph"))
+                if refusal is not None:
+                    status, message = refusal
+                    self._reply(status, message.encode(), "text/plain")
                     return
-                with server._lock:
-                    server.request_count += 1
-                    server.row_count += int(np.atleast_2d(X).shape[0])
+                if not server._admit(key):
+                    # Fast shed: the client backs off and retries instead of
+                    # this batch deepening an already-saturated queue.
+                    self._reply(
+                        429,
+                        b"shed: server at its admission limit",
+                        "text/plain",
+                        headers={"Retry-After": f"{server.retry_after:.3f}"},
+                    )
+                    return
+                # The inflight gauge covers decode + score + count — the
+                # work admission control bounds — and is released BEFORE the
+                # reply is written, so a client reading /stats right after
+                # its response never observes its own finished batch as
+                # still in flight.
+                try:
+                    try:
+                        length = int(self.headers.get("Content-Length", "0"))
+                        X = _decode_array(self.rfile.read(length))
+                        labels = np.asarray(server._score(key, X))
+                    except Exception as error:  # noqa: BLE001 - wire boundary
+                        self._reply(400, str(error).encode(), "text/plain")
+                        return
+                    server._count(
+                        key, int(np.atleast_2d(X).shape[0]),
+                        self.headers.get("X-Fairexp-Batches"),
+                        self.headers.get("X-Fairexp-Window"),
+                    )
+                finally:
+                    server._leave()
                 self._reply(200, _encode_array(labels))
 
         self._httpd = ThreadingHTTPServer((host, port), Handler)
@@ -478,6 +565,139 @@ class ScoringServer:
                                         name="fairexp-scoring-server", daemon=True)
         self._thread.start()
 
+    # ------------------------------------------------------------------ fleet
+    def add_scorer(self, scorer, *, key: str | None = None) -> str:
+        """Register one scorer and return its routing key.
+
+        ``key`` defaults to the scorer's content hash
+        (:meth:`ComputeGraph.signature`) when it has one — the identity the
+        persistent store fingerprints by, so a client holding a graph can
+        derive the route without asking the server — and a per-server
+        ``scorer-N`` placeholder for bare callables.
+        """
+        fn = scorer if callable(scorer) else scorer.predict
+        if key is None:
+            signature = getattr(scorer, "signature", None)
+            if callable(signature):
+                key = signature()
+            else:
+                key = f"scorer-{self._anonymous}"
+                self._anonymous += 1
+        key = str(key)
+        with self._lock:
+            self._scorers[key] = fn
+            self._sources[key] = str(getattr(scorer, "source",
+                                             type(scorer).__name__))
+            self._graph_stats.setdefault(key, {
+                "requests": 0, "rows": 0, "shed": 0,
+                "client_batches": 0, "window": None,
+            })
+        return key
+
+    def graph_keys(self) -> list[str]:
+        """Routing keys of every hosted scorer, in registration order."""
+        with self._lock:
+            return list(self._scorers)
+
+    def _route(self, header: str | None):
+        """Resolve a request's routing key: ``(key, None)`` or
+        ``(None, (status, message))`` when the request must be refused."""
+        with self._lock:
+            if header:
+                if header in self._scorers:
+                    return header, None
+                known = ", ".join(key[:12] for key in self._scorers)
+                return None, (404, f"unknown graph {header!r}; hosting: {known}")
+            if len(self._scorers) == 1:
+                return next(iter(self._scorers)), None
+            return None, (400,
+                          f"this server hosts {len(self._scorers)} graphs; "
+                          "requests must carry an X-Fairexp-Graph header")
+
+    # -------------------------------------------------------------- admission
+    def _admit(self, key: str) -> bool:
+        """Admit one batch, or count a shed when past ``max_inflight``."""
+        with self._lock:
+            if (self.max_inflight is not None
+                    and self._inflight >= self.max_inflight):
+                self.shed_count += 1
+                stats = self._graph_stats.get(key)
+                if stats is not None:
+                    stats["shed"] += 1
+                return False
+            self._inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
+            return True
+
+    def _leave(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    def _score(self, key: str, X: np.ndarray) -> np.ndarray:
+        scorer = self._scorers[key]
+        if self.pool is not None:
+            return self.pool.map("thread", scorer, [X])[0]
+        return scorer(X)
+
+    def _count(self, key: str, rows: int, batches_header: str | None,
+               window_header: str | None) -> None:
+        """Fold one successfully scored batch into the global and per-graph
+        counters (client-reported coalesced-batch count and window along)."""
+        try:
+            batches = max(1, int(batches_header or "1"))
+        except ValueError:
+            batches = 1
+        try:
+            window = None if window_header is None else float(window_header)
+        except ValueError:
+            window = None
+        with self._lock:
+            self.request_count += 1
+            self.row_count += rows
+            stats = self._graph_stats[key]
+            stats["requests"] += 1
+            stats["rows"] += rows
+            stats["client_batches"] += batches
+            if window is not None:
+                stats["window"] = window
+
+    def stats(self) -> dict:
+        """Global and per-graph serving counters (the ``/stats`` payload).
+
+        Per graph: ``requests`` / ``rows`` (successful wire batches and
+        their rows), ``shed`` (batches refused at the admission limit),
+        ``client_batches`` (caller batches the clients coalesced into those
+        requests), the derived ``coalescing_factor`` and the last
+        client-reported dispatch ``window``.  Globals keep the legacy
+        ``requests`` / ``rows`` names, plus ``shed``, ``inflight`` /
+        ``peak_inflight`` and the configured ``max_inflight``.  With an
+        attached pool, its per-kind utilization rides along under
+        ``pool``.
+        """
+        with self._lock:
+            graphs = {}
+            for key in self._scorers:
+                entry = dict(self._graph_stats[key])
+                entry["source"] = self._sources[key]
+                entry["coalescing_factor"] = (
+                    entry["client_batches"] / entry["requests"]
+                    if entry["requests"] else None
+                )
+                graphs[key] = entry
+            payload = {
+                "requests": self.request_count,
+                "rows": self.row_count,
+                "shed": self.shed_count,
+                "inflight": self._inflight,
+                "peak_inflight": self.peak_inflight,
+                "max_inflight": self.max_inflight,
+                "graphs": graphs,
+            }
+        if self.pool is not None:
+            payload["pool"] = self.pool.stats()
+        return payload
+
+    # -------------------------------------------------------------- lifecycle
     @property
     def url(self) -> str:
         """Base URL of the running server (``http://host:port``)."""
@@ -498,13 +718,22 @@ class ScoringServer:
             pass
 
     def close(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        self._thread.join(timeout=5)
+        """Stop serving, join the request loop and release the socket.
+
+        Idempotent and thread-safe: concurrent closers serialize on a
+        lock, so every ``close()`` call returns only once the request-loop
+        thread has actually exited — racing ``close`` against interpreter
+        shutdown can no longer leak a live daemon thread behind the first
+        caller's back.  The thread is joined *before* the socket closes so
+        the serve loop never touches a dead socket.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._httpd.server_close()
 
     def __enter__(self) -> "ScoringServer":
         """Use the server as a context manager; :meth:`close` on exit."""
@@ -515,7 +744,8 @@ class ScoringServer:
         self.close()
 
 
-def serve_model(model, *, host: str = "127.0.0.1", port: int = 0) -> ScoringServer:
+def serve_model(model, *, host: str = "127.0.0.1", port: int = 0,
+                max_inflight: int | None = None) -> ScoringServer:
     """Start a loopback :class:`ScoringServer` over ``model``'s exported graph.
 
     Convenience for tests, benchmarks and the experiment runners'
@@ -523,7 +753,23 @@ def serve_model(model, *, host: str = "127.0.0.1", port: int = 0) -> ScoringServ
     :func:`export_model` so the serving path is the same one a separate
     ``python -m fairexp serve`` process would run.
     """
-    return ScoringServer(export_model(model), host=host, port=port)
+    return ScoringServer(export_model(model), host=host, port=port,
+                         max_inflight=max_inflight)
+
+
+def serve_fleet(models_or_graphs, *, host: str = "127.0.0.1", port: int = 0,
+                max_inflight: int | None = None, pool=None) -> ScoringServer:
+    """Start one loopback :class:`ScoringServer` hosting a whole model fleet.
+
+    Each element of ``models_or_graphs`` is a fitted model (compiled via
+    :func:`export_model`) or an existing :class:`ComputeGraph`; every graph
+    is routed by its content hash.  This is the in-process twin of
+    ``python -m fairexp serve --graph a.npz --graph b.npz``.
+    """
+    graphs = [graph if isinstance(graph, ComputeGraph) else export_model(graph)
+              for graph in models_or_graphs]
+    return ScoringServer(graphs, host=host, port=port,
+                         max_inflight=max_inflight, pool=pool)
 
 
 # ---------------------------------------------------------------------------
@@ -541,31 +787,81 @@ class _PendingScore:
         self.error: Exception | None = None
 
 
-class CoalescingScoringClient:
-    """Batched scoring client with cross-caller request coalescing.
+class _ShedError(Exception):
+    """A ``429`` shed reply from the server (internal to the retry loop)."""
 
-    Callers block in :meth:`score`; the first caller to arrive becomes the
-    *leader* of a dispatch window.  The leader waits until either every
-    registered peer has a batch pending or ``window`` seconds elapse, then
-    stacks all pending matrices into ONE ``POST /score`` wire call and
-    fans the label slices back out.  Concurrent sessions sharing a client
+    def __init__(self, retry_after: float, detail: str) -> None:
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+class _Lane:
+    """One graph's dispatch lane: pending batches, leadership and window.
+
+    Coalescing is per graph — batches bound for different graphs can never
+    share a wire call — so every piece of window state (pending queue,
+    leader flag, registered-peer count, EWMA inter-arrival estimate and the
+    current window) lives on the lane, keyed by the graph's routing hash
+    (``None`` for the header-less single-graph wire shape).
+    """
+
+    __slots__ = ("key", "pending", "leader_active", "registered",
+                 "window", "ewma_interval", "last_arrival")
+
+    def __init__(self, key: str | None, window: float) -> None:
+        self.key = key
+        self.pending: list[_PendingScore] = []
+        self.leader_active = False
+        self.registered = 0
+        self.window = window
+        self.ewma_interval: float | None = None
+        self.last_arrival: float | None = None
+
+
+class CoalescingScoringClient:
+    """Batched scoring client with per-graph cross-caller request coalescing.
+
+    Callers block in :meth:`score`; the first caller to arrive **on a
+    graph's lane** becomes the *leader* of that lane's dispatch window.
+    The leader waits until either every peer registered on the lane has a
+    batch pending or the window elapses, then stacks all pending matrices
+    into ONE ``POST /score`` wire call (carrying the graph hash) and fans
+    the label slices back out.  Concurrent sessions sharing a client
     therefore issue strictly fewer wire calls than the same sessions with
-    private clients — the tentpole's serving acceptance criterion.
+    private clients — the tentpole's serving acceptance criterion — and a
+    fleet of graphs multiplexes over one client without cross-graph
+    batches ever mixing.
 
     A failed wire call raises in **every** coalesced caller; backends count
     calls/rows only after a successful dispatch (see
     :class:`~fairexp.explanations.backends.NumpyPredictBackend.predict`), so
-    a scorer timeout never inflates session accounting.
+    a scorer timeout never inflates session accounting.  A ``429`` shed
+    reply (the server's admission limit) is retried with exponential
+    backoff up to ``max_retries`` times before failing the batch — rows
+    are still only counted once, after the dispatch that finally lands.
 
     Parameters
     ----------
     url:
         Base URL of a :class:`ScoringServer` (``http://127.0.0.1:PORT``).
     window:
-        Seconds the window leader waits for peers before dispatching.
-        ``0`` disables coalescing (every batch is its own wire call).
+        Seconds a lane's leader waits for peers before dispatching.  ``0``
+        disables coalescing (every batch is its own wire call); a positive
+        float is a fixed window (bit-compatible with earlier releases);
+        ``"auto"`` sizes each lane's window dynamically from an EWMA of
+        that lane's observed inter-arrival times — ``window_gain`` times
+        the EWMA, clamped to ``window_bounds`` — so a busy lane dispatches
+        quickly and a sparse one waits longer for peers.
     timeout:
         Socket timeout for the wire call.
+    window_bounds, ewma_alpha, window_gain:
+        Dynamic-window tuning: the ``(min, max)`` clamp, the EWMA smoothing
+        factor, and the multiple of the mean inter-arrival time the window
+        targets.  Ignored for fixed windows.
+    max_retries, backoff:
+        Shed handling: how many times a shed batch is re-dispatched, and
+        the base backoff delay (doubled per attempt; the server's
+        ``Retry-After`` hint overrides the base when larger).
 
     Attributes
     ----------
@@ -574,84 +870,191 @@ class CoalescingScoringClient:
         coalescing benchmark asserts on.
     coalesced_count:
         Number of caller batches that shared another batch's wire call.
+    shed_count, retry_count:
+        Shed replies received and re-dispatches performed recovering from
+        them.
     """
 
-    def __init__(self, url: str, *, window: float = 0.02,
-                 timeout: float = 30.0) -> None:
+    def __init__(self, url: str, *, window=0.02, timeout: float = 30.0,
+                 window_bounds: tuple = (0.002, 0.25),
+                 ewma_alpha: float = 0.25, window_gain: float = 4.0,
+                 max_retries: int = 8, backoff: float = 0.05) -> None:
         self.url = url.rstrip("/")
-        self.window = float(window)
+        self.dynamic_window = window == "auto"
+        self.window = window if self.dynamic_window else float(window)
         self.timeout = float(timeout)
+        self.window_bounds = (float(window_bounds[0]), float(window_bounds[1]))
+        self.ewma_alpha = float(ewma_alpha)
+        self.window_gain = float(window_gain)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
         self.wire_call_count = 0
         self.wire_row_count = 0
         self.coalesced_count = 0
-        self.registered_count = 0
-        self._pending: list[_PendingScore] = []
-        self._leader_active = False
+        self.shed_count = 0
+        self.retry_count = 0
+        self._lanes: dict[str | None, _Lane] = {}
         self._cond = threading.Condition()
 
-    # ----------------------------------------------------------- registration
-    def register(self) -> None:
-        """Announce one more concurrent caller (a backend attaching).
+    # ---------------------------------------------------------------- lanes
+    @staticmethod
+    def _lane_key(graph) -> str | None:
+        """Normalize a graph argument to a routing key: ``None``, a hash
+        string, or anything exposing ``signature()`` (a ComputeGraph)."""
+        if graph is None:
+            return None
+        signature = getattr(graph, "signature", None)
+        if callable(signature):
+            return signature()
+        return str(graph)
 
-        The window leader stops waiting as soon as every registered caller
-        has a batch pending, which makes the first wave of a concurrent
-        sweep coalesce deterministically instead of racing the window.
+    def _lane_locked(self, key: str | None) -> _Lane:
+        lane = self._lanes.get(key)
+        if lane is None:
+            initial = self.window_bounds[1] if self.dynamic_window else self.window
+            lane = _Lane(key, initial)
+            self._lanes[key] = lane
+        return lane
+
+    @property
+    def registered_count(self) -> int:
+        """Registered callers across every lane."""
+        with self._cond:
+            return sum(lane.registered for lane in self._lanes.values())
+
+    def current_window(self, graph=None) -> float:
+        """The dispatch window a graph's lane would use right now."""
+        with self._cond:
+            return self._lane_locked(self._lane_key(graph)).window
+
+    def lane_stats(self) -> dict:
+        """Per-lane window state: registered peers, current window and the
+        EWMA inter-arrival estimate driving it (``""`` keys the default
+        lane)."""
+        with self._cond:
+            return {
+                lane.key or "": {
+                    "registered": lane.registered,
+                    "window": lane.window,
+                    "ewma_interval": lane.ewma_interval,
+                }
+                for lane in self._lanes.values()
+            }
+
+    # ----------------------------------------------------------- registration
+    def register(self, graph=None) -> None:
+        """Announce one more concurrent caller on a graph's lane.
+
+        The lane's window leader stops waiting as soon as every registered
+        caller has a batch pending, which makes the first wave of a
+        concurrent sweep coalesce deterministically instead of racing the
+        window.
         """
         with self._cond:
-            self.registered_count += 1
+            self._lane_locked(self._lane_key(graph)).registered += 1
 
-    def unregister(self) -> None:
-        """Detach one caller (a backend closing)."""
+    def unregister(self, graph=None) -> None:
+        """Detach one caller from a graph's lane (a backend closing)."""
         with self._cond:
-            self.registered_count = max(0, self.registered_count - 1)
+            lane = self._lane_locked(self._lane_key(graph))
+            lane.registered = max(0, lane.registered - 1)
             self._cond.notify_all()
 
     # -------------------------------------------------------------- scoring
-    def score(self, X: np.ndarray) -> np.ndarray:
-        """Labels for ``X`` via a (possibly shared) wire call."""
+    def score(self, X: np.ndarray, graph=None) -> np.ndarray:
+        """Labels for ``X`` via a (possibly shared) wire call on the
+        graph's lane."""
         request = _PendingScore(np.atleast_2d(np.asarray(X, dtype=float)))
         with self._cond:
-            self._pending.append(request)
+            lane = self._lane_locked(self._lane_key(graph))
+            self._observe_arrival(lane)
+            lane.pending.append(request)
             self._cond.notify_all()
-            lead = not self._leader_active
+            lead = not lane.leader_active
             if lead:
-                self._leader_active = True
+                lane.leader_active = True
         if lead:
-            self._lead_dispatch()
+            self._lead_dispatch(lane)
         request.event.wait()
         if request.error is not None:
             raise request.error
         return request.result
 
-    def _lead_dispatch(self) -> None:
-        """Run one dispatch window: wait for peers, flush the batch."""
-        deadline = time.monotonic() + self.window
+    def _observe_arrival(self, lane: _Lane) -> None:
+        """Fold one batch arrival into the lane's EWMA inter-arrival
+        estimate and (for ``window="auto"``) resize its window (caller
+        holds the lock)."""
+        now = time.monotonic()
+        if lane.last_arrival is not None:
+            delta = now - lane.last_arrival
+            if lane.ewma_interval is None:
+                lane.ewma_interval = delta
+            else:
+                lane.ewma_interval = (self.ewma_alpha * delta
+                                      + (1.0 - self.ewma_alpha) * lane.ewma_interval)
+            if self.dynamic_window:
+                low, high = self.window_bounds
+                lane.window = min(high, max(low,
+                                            self.window_gain * lane.ewma_interval))
+        lane.last_arrival = now
+
+    def _lead_dispatch(self, lane: _Lane) -> None:
+        """Run one dispatch window on a lane: wait for peers, flush."""
+        start = time.monotonic()
         with self._cond:
             while True:
-                enough = (self.registered_count > 0
-                          and len(self._pending) >= self.registered_count)
-                remaining = deadline - time.monotonic()
+                enough = (lane.registered > 0
+                          and len(lane.pending) >= lane.registered)
+                # Re-read the window every pass: a dynamic lane may shrink
+                # (or grow) while the leader waits.
+                remaining = start + lane.window - time.monotonic()
                 if enough or remaining <= 0:
                     break
                 self._cond.wait(timeout=remaining)
-            batch, self._pending = self._pending, []
-            self._leader_active = False
-        self._flush(batch)
+            batch, lane.pending = lane.pending, []
+            lane.leader_active = False
+        self._flush(lane, batch)
 
-    def _flush(self, batch: list[_PendingScore]) -> None:
-        try:
-            stacked = np.vstack([request.X for request in batch])
-            labels = self._wire_call(stacked)
-            if labels.shape[0] != stacked.shape[0]:
-                raise ValidationError(
-                    f"scoring server returned {labels.shape[0]} labels "
-                    f"for {stacked.shape[0]} rows"
-                )
-        except Exception as error:  # noqa: BLE001 - fan the failure out
+    def _flush(self, lane: _Lane, batch: list[_PendingScore]) -> None:
+        """Dispatch one stacked batch, retrying through shed replies."""
+        def fail(error: Exception) -> None:
             for request in batch:
                 request.error = error
                 request.event.set()
-            return
+
+        stacked = np.vstack([request.X for request in batch])
+        attempt = 0
+        while True:
+            try:
+                labels = self._wire_call(stacked, lane, len(batch))
+                if labels.shape[0] != stacked.shape[0]:
+                    raise ValidationError(
+                        f"scoring server returned {labels.shape[0]} labels "
+                        f"for {stacked.shape[0]} rows"
+                    )
+                break
+            except _ShedError as shed:
+                with self._cond:
+                    self.shed_count += 1
+                if attempt >= self.max_retries:
+                    fail(ValidationError(
+                        f"scoring server shed the batch {attempt + 1} times "
+                        f"(admission limit); giving up after "
+                        f"{self.max_retries} retries"
+                    ))
+                    return
+                # Exponential backoff from the server's Retry-After hint
+                # (capped: a deep backoff ladder must not stall a session
+                # for longer than the overload it is riding out).
+                delay = min(max(shed.retry_after, self.backoff)
+                            * (2.0 ** attempt), 1.0)
+                time.sleep(delay)
+                with self._cond:
+                    self.retry_count += 1
+                attempt += 1
+            except Exception as error:  # noqa: BLE001 - fan the failure out
+                fail(error)
+                return
         with self._cond:
             self.wire_call_count += 1
             self.wire_row_count += int(stacked.shape[0])
@@ -663,18 +1066,41 @@ class CoalescingScoringClient:
             offset += n
             request.event.set()
 
-    def _wire_call(self, X: np.ndarray) -> np.ndarray:
+    def _wire_call(self, X: np.ndarray, lane: _Lane, n_batches: int) -> np.ndarray:
+        headers = {
+            "Content-Type": "application/octet-stream",
+            # The server folds these into its per-graph /stats: how many
+            # caller batches this wire call coalesces, and the window the
+            # lane is currently running.
+            "X-Fairexp-Batches": str(n_batches),
+            "X-Fairexp-Window": f"{lane.window:.6f}",
+        }
+        if lane.key is not None:
+            headers["X-Fairexp-Graph"] = lane.key
         request = urllib.request.Request(
             f"{self.url}/score", data=_encode_array(X),
-            headers={"Content-Type": "application/octet-stream"}, method="POST",
+            headers=headers, method="POST",
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return np.asarray(_decode_array(response.read()))
         except urllib.error.HTTPError as error:
             detail = error.read().decode(errors="replace")
+            if error.code == 429:
+                try:
+                    retry_after = float(error.headers.get("Retry-After") or 0.0)
+                except (TypeError, ValueError):
+                    retry_after = 0.0
+                raise _ShedError(retry_after, detail) from error
             raise ValidationError(
                 f"scoring server rejected the batch ({error.code}): {detail}"
+            ) from error
+        except urllib.error.URLError as error:
+            # Connection refused / reset (e.g. the server closed with this
+            # batch in flight) surfaces as the library's own exception, not
+            # a raw socket error — callers see a clean backend failure.
+            raise ValidationError(
+                f"scoring server unreachable at {self.url}: {error.reason}"
             ) from error
 
 
@@ -685,7 +1111,14 @@ class RemoteScoringBackend(NumpyPredictBackend):
     (pass the client instead of a URL) have their predict batches stacked
     into shared wire calls; each backend still counts **its own** calls and
     rows — and only after the dispatch succeeded — so per-session
-    accounting sums to exactly what independent runs would report.
+    accounting sums to exactly what independent runs would report, shed
+    retries included.
+
+    Against a fleet server, ``graph`` selects which hosted graph this
+    backend's batches route to: a :class:`ComputeGraph` (its content hash
+    is derived), a hash string, or ``None`` for the single-graph wire
+    shape.  Batches for different graphs ride different lanes of the
+    shared client and never mix in a wire call.
 
     The backend declares ``releases_gil=True``: the wire call blocks on a
     socket, so thread-sharding across it scales (and is what lets the
@@ -694,22 +1127,26 @@ class RemoteScoringBackend(NumpyPredictBackend):
 
     ships_fn_to_workers = False  # the client's locks must not cross processes
 
-    def __init__(self, url_or_client, *, name: str = "remote",
-                 window: float = 0.02, timeout: float = 30.0) -> None:
+    def __init__(self, url_or_client, *, name: str = "remote", graph=None,
+                 window=0.02, timeout: float = 30.0,
+                 max_retries: int = 8, backoff: float = 0.05) -> None:
         if isinstance(url_or_client, CoalescingScoringClient):
             client = url_or_client
         else:
             client = CoalescingScoringClient(str(url_or_client), window=window,
-                                             timeout=timeout)
+                                             timeout=timeout,
+                                             max_retries=max_retries,
+                                             backoff=backoff)
         super().__init__(model=None)
         self.name = name
         self.releases_gil = True
         self.client = client
+        self.graph_key = CoalescingScoringClient._lane_key(graph)
         self._detached = False
-        client.register()
+        client.register(graph=self.graph_key)
 
     def _run(self, X: np.ndarray) -> np.ndarray:
-        return np.asarray(self.client.score(X))
+        return np.asarray(self.client.score(X, graph=self.graph_key))
 
     def close(self) -> None:
         """Detach from the shared client (stops the leader waiting on us).
@@ -721,4 +1158,4 @@ class RemoteScoringBackend(NumpyPredictBackend):
         if self._detached:
             return
         self._detached = True
-        self.client.unregister()
+        self.client.unregister(graph=self.graph_key)

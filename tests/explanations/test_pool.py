@@ -212,6 +212,35 @@ class TestPoolInstrumentation:
             drained = pool.stats()["thread"]
             assert drained["busy_workers"] == 0 and drained["queue_depth"] == 0
 
+    def test_pending_gauge_and_peak_high_water_mark(self):
+        """pending() is the instantaneous admission-control gauge;
+        peak_pending in stats() keeps the lifetime high-water mark after
+        the load drains."""
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def blocked_task(_):
+            release.wait(timeout=10)
+            return True
+
+        with ExecutorPool(max_workers=2) as pool:
+            assert pool.pending("thread") == 0      # no live executor yet
+            with pytest.raises(ValidationError, match="executor kind"):
+                pool.pending("tractor")
+            runner = threading.Thread(
+                target=lambda: pool.map("thread", blocked_task, range(4)))
+            runner.start()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and pool.pending("thread") < 4:
+                time.sleep(0.01)
+            assert pool.pending("thread") == 4
+            release.set()
+            runner.join(timeout=10)
+            assert pool.pending("thread") == 0
+            assert pool.stats()["thread"]["peak_pending"] == 4
+
     def test_map_preserves_order_and_raises_first_error(self):
         with ExecutorPool(max_workers=2) as pool:
             assert pool.map("thread", lambda x: x * x, range(6)) == [

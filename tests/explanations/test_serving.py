@@ -1,7 +1,9 @@
 """Tests for the serving layer: graph export parity, the ONNX-style backend,
-the loopback scoring server and the coalescing remote client."""
+the loopback fleet scoring server (hash routing, admission control) and the
+coalescing remote client (per-graph lanes, dynamic windows, shed retry)."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -13,11 +15,13 @@ from fairexp.explanations import (
     CoalescingScoringClient,
     ComputeGraph,
     CounterfactualEngine,
+    ExecutorPool,
     GrowingSpheresCounterfactual,
     OnnxExportBackend,
     RemoteScoringBackend,
     ScoringServer,
     export_model,
+    serve_fleet,
     serve_model,
 )
 from fairexp.fairness.mitigation import (
@@ -287,6 +291,463 @@ class TestCoalescing:
             # With the peer gone, the single registered caller dispatches
             # immediately instead of waiting out the 5s window.
             assert time.monotonic() - start < 2.0
+
+
+class TestFleetRouting:
+    """One server, many graphs: requests route by content hash."""
+
+    FLEET = ["logistic", "tree", "forest"]
+
+    def test_fleet_routes_each_graph_bitwise_correctly(self, zoo):
+        models, _, test = zoo
+        fleet = {name: models[name] for name in self.FLEET}
+        graphs = {name: export_model(model) for name, model in fleet.items()}
+        with serve_fleet(list(graphs.values())) as server:
+            assert server.graph_keys() == [g.signature()
+                                           for g in graphs.values()]
+            client = CoalescingScoringClient(server.url, window=0.0)
+            for name, graph in graphs.items():
+                backend = RemoteScoringBackend(client, graph=graph)
+                out = backend.predict(test.X)
+                assert np.array_equal(out, fleet[name].predict(test.X)), name
+                backend.close()
+            # Per-graph accounting on the server: every lane saw exactly
+            # one request for the full test matrix, none of them mixed.
+            stats = server.stats()
+            assert stats["requests"] == len(graphs)
+            for graph in graphs.values():
+                entry = stats["graphs"][graph.signature()]
+                assert entry["requests"] == 1
+                assert entry["rows"] == test.X.shape[0]
+
+    def test_unknown_hash_is_rejected_not_misrouted(self, zoo):
+        models, _, test = zoo
+        with serve_fleet([models["logistic"], models["tree"]]) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0,
+                                           graph="0" * 64)
+            with pytest.raises(ValidationError, match="unknown graph"):
+                backend.predict(test.X[:4])
+            assert backend.call_count == 0
+
+    def test_fleet_requires_the_routing_header(self, zoo):
+        """A multi-graph server must never guess: header-less requests are
+        a 400, not a dispatch to whichever graph registered first."""
+        models, _, test = zoo
+        with serve_fleet([models["logistic"], models["tree"]]) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0)  # no graph
+            with pytest.raises(ValidationError, match="X-Fairexp-Graph"):
+                backend.predict(test.X[:4])
+
+    def test_single_scorer_keeps_headerless_wire_shape(self, zoo):
+        """A one-graph server still accepts the legacy header-less request
+        (old clients keep working) AND the routed form."""
+        models, _, test = zoo
+        model = models["logistic"]
+        graph = export_model(model)
+        with ScoringServer(graph) as server:
+            plain = RemoteScoringBackend(server.url, window=0.0)
+            routed = RemoteScoringBackend(server.url, window=0.0, graph=graph)
+            reference = model.predict(test.X)
+            assert np.array_equal(plain.predict(test.X), reference)
+            assert np.array_equal(routed.predict(test.X), reference)
+
+    def test_lanes_never_share_a_wire_call_across_graphs(self, zoo):
+        """Concurrent batches for DIFFERENT graphs must not coalesce: each
+        graph's lane dispatches its own wire call even inside one window."""
+        models, _, test = zoo
+        graphs = [export_model(models[name]) for name in self.FLEET]
+        with serve_fleet(graphs) as server:
+            client = CoalescingScoringClient(server.url, window=1.0)
+            backends = [RemoteScoringBackend(client, graph=g) for g in graphs]
+            barrier = threading.Barrier(len(backends))
+            outputs: list = [None] * len(backends)
+
+            def score(k):
+                barrier.wait(timeout=10)
+                outputs[k] = backends[k].predict(test.X[:20])
+
+            threads = [threading.Thread(target=score, args=(k,))
+                       for k in range(len(backends))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            for k, name in enumerate(self.FLEET):
+                assert np.array_equal(outputs[k],
+                                      models[name].predict(test.X[:20]))
+            assert client.wire_call_count == len(graphs)
+            assert client.coalesced_count == 0
+            assert server.request_count == len(graphs)
+
+    def test_audit_sessions_share_one_fleet_server(self, zoo, loan_cf_generator):
+        """Two sessions over two different models route through ONE server
+        and reproduce their in-process counterfactuals bitwise."""
+        models, train, test = zoo
+        constraints = loan_cf_generator.constraints
+        fleet = [models["logistic"], models["tree"]]
+        graphs = [export_model(model) for model in fleet]
+        references = []
+        for model in fleet:
+            session = AuditSession(GrowingSpheresCounterfactual(
+                model, train.X, constraints=constraints, random_state=0))
+            idx = np.flatnonzero(model.predict(test.X) == 0)[:4]
+            references.append(session.counterfactuals_for(test.X, idx))
+        with serve_fleet(graphs) as server:
+            client = CoalescingScoringClient(server.url, window=0.005)
+            for model, graph, reference in zip(fleet, graphs, references):
+                backend = RemoteScoringBackend(client, graph=graph)
+                session = AuditSession(
+                    GrowingSpheresCounterfactual(model, train.X,
+                                                 constraints=constraints,
+                                                 random_state=0),
+                    backend=backend)
+                idx = np.flatnonzero(model.predict(test.X) == 0)[:4]
+                remote = session.counterfactuals_for(test.X, idx)
+                backend.close()
+                assert set(remote) == set(reference)
+                for i in reference:
+                    assert np.array_equal(remote[i].counterfactual,
+                                          reference[i].counterfactual)
+
+
+class TestDynamicWindow:
+    def test_numeric_window_stays_fixed(self, zoo):
+        """Explicit numeric windows keep the exact fixed behaviour: no EWMA
+        resizing, whatever the arrival pattern."""
+        models, _, test = zoo
+        with serve_model(models["logistic"]) as server:
+            backend = RemoteScoringBackend(server.url, window=0.02)
+            client = backend.client
+            assert not client.dynamic_window
+            for _ in range(5):
+                backend.predict(test.X[:3])
+            assert client.current_window() == 0.02
+
+    def test_auto_window_starts_wide_and_shrinks_under_load(self, zoo):
+        """``window="auto"``: a fresh lane waits the upper bound (nothing is
+        known yet), then rapid arrivals pull the window down toward the
+        lower clamp."""
+        models, _, test = zoo
+        with serve_model(models["logistic"]) as server:
+            client = CoalescingScoringClient(server.url, window="auto",
+                                             window_bounds=(0.001, 0.25))
+            backend = RemoteScoringBackend(client)
+            assert client.current_window() == 0.25
+            for _ in range(25):  # back-to-back arrivals: ewma -> ~0
+                backend.predict(test.X[:2])
+            assert client.current_window() < 0.25
+            stats = client.lane_stats()[""]
+            assert stats["ewma_interval"] is not None
+            assert stats["ewma_interval"] < 0.25
+
+    def test_auto_window_is_clamped_to_bounds(self, zoo):
+        models, _, test = zoo
+        with serve_model(models["logistic"]) as server:
+            client = CoalescingScoringClient(server.url, window="auto",
+                                             window_bounds=(0.015, 0.04))
+            backend = RemoteScoringBackend(client)
+            for _ in range(25):
+                backend.predict(test.X[:2])
+            # Sub-millisecond arrivals push gain*ewma below the lower bound:
+            # the clamp holds the lane at exactly window_bounds[0].
+            assert client.current_window() == 0.015
+            slow = client.lane_stats()[""]
+            assert 0.015 <= slow["window"] <= 0.04
+
+    def test_auto_lanes_size_independently(self, zoo):
+        """Each graph's lane keeps its own EWMA: a busy lane shrinks while
+        an untouched lane still waits the full upper bound."""
+        models, _, test = zoo
+        graphs = [export_model(models["logistic"]), export_model(models["tree"])]
+        with serve_fleet(graphs) as server:
+            client = CoalescingScoringClient(server.url, window="auto",
+                                             window_bounds=(0.001, 0.2))
+            busy = RemoteScoringBackend(client, graph=graphs[0])
+            idle = RemoteScoringBackend(client, graph=graphs[1])
+            for _ in range(25):
+                busy.predict(test.X[:2])
+            assert client.current_window(graphs[0]) < 0.2
+            assert client.current_window(graphs[1]) == 0.2
+            idle.close()
+            busy.close()
+
+
+class TestAdmissionControl:
+    def test_exhausted_retries_raise_and_count_nothing(self, zoo):
+        """A server wedged past its admission limit sheds every attempt; the
+        client gives up after max_retries with a clean error and ZERO
+        call/row accounting."""
+        models, _, test = zoo
+        with serve_model(models["logistic"], max_inflight=0) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0,
+                                           max_retries=2, backoff=0.001)
+            with pytest.raises(ValidationError, match="shed"):
+                backend.predict(test.X[:8])
+            assert backend.call_count == 0
+            assert backend.row_count == 0
+            client = backend.client
+            assert client.wire_call_count == 0
+            assert client.shed_count == 3      # initial + 2 retries
+            assert client.retry_count == 2
+            assert server.shed_count == 3
+            assert server.stats()["graphs"][next(iter(server.graph_keys()))][
+                "shed"] == 3
+
+    def test_shed_then_retry_succeeds_with_exact_accounting(self, zoo):
+        """Transient overload: the first dispatch sheds, the backoff ladder
+        retries, the batch eventually lands — counted exactly once."""
+        models, _, test = zoo
+        model = models["logistic"]
+        with serve_model(model, max_inflight=0) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0,
+                                           max_retries=8, backoff=0.02)
+
+            def lift_limit():
+                time.sleep(0.1)
+                server.max_inflight = None
+
+            lifter = threading.Thread(target=lift_limit)
+            lifter.start()
+            out = backend.predict(test.X[:12])
+            lifter.join(timeout=10)
+            assert np.array_equal(out, model.predict(test.X[:12]))
+            client = backend.client
+            assert client.shed_count >= 1
+            assert client.retry_count >= 1
+            assert server.shed_count >= 1
+            # Exactly-once accounting despite the shed/retry churn.
+            assert backend.call_count == 1
+            assert backend.row_count == 12
+            assert client.wire_call_count == 1
+            assert client.wire_row_count == 12
+            assert server.request_count == 1
+            assert server.row_count == 12
+
+    def test_admitted_requests_track_peak_inflight(self, zoo):
+        models, _, test = zoo
+        with serve_model(models["logistic"], max_inflight=4) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0)
+            backend.predict(test.X[:5])
+            stats = server.stats()
+            assert stats["max_inflight"] == 4
+            assert stats["peak_inflight"] >= 1
+            assert stats["inflight"] == 0
+            assert stats["shed"] == 0
+
+
+class TestServerLifecycle:
+    def test_context_manager_leaves_no_live_thread(self, zoo):
+        """The satellite close() fix: after the context exits, the request
+        loop thread has actually terminated — not merely been asked to."""
+        models, _, _ = zoo
+        with serve_model(models["logistic"]) as server:
+            assert server._thread.is_alive()
+        assert not server._thread.is_alive()
+        server.close()  # idempotent after the context already closed
+
+    def test_concurrent_close_is_safe_and_joins_once(self, zoo):
+        models, _, _ = zoo
+        server = serve_model(models["logistic"])
+        threads = [threading.Thread(target=server.close) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not server._thread.is_alive()
+
+    def test_close_with_inflight_coalesced_batch_fails_clean(self, zoo):
+        """Shutdown racing an open dispatch window: the leader's wire call
+        hits the closed socket and every coalesced caller gets a clean
+        backend exception — no hang, no call/row inflation."""
+        models, _, test = zoo
+        server = serve_model(models["logistic"])
+        client = CoalescingScoringClient(server.url, window=0.75)
+        backends = [RemoteScoringBackend(client) for _ in range(3)]
+        # Only 2 of the 3 registered peers submit, so the leader holds the
+        # window open (waiting for the third) while the server goes away.
+        errors: list = [None, None]
+        barrier = threading.Barrier(3)
+
+        def score(k):
+            barrier.wait(timeout=10)
+            try:
+                backends[k].predict(test.X[:5])
+            except Exception as error:  # noqa: BLE001 - asserting propagation
+                errors[k] = error
+
+        threads = [threading.Thread(target=score, args=(k,)) for k in range(2)]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=10)
+        time.sleep(0.2)          # let the leader start waiting in-window
+        server.close()           # returns only once the loop thread exited
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        for error in errors:
+            assert isinstance(error, ValidationError)
+            assert "unreachable" in str(error)
+        assert client.wire_call_count == 0
+        assert client.wire_row_count == 0
+        assert [b.call_count for b in backends] == [0, 0, 0]
+        assert [b.row_count for b in backends] == [0, 0, 0]
+
+
+class TestStatsEndpoint:
+    def test_stats_reports_per_graph_counters_over_http(self, zoo):
+        import json
+        import urllib.request
+
+        models, _, test = zoo
+        graphs = [export_model(models["logistic"]), export_model(models["tree"])]
+        with serve_fleet(graphs) as server:
+            client = CoalescingScoringClient(server.url, window=0.0)
+            for graph in graphs:
+                backend = RemoteScoringBackend(client, graph=graph)
+                backend.predict(test.X[:10])
+                backend.close()
+            with urllib.request.urlopen(f"{server.url}/stats",
+                                        timeout=10) as reply:
+                stats = json.loads(reply.read().decode("utf-8"))
+        assert stats["requests"] == 2
+        assert stats["rows"] == 20
+        assert stats["shed"] == 0
+        assert stats["max_inflight"] is None
+        for graph in graphs:
+            entry = stats["graphs"][graph.signature()]
+            assert entry["requests"] == 1
+            assert entry["rows"] == 10
+            assert entry["client_batches"] == 1
+            assert entry["coalescing_factor"] == 1.0
+            assert entry["window"] == 0.0
+            assert entry["source"] == graph.source
+
+    def test_stats_fold_in_client_coalescing_and_window(self, zoo):
+        """The X-Fairexp-Batches / X-Fairexp-Window telemetry: a coalesced
+        wire call raises the server-side coalescing factor above 1."""
+        models, _, test = zoo
+        model = models["logistic"]
+        with serve_model(model) as server:
+            client = CoalescingScoringClient(server.url, window=1.0)
+            backends = [RemoteScoringBackend(client) for _ in range(3)]
+            barrier = threading.Barrier(3)
+
+            def score(k):
+                barrier.wait(timeout=10)
+                backends[k].predict(test.X[k * 5:(k + 1) * 5])
+
+            threads = [threading.Thread(target=score, args=(k,))
+                       for k in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            entry = server.stats()["graphs"][server.graph_keys()[0]]
+            assert entry["requests"] == 1
+            assert entry["client_batches"] == 3
+            assert entry["coalescing_factor"] == 3.0
+            assert entry["window"] == 1.0
+
+    def test_attached_pool_utilization_rides_along(self, zoo):
+        models, _, test = zoo
+        pool = ExecutorPool(max_workers=2)
+        try:
+            with serve_fleet([export_model(models["logistic"])],
+                             pool=pool) as server:
+                backend = RemoteScoringBackend(server.url, window=0.0)
+                backend.predict(test.X[:6])
+                stats = server.stats()
+                assert stats["pool"]["thread"]["executors_created"] == 1
+                assert stats["pool"]["thread"]["peak_pending"] >= 1
+                assert pool.pending("thread") == 0
+        finally:
+            pool.shutdown()
+
+
+class TestServeCLI:
+    """``python -m fairexp serve`` fleet flags and the /stats pretty-printer
+    (exercised in-process through ``main``; the subprocess shape is covered
+    by benchmarks/serving_workload.py and the CI smoke)."""
+
+    @staticmethod
+    def _save_graphs(zoo, tmp_path, names):
+        models, _, _ = zoo
+        paths = []
+        for name in names:
+            graph = export_model(models[name])
+            path = tmp_path / f"{name}.npz"
+            graph.save(path)
+            paths.append((str(path), graph))
+        return paths
+
+    @pytest.fixture()
+    def nonblocking_serve(self, monkeypatch):
+        """Make serve_until_interrupted return immediately so the CLI path
+        runs end to end (print + close) without parking a thread."""
+        monkeypatch.setattr(ScoringServer, "serve_until_interrupted",
+                            lambda self: None)
+
+    def test_serve_single_graph_prints_legacy_parseable_line(
+            self, zoo, tmp_path, capsys, nonblocking_serve):
+        from fairexp.cli import main
+
+        (path, graph), = self._save_graphs(zoo, tmp_path, ["logistic"])
+        assert main(["serve", "--graph", path]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        # First line keeps the launcher contract: URL is the last token.
+        assert lines[0].startswith("serving LogisticRegression (")
+        assert lines[0].rsplit(" ", 1)[-1].startswith("http://127.0.0.1:")
+        assert graph.signature() in lines[1]
+
+    def test_serve_fleet_prints_one_routing_line_per_graph(
+            self, zoo, tmp_path, capsys, nonblocking_serve):
+        from fairexp.cli import main
+
+        saved = self._save_graphs(zoo, tmp_path, ["logistic", "tree"])
+        assert main(["serve", "--graph-dir", str(tmp_path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("serving 2 graphs on http://")
+        routed = "\n".join(lines[1:])
+        for _, graph in saved:
+            assert graph.signature() in routed
+
+    def test_serve_requires_some_graph_source(self):
+        from fairexp.cli import main
+
+        with pytest.raises(SystemExit, match="--graph"):
+            main(["serve"])
+
+    def test_serve_rejects_missing_archive_and_dir(self, tmp_path):
+        from fairexp.cli import main
+
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["serve", "--graph", str(tmp_path / "nope.npz")])
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["serve", "--graph-dir", str(tmp_path / "nope")])
+
+    def test_stats_url_pretty_prints_a_running_fleet(self, zoo, capsys):
+        from fairexp.cli import main
+
+        models, _, test = zoo
+        graphs = [export_model(models["logistic"]), export_model(models["tree"])]
+        with serve_fleet(graphs) as server:
+            backend = RemoteScoringBackend(server.url, window=0.0,
+                                           graph=graphs[0])
+            backend.predict(test.X[:7])
+            backend.close()
+            assert main(["serve", "--stats-url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "1 requests, 7 rows, 0 shed" in out
+        assert "GRAPH" in out and "COALESCE" in out
+        assert graphs[0].signature()[:12] in out
+        assert "LogisticRegression" in out
+
+    def test_stats_url_unreachable_is_an_error(self):
+        from fairexp.cli import main
+
+        with pytest.raises(SystemExit, match="could not fetch stats"):
+            main(["serve", "--stats-url", "http://127.0.0.1:9"])
 
 
 class TestRemoteSession:
