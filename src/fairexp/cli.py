@@ -30,10 +30,27 @@ Three command families:
 
 ``python -m fairexp run EXPERIMENT [--backend {numpy,onnx,remote}]``
     Run one experiment (``E1/E2`` … ``E14``, ``FIG1``/``FIG2``/``TAB1``)
-    and print its result dictionary as JSON.  For the counterfactual-heavy
-    runners (E1–E9) ``--backend`` selects where predict batches run:
-    in-process NumPy, the exported ONNX-style graph, or a
-    loopback remote scoring server spun up for the run.
+    and print its result dictionary as JSON.  The experiment list is
+    *derived* from the :class:`~fairexp.sweep.SweepRegistry` — a new spec
+    is immediately runnable here, there is no second list to update.  For
+    the counterfactual-heavy runners (E1–E9) ``--backend`` selects where
+    predict batches run: in-process NumPy, the exported ONNX-style graph,
+    or a loopback remote scoring server spun up for the run.
+
+``python -m fairexp sweep {plan,run,resume}``
+    Declarative sweep orchestration over the registered
+    :class:`~fairexp.sweep.SweepSpec` s.  ``plan`` crosses the selected
+    specs' factors and prints the emitted/pruned cell partition (with the
+    reason each pruned cell was dropped) without executing anything;
+    ``run`` executes the emitted cells (``--store DIR`` attaches the
+    persistent counterfactual store + journal, ``--jobs N`` distributes
+    cells over an executor pool, ``--bench PATH`` appends the sweep's
+    accounting to a ``BENCH_SWEEP.json``-style trajectory); ``resume``
+    re-enters a journaled sweep — already-completed cells replay against
+    the warm store at zero engine predict calls and their metrics are
+    verified against the journal.  ``--where factor=label[,label...]``
+    restricts factors; ``--set key=value`` overrides runner arguments
+    (values parse as JSON, falling back to strings).
 """
 
 from __future__ import annotations
@@ -194,26 +211,151 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    import inspect
+    from .exceptions import ValidationError
+    from .sweep import SweepRegistry
 
-    from .experiments import ALL_EXPERIMENTS
-
-    runner = ALL_EXPERIMENTS.get(args.experiment)
-    if runner is None:
-        known = ", ".join(ALL_EXPERIMENTS)
-        raise SystemExit(f"unknown experiment {args.experiment!r}; one of: {known}")
-    kwargs = {}
-    if "backend" in inspect.signature(runner).parameters:
-        kwargs["backend"] = args.backend
+    try:
+        spec = SweepRegistry.get(args.experiment)
+    except KeyError:
+        known = ", ".join(SweepRegistry.ids())
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; one of: {known}"
+        ) from None
+    where = None
+    if spec.factor("backend") is not None:
+        where = {"backend": [args.backend]}
     elif args.backend != "numpy":
         raise SystemExit(
             f"experiment {args.experiment} does not route predicts through a "
             "session backend; only --backend numpy applies"
         )
-    results = runner(**kwargs)
+    try:
+        cell = spec.cell(where=where)
+    except ValidationError as error:
+        raise SystemExit(str(error)) from None
+    results = spec.runner(**cell.params())
     results.pop("rendered", None)
     print(json.dumps(results, indent=2, default=str))
     return 0
+
+
+def _parse_where(pairs: list[str] | None) -> dict[str, list[str]]:
+    """``--where factor=label[,label...]`` flags into a restriction mapping."""
+    where: dict[str, list[str]] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"--where expects factor=label, got {pair!r}")
+        factor, _, labels = pair.partition("=")
+        where.setdefault(factor.strip(), []).extend(
+            label.strip() for label in labels.split(",") if label.strip()
+        )
+    return where
+
+
+def _parse_overrides(pairs: list[str] | None) -> dict[str, object]:
+    """``--set key=value`` flags into runner overrides (values parse as JSON,
+    falling back to plain strings so ``--set schedule=adaptive`` just works)."""
+    overrides: dict[str, object] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            overrides[key.strip()] = json.loads(raw)
+        except ValueError:
+            overrides[key.strip()] = raw
+    return overrides
+
+
+def _sweep_selection(args: argparse.Namespace):
+    specs = args.spec or None
+    return specs, _parse_where(args.where), _parse_overrides(args.set) or None
+
+
+def _append_bench_point(path: str, point: dict) -> None:
+    """Append one sweep record to a JSON-list trajectory file (the same
+    append-only shape ``benchmarks/conftest.py`` writes for BENCH_*.json)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            history = json.load(handle)
+        if not isinstance(history, list):
+            history = []
+    except (OSError, ValueError):
+        history = []
+    history.append(point)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+
+def _cmd_sweep_plan(args: argparse.Namespace) -> int:
+    from .exceptions import ValidationError
+    from .sweep import sweep_plan
+
+    specs, where, overrides = _sweep_selection(args)
+    try:
+        plan = sweep_plan(specs, where=where, overrides=overrides)
+    except ValidationError as error:
+        raise SystemExit(str(error)) from None
+    if args.json:
+        print(json.dumps({
+            "summary": plan.summary(),
+            "emitted": [cell.cell_id for cell in plan.emitted],
+            "pruned": [{"cell_id": cell.cell_id, "reasons": list(cell.reasons)}
+                       for cell in plan.pruned],
+        }, indent=2))
+        return 0
+    summary = plan.summary()
+    print(f"{summary['raw_cells']} raw cells -> {summary['emitted_cells']} emitted, "
+          f"{summary['pruned_cells']} pruned")
+    for cell in plan.emitted:
+        print(f"  run   {cell.cell_id}")
+    for cell in plan.pruned:
+        print(f"  prune {cell.cell_id}")
+        for reason in cell.reasons:
+            print(f"        - {reason}")
+    return 0
+
+
+def _run_sweep_command(args: argparse.Namespace, *, resume: bool) -> int:
+    from .exceptions import ValidationError
+    from .sweep import run_sweep
+
+    specs, where, overrides = _sweep_selection(args)
+    try:
+        result = run_sweep(specs, where=where, overrides=overrides,
+                           store=args.store, journal=args.journal,
+                           jobs=args.jobs, resume=resume)
+    except ValidationError as error:
+        raise SystemExit(str(error)) from None
+    if args.bench:
+        _append_bench_point(args.bench, result.bench_point())
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, default=str))
+        return 0
+    summary = result.summary()
+    print(f"{summary['emitted_cells']} cells in {summary['wall_time_seconds']:.2f}s "
+          f"({summary['pruned_cells']} pruned, {summary['replayed_cells']} replayed, "
+          f"{summary['diverged_cells']} diverged); "
+          f"{summary['engine_predict_calls']} engine predict calls, "
+          f"{summary['store_row_hits']} store row hits")
+    for cell in result.cells:
+        marker = {"completed": "ok", "diverged": "DIVERGED"}[cell.status]
+        replay = " (replayed)" if cell.replayed else ""
+        print(f"  {marker:<8} {cell.cell_id}  "
+              f"{cell.wall_time_seconds:.2f}s  "
+              f"engine_predicts={cell.stats.get('engine_predict_calls', 0)}"
+              f"{replay}")
+    return 1 if summary["diverged_cells"] else 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    return _run_sweep_command(args, resume=False)
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    return _run_sweep_command(args, resume=True)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -289,6 +431,63 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="predict dispatch for E1-E9 sessions "
                                  "(default: in-process numpy)")
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="plan / run / resume declarative factorial sweeps"
+    )
+    sweep_actions = sweep_parser.add_subparsers(dest="action", required=True)
+
+    def add_selection(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--spec", action="append", default=None,
+                               metavar="ID",
+                               help="experiment spec to include (repeatable; "
+                                    "default: every registered spec)")
+        subparser.add_argument("--where", action="append", default=None,
+                               metavar="FACTOR=LABEL[,LABEL...]",
+                               help="restrict a factor to these levels "
+                                    "(repeatable; ignored by specs lacking "
+                                    "the factor)")
+        subparser.add_argument("--set", action="append", default=None,
+                               metavar="KEY=VALUE",
+                               help="override a runner argument for every "
+                                    "cell (value parsed as JSON, else string)")
+        subparser.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+
+    plan_parser = sweep_actions.add_parser(
+        "plan", help="show the emitted/pruned cell partition without running"
+    )
+    add_selection(plan_parser)
+    plan_parser.set_defaults(func=_cmd_sweep_plan)
+
+    def add_execution(subparser: argparse.ArgumentParser) -> None:
+        add_selection(subparser)
+        subparser.add_argument("--store", default=None, metavar="DIR",
+                               help="persistent counterfactual store directory "
+                                    "(default: $FAIREXP_STORE_DIR); the sweep "
+                                    "journal lives next to it")
+        subparser.add_argument("--journal", default=None, metavar="PATH",
+                               help="journal file (default: SWEEP_JOURNAL.json "
+                                    "inside the store directory)")
+        subparser.add_argument("--jobs", type=int, default=1,
+                               help="cells to execute concurrently over an "
+                                    "executor pool (default: 1, sequential)")
+        subparser.add_argument("--bench", default=None, metavar="PATH",
+                               help="append the sweep's accounting to this "
+                                    "JSON trajectory (BENCH_SWEEP.json style)")
+
+    sweep_run_parser = sweep_actions.add_parser(
+        "run", help="execute the emitted cells (fresh journal)"
+    )
+    add_execution(sweep_run_parser)
+    sweep_run_parser.set_defaults(func=_cmd_sweep_run)
+
+    resume_parser = sweep_actions.add_parser(
+        "resume", help="re-enter a journaled sweep; completed cells replay "
+                       "warm at zero engine predict calls"
+    )
+    add_execution(resume_parser)
+    resume_parser.set_defaults(func=_cmd_sweep_resume)
     return parser
 
 

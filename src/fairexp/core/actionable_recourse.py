@@ -65,7 +65,7 @@ class RecourseResult:
 
 
 @ExplainerRegistry.register("causal_recourse", capabilities=("fairness-explainer", "causal"),
-                            data_requirements=("scm",))
+                            data_requirements=("scm",), resource_requirements=("scm",))
 class CausalRecourseExplainer:
     """Search for minimal-cost intervention sets (flipsets) over an SCM.
 

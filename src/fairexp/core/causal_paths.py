@@ -57,7 +57,7 @@ class CausalPathDecomposition:
 
 
 @ExplainerRegistry.register("causal_paths", capabilities=("fairness-explainer", "causal"),
-                            data_requirements=("scm",))
+                            data_requirements=("scm",), resource_requirements=("scm",))
 class CausalPathExplainer:
     """Decompose model disparity over causal paths from the sensitive attribute.
 

@@ -62,6 +62,7 @@ class RecourseGapReport:
     info=ExplainerInfo(stage="post-hoc", access="black-box", agnostic=True, coverage="global",
                        explanation_type="example", multiplicity="multiple"),
     capabilities=("fairness-explainer", "recourse"),
+    resource_requirements=("probabilities",),
 )
 def recourse_gap_report(model=None, X=None, sensitive=None, *, protected_value=1,
                         session=None) -> RecourseGapReport:
@@ -141,6 +142,7 @@ class CausalRecourseFairnessResult:
                        explanation_type="example", multiplicity="multiple"),
     capabilities=("fairness-explainer", "recourse", "causal"),
     data_requirements=("scm",),
+    resource_requirements=("scm",),
 )
 def causal_recourse_fairness(
     explainer: CausalRecourseExplainer,

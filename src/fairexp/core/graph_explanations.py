@@ -238,7 +238,8 @@ class GNNUERSResult:
 
 
 @ExplainerRegistry.register("gnnuers", capabilities=("fairness-explainer", "graph"),
-                             modality="graph", model_requirements=("recommend_all",))
+                             modality="graph", model_requirements=("recommend_all",),
+                             resource_requirements=("recommender",))
 class GNNUERSExplainer:
     """Explain consumer-side unfairness of a graph recommender by edge perturbation.
 

@@ -61,7 +61,8 @@ class EdgeRemovalExplanation:
 
 
 @ExplainerRegistry.register("edge_removal", capabilities=("fairness-explainer", "recommendation"),
-                             modality="recsys", model_requirements=("recommend_all",))
+                             modality="recsys", model_requirements=("recommend_all",),
+                             resource_requirements=("recommender",))
 class EdgeRemovalExplainer:
     """Counterfactual edge removals explaining recommendation bias.
 
@@ -164,7 +165,8 @@ class CFairERResult:
 
 
 @ExplainerRegistry.register("cfairer", capabilities=("fairness-explainer", "recommendation"),
-                             modality="recsys", model_requirements=("recommend_all",))
+                             modality="recsys", model_requirements=("recommend_all",),
+                             resource_requirements=("recommender",))
 class CFairERExplainer:
     """Greedy attribute-level counterfactual explanation of exposure unfairness.
 
@@ -287,7 +289,8 @@ class CEFResult:
 
 
 @ExplainerRegistry.register("cef", capabilities=("fairness-explainer", "recommendation"),
-                             modality="recsys", model_requirements=("recommend_all",))
+                             modality="recsys", model_requirements=("recommend_all",),
+                             resource_requirements=("recommender",))
 class CEFExplainer:
     """Explainable fairness in recommendation via minimal feature perturbations.
 

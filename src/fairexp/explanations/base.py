@@ -109,6 +109,17 @@ class RegisteredExplainer:
         actionability information).  This is how E6/E7-style causal
         workloads auto-select their explainers through
         :meth:`ExplainerRegistry.compatible` instead of hard-coded lists.
+    resource_requirements:
+        Named *resources* the workload must offer, each checked against the
+        model or the dataset by :attr:`_RESOURCE_CHECKS`: ``"gradients"``
+        (the model exposes ``gradient_input``), ``"probabilities"`` (the
+        model exposes ``predict_proba``), ``"scm"`` (the dataset carries a
+        structural causal model) and ``"recommender"`` (the model exposes
+        ``recommend_all``).  These extend the attribute-level
+        ``model_requirements``/``data_requirements`` with the vocabulary
+        the sweep planner (:mod:`fairexp.sweep`) prunes factorial designs
+        on — a declared resource prunes a cell with a *named* reason
+        instead of a missing-attribute message.
     """
 
     name: str
@@ -118,6 +129,7 @@ class RegisteredExplainer:
     modality: str = "tabular"
     model_requirements: tuple[str, ...] = ("predict",)
     data_requirements: tuple[str, ...] = ()
+    resource_requirements: tuple[str, ...] = ()
 
     #: requirement name -> (predicate over the dataset, failure description)
     _DATA_CHECKS = {
@@ -133,6 +145,30 @@ class RegisteredExplainer:
         "feature-specs": (
             lambda dataset: bool(getattr(dataset, "features", None)),
             "dataset lacks per-feature specs (features)",
+        ),
+    }
+
+    #: resource name -> (checked half: "model"|"dataset", predicate, description)
+    _RESOURCE_CHECKS = {
+        "gradients": (
+            "model",
+            lambda model: hasattr(model, "gradient_input"),
+            "explainer needs gradients (model lacks gradient_input)",
+        ),
+        "probabilities": (
+            "model",
+            lambda model: hasattr(model, "predict_proba"),
+            "explainer needs class probabilities (model lacks predict_proba)",
+        ),
+        "scm": (
+            "dataset",
+            lambda dataset: getattr(dataset, "scm", None) is not None,
+            "explainer needs a structural causal model (dataset lacks scm)",
+        ),
+        "recommender": (
+            "model",
+            lambda model: hasattr(model, "recommend_all"),
+            "explainer needs a recommender (model lacks recommend_all)",
         ),
     }
 
@@ -152,7 +188,9 @@ class RegisteredExplainer:
         against :attr:`modality` (a dataset advertises its modality through a
         ``modality`` attribute, defaulting to ``"tabular"``) and against the
         declared :attr:`data_requirements` (labels / SCM / feature specs).
-        Either argument may be ``None`` to skip that half of the check.
+        :attr:`resource_requirements` check against whichever half each
+        resource names.  Either argument may be ``None`` to skip that half
+        of the check.
         """
         reasons: list[str] = []
         if model is not None:
@@ -169,6 +207,11 @@ class RegisteredExplainer:
                 satisfied, description = self._DATA_CHECKS[requirement]
                 if not satisfied(dataset):
                     reasons.append(description)
+        for resource in self.resource_requirements:
+            scope, satisfied, description = self._RESOURCE_CHECKS[resource]
+            subject = model if scope == "model" else dataset
+            if subject is not None and not satisfied(subject):
+                reasons.append(description)
         return CompatibilityCheck(tuple(reasons))
 
 
@@ -193,6 +236,7 @@ class ExplainerRegistry:
         modality: str = "tabular",
         model_requirements: Sequence[str] | None = None,
         data_requirements: Sequence[str] = (),
+        resource_requirements: Sequence[str] = (),
     ) -> Callable:
         """Class/function decorator adding the object to the registry."""
         if model_requirements is None:
@@ -205,6 +249,12 @@ class ExplainerRegistry:
                 f"unknown data requirements {sorted(unknown)}; "
                 f"known: {sorted(RegisteredExplainer._DATA_CHECKS)}"
             )
+        unknown = set(resource_requirements) - set(RegisteredExplainer._RESOURCE_CHECKS)
+        if unknown:
+            raise ValueError(
+                f"unknown resource requirements {sorted(unknown)}; "
+                f"known: {sorted(RegisteredExplainer._RESOURCE_CHECKS)}"
+            )
 
         def decorator(obj):
             entry_info = info if info is not None else getattr(obj, "info", None)
@@ -214,6 +264,7 @@ class ExplainerRegistry:
                 modality=modality,
                 model_requirements=tuple(model_requirements),
                 data_requirements=tuple(data_requirements),
+                resource_requirements=tuple(resource_requirements),
             )
             existing = cls._entries.get(name)
             if existing is not None and existing.obj is not obj:

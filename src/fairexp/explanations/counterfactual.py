@@ -481,7 +481,7 @@ class GrowingSpheresCounterfactual(BaseCounterfactualGenerator):
 
 @ExplainerRegistry.register(
     "gradient", capabilities=("counterfactual-generator", "requires-gradient"),
-    data_requirements=("feature-specs",),
+    data_requirements=("feature-specs",), resource_requirements=("gradients",),
 )
 class GradientCounterfactual(BaseCounterfactualGenerator):
     """Gradient ascent on the target-class probability (gradient-access models).

@@ -52,6 +52,7 @@ import os
 import pickle
 import sys
 import time
+import re
 from pathlib import Path
 
 import numpy as np
@@ -93,6 +94,11 @@ _READABLE_FORMAT_VERSIONS = frozenset({1, STORE_FORMAT_VERSION})
 #: that is what makes the read-compat set above meaningful — whereas a
 #: *semantic* change to what a fingerprint covers must bump this one.
 _FINGERPRINT_VERSION = 1
+
+#: What an entry's file stem looks like: a (possibly truncated) hex digest.
+#: Anything else in the directory — a sweep's ``SWEEP_JOURNAL.json``, editor
+#: droppings — is a foreign file the store must leave alone.
+_FINGERPRINT_STEM = re.compile(r"[0-9a-f]{16,64}")
 
 #: Seconds a payload may sit unreferenced by any manifest before the orphan
 #: sweep removes it — long enough for a concurrent writer to publish the
@@ -522,9 +528,20 @@ class CounterfactualStore:
     def _payload_path(self, fingerprint: str, token: str) -> Path:
         return self.directory / f"{fingerprint}.{token}.npz"
 
+    def _entry_manifests(self) -> list[Path]:
+        """Manifests of actual entries: hex-fingerprint-named ``.json`` files.
+
+        The store directory can host foreign bookkeeping files — a sweep's
+        ``SWEEP_JOURNAL.json`` lives next to the entries it warms — and
+        those must never be listed, counted, or (worst) LRU-evicted as if
+        they were population entries.
+        """
+        return [path for path in self.directory.glob("*.json")
+                if _FINGERPRINT_STEM.fullmatch(path.stem)]
+
     def entries(self) -> list[str]:
         """Fingerprints of every entry currently published in the directory."""
-        return sorted(path.stem for path in self.directory.glob("*.json"))
+        return sorted(path.stem for path in self._entry_manifests())
 
     def entry_details(self) -> list[dict]:
         """Per-entry metadata for inspection: one dict per published entry.
@@ -539,7 +556,7 @@ class CounterfactualStore:
         """
         now = time.time()
         details: list[dict] = []
-        for manifest_path in self.directory.glob("*.json"):
+        for manifest_path in self._entry_manifests():
             try:
                 manifest = json.loads(manifest_path.read_text())
                 size = manifest_path.stat().st_size
@@ -752,8 +769,18 @@ class CounterfactualStore:
                 pass
 
     def clear(self) -> None:
-        """Remove every entry (manifests, payloads, leftover temp files)."""
-        for pattern in ("*.json", "*.npz", "*.tmp-*"):
+        """Remove every entry (manifests, payloads, leftover temp files).
+
+        Foreign files sharing the directory (a sweep journal, say) survive —
+        clearing the *store* is not a license to delete someone else's
+        bookkeeping.
+        """
+        for path in self._entry_manifests():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for pattern in ("*.npz", "*.tmp-*"):
             for path in self.directory.glob(pattern):
                 try:
                     path.unlink()
@@ -769,7 +796,7 @@ class CounterfactualStore:
         the common case: within bounds, one payload per manifest, no temp
         leftovers — no manifest needs parsing.
         """
-        manifests = list(self.directory.glob("*.json"))
+        manifests = self._entry_manifests()
         quick_total = 0
         for path in (*manifests, *self.directory.glob("*.npz"),
                      *self.directory.glob("*.tmp-*")):
@@ -786,7 +813,7 @@ class CounterfactualStore:
             return
         entries: list[tuple[float, str, int]] = []  # (mtime, fingerprint, bytes)
         referenced: set[str] = set()
-        for manifest_path in self.directory.glob("*.json"):
+        for manifest_path in self._entry_manifests():
             try:
                 manifest = json.loads(manifest_path.read_text())
                 payload_name = str(manifest.get("payload", ""))
@@ -836,18 +863,21 @@ class CounterfactualStore:
         now = time.time()
         total_bytes = 0
         ages: list[float] = []
-        for pattern in ("*.json", "*.npz"):
-            for path in self.directory.glob(pattern):
-                try:
-                    stat = path.stat()
-                except OSError:
-                    continue  # concurrently evicted by another process
-                total_bytes += stat.st_size
-                if pattern == "*.json":
-                    # Manifest mtime is the entry's recency stamp (loads bump
-                    # it); that is all the age aggregates need — no manifest
-                    # parsing on this hot, every-stats()-call path.
-                    ages.append(max(0.0, now - stat.st_mtime))
+        for path in self._entry_manifests():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another process
+            total_bytes += stat.st_size
+            # Manifest mtime is the entry's recency stamp (loads bump it);
+            # that is all the age aggregates need — no manifest parsing on
+            # this hot, every-stats()-call path.
+            ages.append(max(0.0, now - stat.st_mtime))
+        for path in self.directory.glob("*.npz"):
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue  # concurrently evicted by another process
         return {
             "store_entries": len(ages),
             "store_bytes": int(total_bytes),

@@ -28,7 +28,8 @@ def test_docs_pages_exist():
     names = {page.relative_to(REPO_ROOT).as_posix() for page in DOC_PAGES}
     assert {"docs/architecture.md", "docs/api/session.md", "docs/api/engine.md",
             "docs/api/schedules.md", "docs/api/kernels.md", "docs/api/pool.md",
-            "docs/api/backends.md", "docs/api/store.md"} <= names
+            "docs/api/backends.md", "docs/api/store.md",
+            "docs/api/sweep.md"} <= names
 
 
 @pytest.mark.parametrize(

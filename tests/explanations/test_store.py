@@ -560,6 +560,30 @@ class TestEviction:
         kept = store.entries()
         assert "7" * 64 in kept and "8" * 64 not in kept
 
+    def test_foreign_json_files_are_not_entries(self, tmp_path):
+        """A sweep's journal shares the store directory — the store must not
+        list, count, evict or clear it as if it were a population entry."""
+        journal = tmp_path / "SWEEP_JOURNAL.json"
+        journal.write_text('{"version": 1, "cells": {}}')
+        store = CounterfactualStore(tmp_path, max_entries=1)
+
+        assert store.entries() == []
+        assert store.stats()["store_entries"] == 0
+        assert [d["fingerprint"] for d in store.entry_details()] == []
+
+        # Eviction pressure: the oldest *.json in the directory is the
+        # journal, but only real entries may be LRU-evicted.
+        os.utime(journal, (1, 1))
+        store.save("a" * 64, _some_results(), n_features=3)
+        os.utime(store._manifest_path("a" * 64), (2, 2))
+        store.save("b" * 64, _some_results(), n_features=3)
+        assert journal.exists()
+        assert store.entries() == ["b" * 64]
+
+        store.clear()
+        assert store.entries() == []
+        assert journal.exists()  # clearing the store spares foreign files
+
 
 _WRITER_SCRIPT = textwrap.dedent("""
     import sys
