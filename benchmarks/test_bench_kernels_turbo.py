@@ -1,0 +1,182 @@
+"""Turbo tier vs. the exact numba tier at the 100x E1 scale (BENCH_KERNELS_TURBO.json).
+
+The ``turbo`` kernel set trades the exact tiers' bitwise contract for
+``fastmath=True, parallel=True`` throughput: prange over rows, no
+pairwise-summation replication, no feature cap, compiled L2.  This module
+times the distance and projection kernels — the two that dominate the 100x
+E1 profile — on the same shapes as ``test_bench_kernels.py``, asserts the
+compiled turbo tier beats the exact numba tier by at least
+``MIN_TURBO_SPEEDUP``x in aggregate (the ISSUE acceptance bar), verifies
+the observed numeric drift stays inside the documented
+:data:`~fairexp.explanations.kernels.TURBO_KERNEL_TOLERANCES`, and records
+timings, speedup and the measured deviations to ``BENCH_KERNELS_TURBO.json``.
+
+Without parallel numba the speedup assertion is skipped (the threaded-NumPy
+fallback is a compatibility path, not the perf claim), but the parity
+checks still run against the fallback so the tier's numerics are exercised
+everywhere.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import record
+
+from fairexp.explanations import resolve_kernels
+from fairexp.explanations import kernels as kernels_module
+from fairexp.explanations.kernels import TURBO_KERNEL_TOLERANCES
+
+# Same 100x-E1 shapes as test_bench_kernels.py: one lockstep wave's
+# projection tensor plus the run's accumulated hit-distance pairs.
+N_WAVE_ROWS = 2000
+N_CANDIDATES = 200
+N_FEATURES = 6
+N_HITS = 60000
+
+# Acceptance bar (compiled turbo only): aggregate distance+project wall
+# time at least 1.5x faster than the exact numba tier.
+MIN_TURBO_SPEEDUP = 1.5
+
+HAVE_TURBO = bool(kernels_module._turbo_kernels())
+
+
+def _workload():
+    rng = np.random.default_rng(20260807)
+    scale = rng.uniform(0.5, 2.0, size=N_FEATURES)
+    X_hits = rng.normal(size=(N_HITS, N_FEATURES))
+    hit_candidates = X_hits + rng.normal(size=X_hits.shape)
+    x_wave = rng.normal(size=(N_WAVE_ROWS, 1, N_FEATURES))
+    wave_candidates = x_wave + rng.normal(size=(N_WAVE_ROWS, N_CANDIDATES, N_FEATURES))
+    constraints = {
+        "immutable": np.array([True, False, False, False, False, True]),
+        "lower": np.array([-np.inf, -1.0, np.nan, 0.0, -np.inf, -np.inf]),
+        "upper": np.array([np.inf, 1.0, 2.0, np.nan, np.inf, np.inf]),
+        "monotone": np.array([0, 1, -1, 0, 1, 0]),
+    }
+    return scale, X_hits, hit_candidates, x_wave, wave_candidates, constraints
+
+
+def _best_of(runs, fn):
+    """Minimum wall time of ``fn`` over ``runs`` calls (returns last result)."""
+    best = np.inf
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_turbo_vs_exact_numba_tier(benchmark):
+    """Compiled turbo: >=1.5x over exact numba on distance+project, in-tolerance."""
+    turbo = resolve_kernels("turbo")
+    # The exact comparison tier: numba when installed, else the numpy
+    # reference (fallback-only environments still exercise parity).
+    exact = resolve_kernels("numba" if kernels_module.numba_version() else "numpy")
+    scale, X_hits, hit_candidates, x_wave, wave_candidates, constraints = _workload()
+
+    # Warm both tiers so JIT compilation never lands inside a timed run.
+    for kernels in (exact, turbo):
+        kernels.batch_counterfactual_distance(X_hits[:64], hit_candidates[:64],
+                                              scale=scale, metric="l1")
+        kernels.project_candidates(x_wave[:4], wave_candidates[:4], **constraints)
+
+    exact_times: dict[str, float] = {}
+    turbo_times: dict[str, float] = {}
+
+    # 1. Batched hit distances, every metric the audits use.
+    tol = TURBO_KERNEL_TOLERANCES["batch_counterfactual_distance"]
+    max_distance_rel_dev = 0.0
+    exact_distance_total = 0.0
+    turbo_distance_total = 0.0
+    for metric in ("l1", "l2", "l0"):
+        exact_time, d_exact = _best_of(3, lambda m=metric: (
+            exact.batch_counterfactual_distance(X_hits, hit_candidates,
+                                                scale=scale, metric=m)))
+        turbo_time, d_turbo = _best_of(3, lambda m=metric: (
+            turbo.batch_counterfactual_distance(X_hits, hit_candidates,
+                                                scale=scale, metric=m)))
+        exact_distance_total += exact_time
+        turbo_distance_total += turbo_time
+        assert np.allclose(d_turbo, d_exact, rtol=tol["rtol"], atol=tol["atol"]), (
+            f"turbo {metric} distances outside the documented tolerance"
+        )
+        denom = np.maximum(np.abs(d_exact), 1e-12)
+        max_distance_rel_dev = max(
+            max_distance_rel_dev, float(np.max(np.abs(d_turbo - d_exact) / denom))
+        )
+    exact_times["distance"] = exact_distance_total
+    turbo_times["distance"] = turbo_distance_total
+
+    # 2. Wave projection of the (pending, candidates, d) tensor — bitwise.
+    exact_times["project"], p_exact = _best_of(3, lambda: exact.project_candidates(
+        x_wave, wave_candidates, **constraints))
+    turbo_times["project"], p_turbo = _best_of(3, lambda: turbo.project_candidates(
+        x_wave, wave_candidates, **constraints))
+    assert np.array_equal(p_exact, p_turbo), "turbo projection drifted (must be bitwise)"
+
+    exact_total = sum(exact_times.values())
+    turbo_total = sum(turbo_times.values())
+    speedup = exact_total / turbo_total
+
+    if HAVE_TURBO:
+        assert speedup >= MIN_TURBO_SPEEDUP, (
+            f"compiled turbo only {speedup:.2f}x over the exact numba tier "
+            f"(need >={MIN_TURBO_SPEEDUP}x): exact={exact_times}, turbo={turbo_times}"
+        )
+    elif speedup < 1.0:
+        # Fallback environments make no perf claim, but a drastic regression
+        # versus the exact tier would still be a bug worth failing on.
+        assert speedup >= 0.5, (
+            f"threaded-NumPy turbo fallback {speedup:.2f}x slower than exact"
+        )
+
+    # One timed pass through the turbo side for pytest-benchmark stats.
+    benchmark.pedantic(lambda: (
+        turbo.batch_counterfactual_distance(X_hits, hit_candidates,
+                                            scale=scale, metric="l1"),
+        turbo.project_candidates(x_wave, wave_candidates, **constraints),
+    ), rounds=1, iterations=1)
+
+    record(benchmark, {
+        "turbo_compiled": HAVE_TURBO,
+        "turbo_speedup_vs_exact": speedup,
+        "exact_total_seconds": exact_total,
+        "turbo_total_seconds": turbo_total,
+        **{f"exact_{name}_seconds": value for name, value in exact_times.items()},
+        **{f"turbo_{name}_seconds": value for name, value in turbo_times.items()},
+        "max_distance_relative_deviation": max_distance_rel_dev,
+        "distance_rtol_bound": tol["rtol"],
+        "exact_tier_name": exact.name,
+        "n_hit_pairs": N_HITS,
+        "wave_shape": f"{N_WAVE_ROWS}x{N_CANDIDATES}x{N_FEATURES}",
+    }, experiment="KERNELS_TURBO")
+
+
+@pytest.mark.skipif(not HAVE_TURBO, reason="parallel numba (turbo tier) not available")
+def test_turbo_wide_rows_beat_numpy_reference(benchmark):
+    """Beyond the exact tier's 128-feature cap, turbo still runs compiled."""
+    d = kernels_module.NUMBA_MAX_REDUCE_FEATURES * 2
+    rng = np.random.default_rng(20260807)
+    X = rng.normal(size=(20000, d))
+    candidates = X + rng.normal(size=X.shape)
+    turbo = resolve_kernels("turbo")
+    exact = resolve_kernels("numba")  # defers wide rows to the NumPy reference
+    turbo.batch_counterfactual_distance(X[:64], candidates[:64])  # JIT warm-up
+
+    exact_time, d_exact = _best_of(3, lambda: exact.batch_counterfactual_distance(
+        X, candidates, metric="l1"))
+    turbo_time, d_turbo = _best_of(3, lambda: turbo.batch_counterfactual_distance(
+        X, candidates, metric="l1"))
+    tol = TURBO_KERNEL_TOLERANCES["batch_counterfactual_distance"]
+    assert np.allclose(d_turbo, d_exact, rtol=tol["rtol"], atol=tol["atol"])
+
+    benchmark.pedantic(lambda: turbo.batch_counterfactual_distance(
+        X, candidates, metric="l1"), rounds=1, iterations=1)
+    record(benchmark, {
+        "wide_exact_seconds": exact_time,
+        "wide_turbo_seconds": turbo_time,
+        "wide_speedup": exact_time / turbo_time,
+        "n_features": d,
+    }, experiment="KERNELS_TURBO")

@@ -27,7 +27,7 @@ registry instead of being a second hand-maintained list.
 
 from __future__ import annotations
 
-from .explanations.kernels import numba_version
+from .explanations.kernels import numba_parallel_supported, numba_version
 from .sweep import Factor, SweepRegistry, SweepSpec
 from .workloads import (
     run_e1_e2_burden_nawb,
@@ -83,9 +83,14 @@ _TABULAR_DATA = ("labels", "feature-specs")
 #: compute graph); ``"numba"`` appears only when the compiled kernel path
 #: is actually importable, so the kernels factor's numba level prunes —
 #: with a named reason — in numpy-only environments instead of silently
-#: falling back.
+#: falling back.  ``"numba_parallel"`` likewise gates the turbo level: a
+#: sweep should compare the fastmath+parallel tier, not its threaded-NumPy
+#: fallback (which is numerically just the numpy tier under a turbo
+#: fingerprint).
 _SERVABLE = frozenset(
-    {"servable"} | ({"numba"} if numba_version() is not None else set())
+    {"servable"}
+    | ({"numba"} if numba_version() is not None else set())
+    | ({"numba_parallel"} if numba_parallel_supported() else set())
 )
 
 
@@ -116,12 +121,17 @@ def _explainer_factor() -> Factor:
 
 def _kernels_factor() -> Factor:
     # ``default`` = ``kernels=None`` (the FAIREXP_KERNELS auto path, the
-    # legacy behaviour); the explicit levels pin one implementation.  All
-    # kernel paths are bitwise-neutral, so they cross freely with resume.
+    # legacy behaviour); the explicit levels pin one implementation.  The
+    # exact levels are bitwise-neutral, so they cross freely with resume;
+    # ``turbo`` is tolerance-bound and fingerprint-visible, and prunes
+    # (named reason) unless the workload provides ``numba_parallel`` — the
+    # fastmath+parallel compiled tier, not its fallback, is what a sweep
+    # should be comparing.
     return Factor(
         "kernels",
-        levels=(("default", None), ("numpy", "numpy"), ("numba", "numba")),
-        requires={"numba": ("numba",)},
+        levels=(("default", None), ("numpy", "numpy"), ("numba", "numba"),
+                ("turbo", "turbo")),
+        requires={"numba": ("numba",), "turbo": ("numba_parallel",)},
     )
 
 

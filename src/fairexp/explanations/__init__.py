@@ -49,6 +49,8 @@ from .kernels import (
     active_kernel_info,
     batch_counterfactual_distance,
     build_prefix_revert_trials,
+    numba_parallel_supported,
+    numba_threading_layer,
     project_candidates,
     rank_changed_features,
     resolve_kernels,
@@ -159,6 +161,8 @@ __all__ = [
     "KernelSet",
     "resolve_kernels",
     "active_kernel_info",
+    "numba_parallel_supported",
+    "numba_threading_layer",
     "batch_counterfactual_distance",
     "project_candidates",
     "build_prefix_revert_trials",

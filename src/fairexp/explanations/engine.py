@@ -365,10 +365,13 @@ def _iter_init_parameters(generator):
         if init is None:
             continue
         for name, parameter in inspect.signature(init).parameters.items():
-            # "kernels" is excluded on purpose: kernel sets are bitwise-equal,
-            # so the choice must never reach generator_config — a store
-            # fingerprint that varied with FAIREXP_KERNELS would needlessly
-            # split identical populations across cache entries.
+            # "kernels" is excluded on purpose: the exact kernel sets are
+            # bitwise-equal, so that choice must never reach generator_config
+            # — a store fingerprint that varied between numpy and numba would
+            # needlessly split identical populations across cache entries.
+            # The tolerance-bound turbo tier is the one exception, injected
+            # by generator_config as a "kernel_tier" entry (not an __init__
+            # parameter) precisely because its outputs may differ.
             if name in ("self", "model", "background", "kernels") or name in seen:
                 continue
             if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
@@ -394,12 +397,24 @@ def generator_config(generator) -> dict:
     argument under a different attribute name (or not at all) yields a
     config with that parameter missing, which would rebuild with the default
     and fingerprint two different configurations identically.
+
+    The *exact* kernel choice (numpy/numba) is deliberately invisible here
+    — those sets are bitwise-equal, so fingerprints must not split on them.
+    When the generator resolves to the opt-in ``turbo`` tier, whose outputs
+    are only tolerance-bound, the config gains a ``"kernel_tier"`` entry
+    carrying the set's fingerprint token so turbo-computed populations
+    never alias exact ones in the store (shard-spec builders strip it
+    before rebuilding — it is not a constructor parameter).
     """
-    return {
+    config = {
         name: getattr(generator, name)
         for name in _iter_init_parameters(generator)
         if hasattr(generator, name)
     }
+    kernel_set = resolve_kernels(getattr(generator, "kernels", None))
+    if kernel_set.fingerprint_token is not None:
+        config["kernel_tier"] = kernel_set.fingerprint_token
+    return config
 
 
 def generator_config_is_faithful(generator) -> bool:
@@ -448,17 +463,22 @@ def _process_shard_spec(generator) -> dict | None:
     backend = effective_backend(model)
     if isinstance(model, BatchModelAdapter):
         model = model.model
+    params = generator_config(generator)
+    # "kernel_tier" is fingerprint metadata, not a constructor parameter —
+    # the tier itself travels via the "kernels" name below.
+    params.pop("kernel_tier", None)
     spec = {
         "cls": type(generator),
         "model": model,
         "fn": None,
         "fn_name": None,
         "background": np.asarray(generator.background, dtype=float),
-        "params": generator_config(generator),
+        "params": params,
         # Workers must run the same kernel path the parent resolved (a
-        # worker whose environment lacks numba still falls back gracefully,
-        # and stays bitwise-identical either way).  The resolved NAME is
-        # shipped — compiled kernel sets themselves don't pickle.
+        # worker whose environment lacks numba still falls back gracefully:
+        # exact tiers stay bitwise-identical, a turbo request resolves to
+        # the threaded turbo fallback).  The resolved NAME is shipped —
+        # compiled kernel sets themselves don't pickle.
         "kernels": resolve_kernels(getattr(generator, "kernels", None)).name,
     }
     if backend is None or type(backend) is NumpyPredictBackend:
@@ -563,12 +583,13 @@ class CounterfactualEngine:
         (see :func:`~fairexp.explanations.kernels.resolve_kernels`):
         ``None`` (default) keeps the generator's own choice / the
         ``FAIREXP_KERNELS`` environment variable; ``"auto"`` / ``"numpy"`` /
-        ``"numba"`` (or a resolved
+        ``"numba"`` / ``"turbo"`` (or a resolved
         :class:`~fairexp.explanations.kernels.KernelSet`) is installed on
         the generator so every pass — including process-sharded workers,
         which receive the resolved name in their shard spec — runs the same
-        path.  All kernel sets are bitwise-equal; the choice never reaches
-        store fingerprints.
+        path.  The exact sets are bitwise-equal and never reach store
+        fingerprints; the opt-in ``turbo`` tier is tolerance-bound and
+        fingerprint-visible (see :func:`generator_config`).
     """
 
     def __init__(self, generator, *, adapt_model: bool = True, n_jobs: int = 1,
@@ -618,8 +639,8 @@ class CounterfactualEngine:
     @property
     def kernel_path(self) -> str:
         """The hot-path kernel set this engine's searches resolve to
-        (``"numpy"`` or ``"numba"``), surfaced in session stats and the
-        benchmark trajectories."""
+        (``"numpy"``, ``"numba"`` or ``"turbo"``), surfaced in session
+        stats and the benchmark trajectories."""
         return resolve_kernels(getattr(self.generator, "kernels", None)).name
 
     # ------------------------------------------------------------ generation

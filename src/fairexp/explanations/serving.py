@@ -450,7 +450,15 @@ class ScoringServer:
     With ``pool=`` (an :class:`~fairexp.explanations.pool.ExecutorPool`)
     scorer evaluation runs on the pool's thread executor instead of the
     request thread, so busy-worker / queue-depth numbers show up in the
-    pool's (and this server's) stats.
+    pool's (and this server's) stats.  ``max_pending`` then adds a second
+    shed condition on the pool itself: a batch is refused (same fast 429)
+    whenever the attached pool's thread queue depth
+    (:meth:`ExecutorPool.pending`) has reached the bound — the in-flight
+    gauge counts batches *this server* admitted, while ``pending()`` sees
+    the whole queue, including work other holders of a shared pool
+    submitted, so a saturated scorer pool sheds even when few requests are
+    formally in flight.  Pool-depth sheds are booked separately as
+    ``pool_shed`` in :meth:`stats`.
 
     ``python -m fairexp serve --graph a.npz --graph b.npz`` wraps this
     class around :class:`ComputeGraph` archives, which is how a scoring
@@ -459,14 +467,21 @@ class ScoringServer:
     """
 
     def __init__(self, scorer, *, host: str = "127.0.0.1", port: int = 0,
-                 max_inflight: int | None = None, retry_after: float = 0.05,
-                 pool=None) -> None:
+                 max_inflight: int | None = None, max_pending: int | None = None,
+                 retry_after: float = 0.05, pool=None) -> None:
+        if max_pending is not None and pool is None:
+            raise ValidationError(
+                "max_pending= bounds the attached pool's queue depth; "
+                "it requires pool="
+            )
         self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.max_pending = None if max_pending is None else int(max_pending)
         self.retry_after = float(retry_after)
         self.pool = pool
         self.request_count = 0
         self.row_count = 0
         self.shed_count = 0
+        self.pool_shed_count = 0
         self.peak_inflight = 0
         self._inflight = 0
         self._scorers: dict[str, object] = {}
@@ -616,18 +631,33 @@ class ScoringServer:
 
     # -------------------------------------------------------------- admission
     def _admit(self, key: str) -> bool:
-        """Admit one batch, or count a shed when past ``max_inflight``."""
+        """Admit one batch, or count a shed when a saturation bound is hit.
+
+        Two independent bounds: ``max_inflight`` on this server's own
+        admitted-batch gauge, and ``max_pending`` on the attached pool's
+        thread queue depth — the latter sees submissions from *every*
+        holder of a shared pool, so scorer-pool saturation sheds load even
+        when this server's in-flight count is low.
+        """
         with self._lock:
             if (self.max_inflight is not None
                     and self._inflight >= self.max_inflight):
-                self.shed_count += 1
-                stats = self._graph_stats.get(key)
-                if stats is not None:
-                    stats["shed"] += 1
-                return False
+                return self._shed_locked(key)
+            if (self.max_pending is not None and self.pool is not None
+                    and self.pool.pending("thread") >= self.max_pending):
+                self.pool_shed_count += 1
+                return self._shed_locked(key)
             self._inflight += 1
             self.peak_inflight = max(self.peak_inflight, self._inflight)
             return True
+
+    def _shed_locked(self, key: str) -> bool:
+        """Book one refused batch (global + per-graph); returns ``False``."""
+        self.shed_count += 1
+        stats = self._graph_stats.get(key)
+        if stats is not None:
+            stats["shed"] += 1
+        return False
 
     def _leave(self) -> None:
         with self._lock:
@@ -669,10 +699,11 @@ class ScoringServer:
         ``client_batches`` (caller batches the clients coalesced into those
         requests), the derived ``coalescing_factor`` and the last
         client-reported dispatch ``window``.  Globals keep the legacy
-        ``requests`` / ``rows`` names, plus ``shed``, ``inflight`` /
-        ``peak_inflight`` and the configured ``max_inflight``.  With an
-        attached pool, its per-kind utilization rides along under
-        ``pool``.
+        ``requests`` / ``rows`` names, plus ``shed`` (every refusal),
+        ``pool_shed`` (the subset refused on attached-pool queue depth),
+        ``inflight`` / ``peak_inflight`` and the configured
+        ``max_inflight`` / ``max_pending``.  With an attached pool, its
+        per-kind utilization rides along under ``pool``.
         """
         with self._lock:
             graphs = {}
@@ -688,9 +719,11 @@ class ScoringServer:
                 "requests": self.request_count,
                 "rows": self.row_count,
                 "shed": self.shed_count,
+                "pool_shed": self.pool_shed_count,
                 "inflight": self._inflight,
                 "peak_inflight": self.peak_inflight,
                 "max_inflight": self.max_inflight,
+                "max_pending": self.max_pending,
                 "graphs": graphs,
             }
         if self.pool is not None:
@@ -758,7 +791,8 @@ def serve_model(model, *, host: str = "127.0.0.1", port: int = 0,
 
 
 def serve_fleet(models_or_graphs, *, host: str = "127.0.0.1", port: int = 0,
-                max_inflight: int | None = None, pool=None) -> ScoringServer:
+                max_inflight: int | None = None, max_pending: int | None = None,
+                pool=None) -> ScoringServer:
     """Start one loopback :class:`ScoringServer` hosting a whole model fleet.
 
     Each element of ``models_or_graphs`` is a fitted model (compiled via
@@ -769,7 +803,8 @@ def serve_fleet(models_or_graphs, *, host: str = "127.0.0.1", port: int = 0,
     graphs = [graph if isinstance(graph, ComputeGraph) else export_model(graph)
               for graph in models_or_graphs]
     return ScoringServer(graphs, host=host, port=port,
-                         max_inflight=max_inflight, pool=pool)
+                         max_inflight=max_inflight, max_pending=max_pending,
+                         pool=pool)
 
 
 # ---------------------------------------------------------------------------
@@ -1118,7 +1153,12 @@ class RemoteScoringBackend(NumpyPredictBackend):
     backend's batches route to: a :class:`ComputeGraph` (its content hash
     is derived), a hash string, or ``None`` for the single-graph wire
     shape.  Batches for different graphs ride different lanes of the
-    shared client and never mix in a wire call.
+    shared client and never mix in a wire call.  The graph hash doubles as
+    the backend's *store identity*: sessions driven through a graph-routed
+    remote backend fingerprint by it (never by the ephemeral server
+    endpoint), so their populations stay store-addressable across server
+    restarts; a graph-less remote backend has no reproducible predictor
+    identity and skips the persistent store.
 
     The backend declares ``releases_gil=True``: the wire call blocks on a
     socket, so thread-sharding across it scales (and is what lets the

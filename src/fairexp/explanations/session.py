@@ -93,14 +93,17 @@ class AuditSession:
         geometric and adaptive results never alias.
     kernels:
         Hot-path kernel selection for the sweep's searches (``"auto"`` /
-        ``"numpy"`` / ``"numba"`` or a resolved
+        ``"numpy"`` / ``"numba"`` / ``"turbo"`` or a resolved
         :class:`~fairexp.explanations.kernels.KernelSet`), installed on the
         generator like ``schedule`` and forwarded to process-shard workers.
         ``None`` (default) keeps the generator's choice / the
         ``FAIREXP_KERNELS`` environment variable.  Unlike ``schedule``, the
-        kernel choice is bitwise-neutral, so it never reaches the store
+        *exact* choices are bitwise-neutral, so they never reach the store
         fingerprint — numpy- and numba-computed populations share entries.
-        The path that actually ran is reported by :meth:`stats` as
+        The opt-in ``turbo`` tier is the exception: its outputs are only
+        tolerance-bound, so the resolved tier joins the fingerprint and
+        turbo-computed populations publish under their own entries.  The
+        path that actually ran is reported by :meth:`stats` as
         ``kernel_path``.
     pool:
         An :class:`~fairexp.explanations.pool.ExecutorPool` the engine runs
@@ -234,13 +237,14 @@ class AuditSession:
         self.engine_predict_call_count = 0
         # population key -> {row index -> Counterfactual | None (infeasible)}
         self._results: dict[str, dict[int, Counterfactual | None]] = {}
-        # population key -> (schedule observed at compute time, fingerprint);
-        # cleared with the results, since a refit invalidates both.  The
-        # schedule rides along because another session sharing this
-        # generator can swap it mid-sweep (schedule=...), and a memoized
-        # fingerprint from before the swap would publish the new schedule's
-        # rows under the old schedule's store entry.
-        self._store_fingerprints: dict[str, tuple[object, str | None]] = {}
+        # population key -> (schedule observed at compute time, kernel-tier
+        # token observed at compute time, fingerprint); cleared with the
+        # results, since a refit invalidates all three.  The schedule and
+        # tier ride along because another session sharing this generator can
+        # swap them mid-sweep (schedule=... / kernels="turbo"), and a
+        # memoized fingerprint from before the swap would publish the new
+        # configuration's rows under the old configuration's store entry.
+        self._store_fingerprints: dict[str, tuple[object, str | None, str | None]] = {}
         # Fingerprints this session has already published once: later
         # publishes skip the disk read-back merge — the in-memory cache is a
         # superset of this session's own last write (cross-process races
@@ -404,13 +408,13 @@ class AuditSession:
             evicted = next(iter(self._results))
             self._results.pop(evicted)
             memo = self._store_fingerprints.pop(evicted, None)
-            if memo is not None and memo[1] is not None:
+            if memo is not None and memo[2] is not None:
                 # The published-fingerprint memo must fall with the results:
                 # after eviction the in-memory cache is no longer a superset
                 # of this session's own writes, so the next publish of a
                 # re-touched population has to do the disk read-back merge
                 # again or it would silently drop rows from the store entry.
-                self._published_fingerprints.discard(memo[1])
+                self._published_fingerprints.discard(memo[2])
         first_touch = key not in self._results
         cache = self._results.setdefault(key, {})
         if first_touch:
@@ -435,17 +439,21 @@ class AuditSession:
     def _store_fingerprint(self, key: str, X: np.ndarray) -> str | None:
         """Store fingerprint for a population, memoized per population key.
 
-        The memo is invalidated when the generator's schedule object changed
-        since it was computed (a second session over the same generator can
-        install a different schedule), so rows searched under the new
-        schedule are never published under the old schedule's entry.
+        The memo is invalidated when the generator's schedule object or its
+        resolved kernel-tier token changed since it was computed (a second
+        session over the same generator can install a different schedule or
+        swap between an exact tier and ``turbo``), so rows searched under
+        the new configuration are never published under the old entry.
         """
         schedule = getattr(self.generator, "schedule", None)
+        tier_token = resolve_kernels(
+            getattr(self.generator, "kernels", None)
+        ).fingerprint_token
         memo = self._store_fingerprints.get(key)
-        if memo is None or memo[0] is not schedule:
-            memo = (schedule, population_fingerprint(self.generator, X))
+        if memo is None or memo[0] is not schedule or memo[1] != tier_token:
+            memo = (schedule, tier_token, population_fingerprint(self.generator, X))
             self._store_fingerprints[key] = memo
-        return memo[1]
+        return memo[2]
 
     def _seed_from_store(self, key: str, X: np.ndarray,
                          cache: dict[int, Counterfactual | None]) -> None:

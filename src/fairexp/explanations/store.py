@@ -238,7 +238,7 @@ def _dispatch_token(model) -> bytes | None:
         return b"dispatch:model-predict"
     # Imported lazily to keep this module importable before serving.py
     # (package init order), and because only this branch needs it.
-    from .serving import OnnxExportBackend
+    from .serving import OnnxExportBackend, RemoteScoringBackend
 
     if isinstance(backend, OnnxExportBackend):
         # The exported graph carries its full predictor identity in its own
@@ -246,6 +246,18 @@ def _dispatch_token(model) -> bytes | None:
         # processes), so ONNX-backed sweeps can warm-start from the store —
         # keyed apart from in-process sweeps and from any other graph.
         return b"dispatch:onnx-graph:" + backend.graph.signature().encode()
+    if isinstance(backend, RemoteScoringBackend):
+        # A remote scorer's endpoint (host:port of a loopback or fleet
+        # server) is ephemeral — folding it would fingerprint-miss on every
+        # resume.  The graph content hash the backend routes by IS the
+        # predictor identity (the server scores that exact graph), so
+        # remote cells keyed on it are store-addressable across server
+        # restarts and share entries with nothing else.  A graph-less
+        # remote backend (bare URL, unknown server-side predictor) has no
+        # reproducible identity: skip the store.
+        if backend.graph_key:
+            return b"dispatch:remote-graph:" + str(backend.graph_key).encode()
+        return None
     if type(backend) is CallablePredictBackend:
         try:
             parts = [b"dispatch:callable:", pickle.dumps(backend.fn)]

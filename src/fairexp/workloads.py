@@ -228,7 +228,8 @@ def _session_for(dataset, train, model, *, seed=0, name="growing_spheres", n_job
     ``"adaptive"``) selects the candidate-search schedule every audit of the
     sweep runs under; ``predict_backend`` (from :func:`_serving_backend`)
     reroutes the sweep's predict batches out of process; ``kernels`` selects
-    the hot-path kernel implementation (bitwise-neutral); sharded passes
+    the hot-path kernel implementation (exact tiers are bitwise-neutral;
+    ``"turbo"`` is tolerance-bound and fingerprint-visible); sharded passes
     reuse the session's executor pool."""
     return track_session(
         AuditSession(_generator_for(dataset, train, model, seed=seed, name=name),
@@ -312,7 +313,8 @@ def run_e1_e2_burden_nawb(n_samples: int = 600, audit_size: int = 80,
     predict batches run (``"onnx"`` = exported compute graph, ``"remote"``
     = loopback scoring server); ``explainer`` names the registered
     counterfactual generator the shared session draws from; ``kernels``
-    picks the (bitwise-neutral) hot-path kernel implementation.
+    picks the hot-path kernel implementation (exact tiers bitwise-neutral,
+    ``"turbo"`` tolerance-bound and fingerprint-visible).
     """
     results: dict[str, float] = {"predict_backend": backend}
     for label, direct_bias, recourse_gap in (("biased", 1.2, 1.0), ("fair", 0.0, 0.0)):

@@ -306,9 +306,11 @@ class TestDispatch:
 
     def test_active_kernel_info_fields(self):
         info = active_kernel_info("numpy")
-        assert info == {"kernel_path": "numpy", "kernel_numba_version": "numpy"}
+        assert info == {"kernel_path": "numpy", "kernel_tier": "exact",
+                        "kernel_numba_version": "numpy"}
         auto = active_kernel_info()
         assert auto["kernel_path"] in ("numpy", "numba")
+        assert auto["kernel_tier"] == "exact"  # auto never picks turbo
 
     def test_module_level_kernels_accept_choice(self, rng):
         X = rng.normal(size=(6, 4))

@@ -1,0 +1,466 @@
+"""Tolerance-contract, dispatch and fingerprint tests for the turbo tier.
+
+The exact tiers promise bitwise parity (``test_kernels.py``); the opt-in
+``turbo`` tier promises something weaker and documents it: per-kernel
+outputs within :data:`~fairexp.explanations.kernels.TURBO_KERNEL_TOLERANCES`
+of the exact reference, end-to-end E1 audit metrics within
+``TURBO_METRIC_ATOL + TURBO_METRIC_RTOL * |exact|``, and — because the
+numbers may differ — a fingerprint-visible tier token so turbo-computed
+populations never alias exact ones in the persistent store.  This module
+asserts that contract from the kernel level up through sessions, shard
+specs, sweep pruning and the store.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from fairexp.datasets import make_adult_like, make_loan_dataset, make_scm_loan_dataset
+from fairexp.exceptions import ValidationError
+from fairexp.explanations import (
+    ActionabilityConstraints,
+    AuditSession,
+    BatchModelAdapter,
+    CounterfactualEngine,
+    CounterfactualStore,
+    GrowingSpheresCounterfactual,
+    RandomSearchCounterfactual,
+    RemoteScoringBackend,
+    active_kernel_info,
+    export_model,
+    generator_config,
+    numba_parallel_supported,
+    population_fingerprint,
+    resolve_kernels,
+)
+from fairexp.explanations import kernels as kernels_module
+from fairexp.explanations.engine import _process_shard_spec
+from fairexp.explanations.kernels import (
+    _NUMBA_SET,
+    _NUMPY_SET,
+    _TURBO_FALLBACK_SET,
+    _TURBO_SET,
+    TURBO_KERNEL_TOLERANCES,
+    TURBO_METRIC_ATOL,
+    TURBO_METRIC_RTOL,
+    numba_version,
+)
+from fairexp.experiments import SweepRegistry
+from fairexp.models import LogisticRegression
+from fairexp.workloads import run_e1_e2_burden_nawb
+
+HAVE_NUMBA = numba_version() is not None
+# Resolving the tier once up front also makes numba_parallel_supported()
+# definitive for the rest of the module (the probe compile has run).
+HAVE_TURBO = bool(kernels_module._turbo_kernels())
+needs_turbo = pytest.mark.skipif(
+    not HAVE_TURBO, reason="parallel numba (turbo tier) not available")
+
+
+def _metric_close(turbo_value, exact_value) -> bool:
+    """The documented audit-metric bound of the turbo tier."""
+    return abs(turbo_value - exact_value) <= (
+        TURBO_METRIC_ATOL + TURBO_METRIC_RTOL * abs(exact_value)
+    )
+
+
+def _family_workload(family):
+    """Representative (X_rows, candidates, constraints, scale) per E-family."""
+    if family in ("E1", "E2", "E4", "E5", "E7", "E8"):
+        dataset = make_loan_dataset(300, direct_bias=1.2, recourse_gap=1.0,
+                                    random_state=0)
+    elif family in ("E3", "E9"):
+        dataset = make_adult_like(300, direct_bias=1.2, proxy_bias=0.9,
+                                  random_state=0)
+    else:  # E6: SCM loan recourse
+        dataset, _ = make_scm_loan_dataset(300, random_state=0)
+    constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
+    rng = np.random.default_rng(sum(map(ord, family)))
+    X_rows = dataset.X[rng.permutation(dataset.n_samples)[:40]]
+    candidates = X_rows + rng.normal(size=X_rows.shape) * (rng.random(X_rows.shape) < 0.7)
+    scale = np.std(dataset.X, axis=0)
+    return X_rows, candidates, constraints, scale
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture(scope="module")
+def loan_workload():
+    dataset = make_loan_dataset(400, direct_bias=1.2, recourse_gap=1.0, random_state=0)
+    train, test = dataset.split(test_size=0.3, random_state=1)
+    model = LogisticRegression(n_iter=800, random_state=0).fit(train.X, train.y)
+    rejected = test.X[model.predict(test.X) == 0][:12]
+    constraints = ActionabilityConstraints.from_feature_specs(dataset.features)
+    return model, train.X, constraints, rejected
+
+
+# --------------------------------------------------------------------------
+# Resolution, precedence, fallback: the tier name always resolves.
+# --------------------------------------------------------------------------
+class TestTurboDispatch:
+    def test_turbo_resolves_to_turbo_named_set(self):
+        kernel_set = resolve_kernels("turbo")
+        assert kernel_set.name == "turbo"
+        assert kernel_set.tier == "turbo"
+        assert kernel_set.fingerprint_token is not None
+        if HAVE_TURBO:
+            assert kernel_set is _TURBO_SET
+            assert str(numba_version()) in kernel_set.fingerprint_token
+        else:
+            assert kernel_set is _TURBO_FALLBACK_SET
+            assert kernel_set.fingerprint_token == "turbo:numpy-threaded"
+
+    def test_exact_sets_have_no_fingerprint_token(self):
+        for kernel_set in (_NUMPY_SET, _NUMBA_SET):
+            assert kernel_set.tier == "exact"
+            assert kernel_set.fingerprint_token is None
+        # the two turbo sets must never alias each other in a store either
+        assert _TURBO_SET.fingerprint_token != _TURBO_FALLBACK_SET.fingerprint_token
+
+    def test_env_var_selects_turbo(self, monkeypatch):
+        monkeypatch.setenv("FAIREXP_KERNELS", "turbo")
+        assert resolve_kernels(None).name == "turbo"
+
+    def test_explicit_choice_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("FAIREXP_KERNELS", "turbo")
+        assert resolve_kernels("numpy") is _NUMPY_SET
+        monkeypatch.setenv("FAIREXP_KERNELS", "numpy")
+        assert resolve_kernels("turbo").name == "turbo"
+
+    def test_auto_never_selects_turbo(self, monkeypatch):
+        assert resolve_kernels("auto").tier == "exact"
+        monkeypatch.delenv("FAIREXP_KERNELS", raising=False)
+        assert resolve_kernels(None).tier == "exact"
+
+    def test_invalid_choice_still_raises(self):
+        with pytest.raises(ValidationError, match="kernels must be one of"):
+            resolve_kernels("turbo2")
+
+    def test_fallback_warns_once(self, monkeypatch):
+        # Simulate turbo-unavailable even where parallel numba exists.
+        monkeypatch.setitem(kernels_module._TURBO_STATE, "kernels", False)
+        monkeypatch.setattr(kernels_module, "_warned_turbo_fallback", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_kernels("turbo") is _TURBO_FALLBACK_SET
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernels("turbo") is _TURBO_FALLBACK_SET
+
+    def test_active_kernel_info_reports_turbo_tier(self):
+        info = active_kernel_info("turbo")
+        assert info["kernel_path"] == "turbo"
+        assert info["kernel_tier"] == "turbo"
+        if HAVE_TURBO:
+            assert info["kernel_numba_version"] == numba_version()
+        else:
+            # threaded-NumPy fallback runs on the reference implementations
+            assert info["kernel_numba_version"] == "numpy"
+
+    def test_parallel_support_is_definitive_after_resolve(self):
+        # module import resolved the tier, so the probe result is cached
+        assert numba_parallel_supported() == HAVE_TURBO
+
+
+# --------------------------------------------------------------------------
+# Per-kernel tolerance contract against the exact reference.
+# --------------------------------------------------------------------------
+@needs_turbo
+@pytest.mark.parametrize("family", [f"E{i}" for i in range(1, 10)])
+class TestTurboKernelTolerances:
+    def test_distance_within_documented_tolerance(self, family):
+        X_rows, candidates, constraints, scale = _family_workload(family)
+        tol = TURBO_KERNEL_TOLERANCES["batch_counterfactual_distance"]
+        for metric in ("l1", "l2", "l0"):
+            exact = _NUMPY_SET.batch_counterfactual_distance(
+                X_rows, candidates, scale=scale, metric=metric)
+            turbo = _TURBO_SET.batch_counterfactual_distance(
+                X_rows, candidates, scale=scale, metric=metric)
+            assert np.allclose(turbo, exact, rtol=tol["rtol"], atol=tol["atol"])
+
+    def test_projection_stays_bitwise(self, family):
+        X_rows, candidates, constraints, scale = _family_workload(family)
+        wave = candidates[:, None, :] + np.linspace(-1, 1, 8)[None, :, None]
+        exact = _NUMPY_SET.project_candidates(
+            X_rows[:, None, :], wave, immutable=constraints.immutable,
+            lower=constraints.lower, upper=constraints.upper,
+            monotone=constraints.monotone)
+        turbo = _TURBO_SET.project_candidates(
+            X_rows[:, None, :], wave, immutable=constraints.immutable,
+            lower=constraints.lower, upper=constraints.upper,
+            monotone=constraints.monotone)
+        assert np.array_equal(turbo, exact)
+
+    def test_prefix_trials_stay_bitwise(self, family):
+        X_rows, candidates, constraints, scale = _family_workload(family)
+        orders = _NUMPY_SET.rank_changed_features(X_rows, candidates, scale)
+        for k, order in enumerate(orders):
+            if not len(order):
+                continue
+            assert np.array_equal(
+                _TURBO_SET.build_prefix_revert_trials(candidates[k], X_rows[k], order),
+                _NUMPY_SET.build_prefix_revert_trials(candidates[k], X_rows[k], order))
+
+    def test_rank_selects_same_changed_feature_sets(self, family):
+        X_rows, candidates, constraints, scale = _family_workload(family)
+        exact = _NUMPY_SET.rank_changed_features(X_rows, candidates, scale)
+        turbo = _TURBO_SET.rank_changed_features(X_rows, candidates, scale)
+        assert len(exact) == len(turbo)
+        assert TURBO_KERNEL_TOLERANCES["rank_changed_features"]["set_equal"]
+        for a, b in zip(exact, turbo):
+            # near-tie magnitudes may legally reorder under fastmath; the
+            # changed-feature *set* per row is the contract
+            assert set(a.tolist()) == set(b.tolist())
+
+
+@needs_turbo
+class TestTurboKernelSpecifics:
+    def test_wide_rows_have_no_feature_cap(self, rng):
+        # The exact numba tier defers wide rows to NumPy; turbo compiles them.
+        d = kernels_module.NUMBA_MAX_REDUCE_FEATURES + 40
+        X = rng.normal(size=(30, d))
+        candidates = X + rng.normal(size=(30, d))
+        tol = TURBO_KERNEL_TOLERANCES["batch_counterfactual_distance"]
+        for metric in ("l1", "l2", "l0"):
+            exact = _NUMPY_SET.batch_counterfactual_distance(X, candidates,
+                                                             metric=metric)
+            turbo = _TURBO_SET.batch_counterfactual_distance(X, candidates,
+                                                             metric=metric)
+            assert np.allclose(turbo, exact, rtol=tol["rtol"], atol=tol["atol"])
+
+    def test_empty_and_single_row_batches(self, rng):
+        empty = np.empty((0, 4))
+        assert _TURBO_SET.batch_counterfactual_distance(
+            np.zeros(4), empty).shape == (0,)
+        x = rng.normal(size=4)
+        one = (x + 1.0)[None, :]
+        tol = TURBO_KERNEL_TOLERANCES["batch_counterfactual_distance"]
+        assert np.allclose(_TURBO_SET.batch_counterfactual_distance(x, one),
+                           np.array([4.0]), rtol=tol["rtol"], atol=tol["atol"])
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            _TURBO_SET.batch_counterfactual_distance(
+                np.zeros((2, 3)), np.ones((2, 3)), metric="linf")
+
+
+class TestThreadedFallbackParity:
+    def test_fallback_distance_is_bitwise_equal_to_numpy(self, rng):
+        # Large enough to cross _TURBO_FALLBACK_MIN_ROWS so multicore hosts
+        # exercise the chunked thread pool; single-core hosts delegate.
+        n = kernels_module._TURBO_FALLBACK_MIN_ROWS + 1500
+        X = rng.normal(size=(n, 6))
+        candidates = X + rng.normal(size=(n, 6))
+        scale = rng.uniform(0.5, 2.0, size=6)
+        for metric in ("l1", "l2", "l0"):
+            assert np.array_equal(
+                _TURBO_FALLBACK_SET.batch_counterfactual_distance(
+                    X, candidates, scale=scale, metric=metric),
+                _NUMPY_SET.batch_counterfactual_distance(
+                    X, candidates, scale=scale, metric=metric))
+
+    def test_fallback_other_kernels_are_the_exact_reference(self):
+        assert _TURBO_FALLBACK_SET.project_candidates is _NUMPY_SET.project_candidates
+        assert (_TURBO_FALLBACK_SET.build_prefix_revert_trials
+                is _NUMPY_SET.build_prefix_revert_trials)
+        assert (_TURBO_FALLBACK_SET.rank_changed_features
+                is _NUMPY_SET.rank_changed_features)
+
+
+# --------------------------------------------------------------------------
+# End-to-end E1 audit metrics within the documented metric tolerance.
+# --------------------------------------------------------------------------
+class TestAuditMetricTolerance:
+    def test_e1_metrics_within_documented_tolerance(self):
+        exact = run_e1_e2_burden_nawb(n_samples=240, audit_size=24,
+                                      kernels="numpy")
+        turbo = run_e1_e2_burden_nawb(n_samples=240, audit_size=24,
+                                      kernels="turbo")
+        for label in ("biased", "fair"):
+            for metric in ("burden_gap", "burden_ratio", "nawb_gap", "fnr_gap"):
+                key = f"{metric}_{label}"
+                assert _metric_close(turbo[key], exact[key]), (
+                    f"{key}: turbo={turbo[key]} exact={exact[key]} outside "
+                    f"atol={TURBO_METRIC_ATOL} rtol={TURBO_METRIC_RTOL}"
+                )
+
+    def test_turbo_search_completes_end_to_end(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(
+            model, background, constraints=constraints, random_state=0)
+        engine = CounterfactualEngine(generator, kernels="turbo")
+        results = engine.generate_aligned(rejected)
+        assert len(results) == len(rejected)
+        exact_results = CounterfactualEngine(
+            GrowingSpheresCounterfactual(model, background,
+                                         constraints=constraints, random_state=0),
+            kernels="numpy",
+        ).generate_aligned(rejected)
+        hits = sum(r is not None for r in results)
+        exact_hits = sum(r is not None for r in exact_results)
+        hit_rate, exact_rate = hits / len(rejected), exact_hits / len(rejected)
+        assert _metric_close(hit_rate, exact_rate)
+
+
+# --------------------------------------------------------------------------
+# Fingerprint visibility: turbo joins the store key, exact tiers stay out.
+# --------------------------------------------------------------------------
+class TestFingerprintVisibility:
+    def test_generator_config_gains_tier_only_for_turbo(self, loan_workload):
+        model, background, _, _ = loan_workload
+        for choice in (None, "numpy", "auto", "numba"):
+            generator = RandomSearchCounterfactual(model, background, random_state=0)
+            if choice is not None:
+                generator.kernels = choice
+            assert "kernel_tier" not in generator_config(generator)
+        turbo_gen = RandomSearchCounterfactual(model, background, random_state=0)
+        turbo_gen.kernels = "turbo"
+        config = generator_config(turbo_gen)
+        assert config["kernel_tier"] == resolve_kernels("turbo").fingerprint_token
+
+    def test_exact_tiers_share_fingerprint_turbo_does_not(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        fingerprints = {}
+        for choice in (None, "numpy", "numba", "turbo"):
+            generator = GrowingSpheresCounterfactual(
+                model, background, constraints=constraints, random_state=0)
+            if choice is not None:
+                generator.kernels = choice
+            fingerprints[choice] = population_fingerprint(generator, rejected)
+        assert fingerprints[None] is not None
+        # numpy/numba (and the unset default) remain mutually invariant
+        assert fingerprints[None] == fingerprints["numpy"] == fingerprints["numba"]
+        # turbo never aliases an exact population, but is itself stable
+        assert fingerprints["turbo"] is not None
+        assert fingerprints["turbo"] != fingerprints[None]
+        repeat = GrowingSpheresCounterfactual(
+            model, background, constraints=constraints, random_state=0)
+        repeat.kernels = "turbo"
+        assert population_fingerprint(repeat, rejected) == fingerprints["turbo"]
+
+    def test_sessions_publish_under_distinct_fingerprints(self, tmp_path,
+                                                          loan_workload):
+        model, background, constraints, rejected = loan_workload
+
+        def run_session(choice):
+            generator = GrowingSpheresCounterfactual(
+                model, background, constraints=constraints, random_state=0)
+            with AuditSession(generator, kernels=choice, store=tmp_path) as session:
+                session.counterfactuals_for(rejected, range(len(rejected)))
+                assert session.stats()["kernel_path"] == \
+                    resolve_kernels(choice).name
+
+        run_session("numpy")
+        store = CounterfactualStore(tmp_path)
+        exact_entries = set(store.entries())
+        assert len(exact_entries) == 1
+        run_session("turbo")
+        entries = set(CounterfactualStore(tmp_path).entries())
+        assert len(entries) == 2  # turbo published beside, not over, exact
+
+    def test_session_memo_tracks_kernel_tier_swap(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        generator = GrowingSpheresCounterfactual(
+            model, background, constraints=constraints, random_state=0)
+        session = AuditSession(generator)
+        exact_fp = session._store_fingerprint("pop", rejected)
+        assert exact_fp is not None
+        # Re-tiering the live generator must not serve the memoized exact
+        # fingerprint for turbo-computed results.
+        generator.kernels = "turbo"
+        turbo_fp = session._store_fingerprint("pop", rejected)
+        assert turbo_fp != exact_fp
+        generator.kernels = "numpy"
+        assert session._store_fingerprint("pop", rejected) == exact_fp
+        session.close()
+
+    def test_shard_spec_ships_tier_name_not_config_token(self, loan_workload):
+        model, background, _, _ = loan_workload
+        generator = RandomSearchCounterfactual(model, background, random_state=0)
+        generator.kernels = "turbo"
+        spec = _process_shard_spec(generator)
+        assert spec is not None
+        assert spec["kernels"] == "turbo"
+        # the fingerprint token is store metadata, not a constructor kwarg
+        assert "kernel_tier" not in spec["params"]
+
+
+# --------------------------------------------------------------------------
+# Remote-store fingerprints: graph identity instead of endpoint identity.
+# --------------------------------------------------------------------------
+class TestRemoteBackendFingerprint:
+    def test_graph_routed_remote_backend_is_store_addressable(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        graph = export_model(model)
+
+        def fingerprint_at(url):
+            backend = RemoteScoringBackend(url, graph=graph)
+            adapted = BatchModelAdapter(model, backend=backend, cache=False)
+            generator = GrowingSpheresCounterfactual(
+                adapted, background, constraints=constraints, random_state=0)
+            return population_fingerprint(generator, rejected)
+
+        # same graph behind two (never-contacted) endpoints: same identity
+        first = fingerprint_at("http://127.0.0.1:9001")
+        second = fingerprint_at("http://127.0.0.1:9002")
+        assert first is not None
+        assert first == second
+        # ...and distinct from the in-process dispatch over the same model
+        in_process = population_fingerprint(
+            GrowingSpheresCounterfactual(model, background,
+                                         constraints=constraints, random_state=0),
+            rejected)
+        assert first != in_process
+
+    def test_graphless_remote_backend_skips_the_store(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        backend = RemoteScoringBackend("http://127.0.0.1:9003")
+        adapted = BatchModelAdapter(model, backend=backend, cache=False)
+        generator = GrowingSpheresCounterfactual(
+            adapted, background, constraints=constraints, random_state=0)
+        assert population_fingerprint(generator, rejected) is None
+
+    def test_different_graphs_key_apart(self, loan_workload):
+        model, background, constraints, rejected = loan_workload
+        _, train_full, _, _ = loan_workload
+        other = LogisticRegression(n_iter=400, random_state=3).fit(
+            background, (background[:, 0] > np.median(background[:, 0])).astype(int))
+
+        def fingerprint_for(graph_model):
+            backend = RemoteScoringBackend("http://127.0.0.1:9004",
+                                           graph=export_model(graph_model))
+            adapted = BatchModelAdapter(model, backend=backend, cache=False)
+            generator = GrowingSpheresCounterfactual(
+                adapted, background, constraints=constraints, random_state=0)
+            return population_fingerprint(generator, rejected)
+
+        assert fingerprint_for(model) != fingerprint_for(other)
+
+
+# --------------------------------------------------------------------------
+# Sweep integration: turbo gates on the numba_parallel resource.
+# --------------------------------------------------------------------------
+class TestSweepTurboLevel:
+    WHERE = {"explainer": ["growing_spheres"], "schedule": ["geometric"],
+             "backend": ["numpy"], "kernels": ["turbo"]}
+
+    def test_turbo_cell_emits_or_prunes_with_named_reason(self):
+        plan = SweepRegistry.get("E1/E2").plan(where=self.WHERE)
+        if numba_parallel_supported():
+            assert len(plan.emitted) == 1
+            assert plan.emitted[0].params()["kernels"] == "turbo"
+            assert not plan.pruned
+        else:
+            assert not plan.emitted
+            assert len(plan.pruned) == 1
+            reasons = " ".join(plan.pruned[0].reasons)
+            assert "kernels=turbo" in reasons
+            assert "numba_parallel" in reasons
+
+    def test_exact_levels_unaffected_by_turbo_gating(self):
+        where = dict(self.WHERE, kernels=["default", "numpy"])
+        plan = SweepRegistry.get("E1/E2").plan(where=where)
+        assert {cell.params().get("kernels") for cell in plan.emitted} == {None, "numpy"}

@@ -534,6 +534,55 @@ class TestAdmissionControl:
             assert stats["inflight"] == 0
             assert stats["shed"] == 0
 
+    def test_max_pending_requires_an_attached_pool(self, zoo):
+        models, _, _ = zoo
+        with pytest.raises(ValidationError, match="requires pool="):
+            ScoringServer(export_model(models["logistic"]), max_pending=4)
+        with pytest.raises(ValidationError, match="requires pool="):
+            serve_fleet([models["logistic"]], max_pending=4)
+
+    def test_pool_queue_depth_sheds_and_books_separately(self, zoo):
+        """The ExecutorPool.pending() wiring: a saturated scorer pool sheds
+        with the same fast 429 as max_inflight, booked as ``pool_shed``."""
+        models, _, test = zoo
+        pool = ExecutorPool(max_workers=2)
+        try:
+            with serve_fleet([export_model(models["logistic"])], pool=pool,
+                             max_pending=0) as server:
+                # max_pending=0: any queue depth (>= 0) refuses admission, so
+                # every attempt sheds on pool depth — never on max_inflight.
+                backend = RemoteScoringBackend(server.url, window=0.0,
+                                               max_retries=2, backoff=0.001)
+                with pytest.raises(ValidationError, match="shed"):
+                    backend.predict(test.X[:8])
+                stats = server.stats()
+                assert stats["max_pending"] == 0
+                assert stats["pool_shed"] == 3       # initial + 2 retries
+                assert stats["shed"] == 3            # pool sheds count as sheds
+                assert stats["requests"] == 0        # nothing was admitted
+                assert backend.call_count == 0
+                assert backend.row_count == 0
+        finally:
+            pool.shutdown()
+
+    def test_pool_bound_admits_when_queue_is_shallow(self, zoo):
+        models, _, test = zoo
+        model = models["logistic"]
+        pool = ExecutorPool(max_workers=2)
+        try:
+            with serve_fleet([export_model(model)], pool=pool,
+                             max_pending=8) as server:
+                backend = RemoteScoringBackend(server.url, window=0.0)
+                out = backend.predict(test.X[:6])
+                assert np.array_equal(out, model.predict(test.X[:6]))
+                stats = server.stats()
+                assert stats["max_pending"] == 8
+                assert stats["pool_shed"] == 0
+                assert stats["shed"] == 0
+                assert stats["requests"] == 1
+        finally:
+            pool.shutdown()
+
 
 class TestServerLifecycle:
     def test_context_manager_leaves_no_live_thread(self, zoo):
