@@ -1,0 +1,37 @@
+"""Lint health trajectory for the shipped tree (BENCH_LINT.json).
+
+Times a full ``fairexp lint`` pass over ``src/`` and records the finding
+counts next to the wall time.  The numbers are the PR-over-PR contract
+made visible: ``lint_findings_total`` counts every raw finding (fresh or
+baselined) and ``lint_baseline_size`` the grandfathered debt — both must
+stay at the self-check's levels (zero debt, one budgeted suppression),
+and the trajectory shows the first build where that stops being true.
+"""
+
+from pathlib import Path
+
+from conftest import record
+
+from fairexp.lint import Baseline, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_bench_lint_src_tree(benchmark):
+    baseline = Baseline.load(REPO_ROOT / "LINT_BASELINE.json")
+    report = benchmark(lint_paths, [REPO_ROOT / "src"], root=REPO_ROOT)
+    fresh = baseline.fresh(report.findings)
+    record(
+        benchmark,
+        {
+            "lint_findings_total": len(report.findings),
+            "lint_fresh_findings": len(fresh),
+            "lint_baseline_size": len(baseline),
+            "lint_suppressed": report.suppressed,
+            "lint_files": report.files,
+            "lint_parse_errors": len(report.parse_errors),
+        },
+        experiment="LINT",
+    )
+    assert fresh == [], "\n".join(f.render() for f in fresh)
+    assert report.parse_errors == []

@@ -34,25 +34,32 @@ class CausalGraph:
 
     @property
     def nodes(self) -> list[str]:
+        """The graph's variable names."""
         return list(self.graph.nodes)
 
     @property
     def edges(self) -> list[tuple[str, str]]:
+        """The directed edges as ``(parent, child)`` pairs."""
         return list(self.graph.edges)
 
     def parents(self, node: str) -> list[str]:
+        """Direct parents of ``node``."""
         return list(self.graph.predecessors(node))
 
     def children(self, node: str) -> list[str]:
+        """Direct children of ``node``."""
         return list(self.graph.successors(node))
 
     def descendants(self, node: str) -> set[str]:
+        """Every variable reachable from ``node``."""
         return set(nx.descendants(self.graph, node))
 
     def ancestors(self, node: str) -> set[str]:
+        """Every variable with a directed path into ``node``."""
         return set(nx.ancestors(self.graph, node))
 
     def topological_order(self) -> list[str]:
+        """The variables in one topological order of the DAG."""
         return list(nx.topological_sort(self.graph))
 
 

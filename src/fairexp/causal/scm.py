@@ -60,6 +60,7 @@ class StructuralEquation:
     additive_noise: bool = True
 
     def evaluate(self, parent_values: Mapping[str, np.ndarray], noise: np.ndarray) -> np.ndarray:
+        """This variable's values given parent values and exogenous noise."""
         return np.asarray(self.func(parent_values, noise), dtype=float)
 
 
@@ -84,9 +85,11 @@ class StructuralCausalModel:
     # ------------------------------------------------------------ structure
     @property
     def variables(self) -> list[str]:
+        """The model's variable names."""
         return list(self.equations)
 
     def parents(self, variable: str) -> tuple[str, ...]:
+        """The parents of ``variable`` in the underlying DAG."""
         return self.equations[variable].parents
 
     def _topological_order(self) -> list[str]:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m fairexp``.
 
-Three command families:
+Five command families:
 
 ``python -m fairexp store {inspect,evict,clear}``
     Operational tooling for the cross-process
@@ -51,6 +51,15 @@ Three command families:
     verified against the journal.  ``--where factor=label[,label...]``
     restricts factors; ``--set key=value`` overrides runner arguments
     (values parse as JSON, falling back to strings).
+
+``python -m fairexp lint [PATHS]``
+    Run the repo's own static-analysis rules (FX001–FX008: executor,
+    randomness, counter-lock and fingerprint-coverage discipline — see
+    :mod:`fairexp.lint` and ``docs/api/lint.md``) over ``src`` or the
+    given paths.  ``--json`` emits the machine-readable report,
+    ``--baseline write/check`` grandfathers/enforces a
+    ``LINT_BASELINE.json`` debt file, and the exit code is 1 whenever a
+    fresh (non-baselined, non-``noqa``) finding survives.
 """
 
 from __future__ import annotations
@@ -358,6 +367,35 @@ def _cmd_sweep_resume(args: argparse.Namespace) -> int:
     return _run_sweep_command(args, resume=True)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from fairexp.lint import Baseline, lint_paths
+
+    report = lint_paths(args.paths)
+    baseline_path = args.baseline_file
+    if args.baseline == "write":
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"baseline written: {baseline_path} "
+              f"({len(report.findings)} findings grandfathered)")
+        return 0
+    if args.baseline == "check":
+        baseline = Baseline.load(baseline_path)
+    else:
+        baseline = Baseline()
+    fresh = baseline.fresh(report.findings)
+    if args.json:
+        payload = report.to_json(fresh)
+        payload["baseline_size"] = len(baseline)
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in fresh:
+            print(finding.render())
+        grandfathered = len(report.findings) - len(fresh)
+        summary = (f"{report.files} files, {len(fresh)} fresh findings, "
+                   f"{grandfathered} baselined, {report.suppressed} suppressed")
+        print(summary)
+    return 1 if fresh else 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fairexp",
@@ -488,6 +526,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_execution(resume_parser)
     resume_parser.set_defaults(func=_cmd_sweep_resume)
+
+    lint_parser = commands.add_parser(
+        "lint", help="check the FX001-FX008 invariant rules "
+                     "(see docs/api/lint.md); exits 1 on fresh findings"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directory trees to lint (default: src)")
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report (findings, fresh subset, counts) as JSON")
+    lint_parser.add_argument(
+        "--baseline", choices=("check", "write"),
+        help="'check': only findings beyond the baseline file fail; "
+             "'write': grandfather every current finding into it")
+    lint_parser.add_argument(
+        "--baseline-file", default="LINT_BASELINE.json",
+        help="baseline path (default: LINT_BASELINE.json)")
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

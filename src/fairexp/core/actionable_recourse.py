@@ -52,6 +52,7 @@ class Flipset:
     prediction: int
 
     def describe(self) -> str:
+        """Human-readable rendering of the flip actions, one per feature."""
         changes = ", ".join(f"do({k} := {v:.4g})" for k, v in self.interventions.items())
         return f"{changes} (cost={self.cost:.3f})"
 

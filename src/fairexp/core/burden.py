@@ -64,6 +64,7 @@ class BurdenResult:
         return self.protected.burden / self.reference.burden
 
     def as_dict(self) -> dict[str, float]:
+        """The burden metrics as a plain JSON-serializable dict."""
         return {
             "burden_protected": self.protected.burden,
             "burden_reference": self.reference.burden,

@@ -33,6 +33,7 @@ class PathContribution:
     linear_effect: float
 
     def describe(self) -> str:
+        """Human-readable one-line summary of this path's contribution."""
         chain = " -> ".join(self.path)
         return f"{chain}: {self.contribution:+.4f}"
 
@@ -46,6 +47,7 @@ class CausalPathDecomposition:
     paths: list[PathContribution]
 
     def ranked(self) -> list[PathContribution]:
+        """Path contributions sorted by absolute effect, largest first."""
         return sorted(self.paths, key=lambda p: -abs(p.contribution))
 
     def explained_fraction(self) -> float:

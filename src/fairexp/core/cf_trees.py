@@ -39,9 +39,11 @@ class CFTreeNode:
 
     @property
     def is_leaf(self) -> bool:
+        """True when this node has no children."""
         return self.feature is None
 
     def route(self, x: np.ndarray) -> "CFTreeNode":
+        """The leaf reached by routing ``x`` down the split tests."""
         node = self
         while not node.is_leaf:
             node = node.left if x[node.feature] <= node.threshold else node.right

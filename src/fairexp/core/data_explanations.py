@@ -44,6 +44,7 @@ class PatternExplanation:
     interestingness: float
 
     def describe(self) -> str:
+        """Human-readable one-line summary of the pattern."""
         clauses = " AND ".join(str(p) for p in self.predicates) or "TRUE"
         return (
             f"[{clauses}] support={self.support:.2f} "
@@ -62,6 +63,7 @@ class DataExplanationResult:
     meta: dict = field(default_factory=dict)
 
     def top(self, k: int = 3) -> list[PatternExplanation]:
+        """The ``k`` highest-scoring pattern explanations."""
         return self.patterns[:k]
 
 

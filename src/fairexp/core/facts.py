@@ -40,12 +40,14 @@ class Action:
     changes: tuple[tuple[int, float], ...]  # (feature index, new value)
 
     def apply(self, X: np.ndarray) -> np.ndarray:
+        """A copy of ``X`` with the action's feature assignments applied."""
         modified = np.asarray(X, dtype=float).copy()
         for feature, value in self.changes:
             modified[:, feature] = value
         return modified
 
     def describe(self, feature_names: Sequence[str]) -> str:
+        """Human-readable ``feature := value`` rendering of the action."""
         parts = [f"{feature_names[j]} := {value:.4g}" for j, value in self.changes]
         return " AND ".join(parts)
 
@@ -95,6 +97,7 @@ class SubgroupAudit:
         return self.mean_cost_protected - self.mean_cost_reference
 
     def describe(self, feature_names: Sequence[str] | None = None) -> str:
+        """Human-readable summary of the subgroup's effectiveness gap."""
         clauses = " AND ".join(str(p) for p in self.predicates) or "TRUE"
         return (
             f"[{clauses}] eff(G-)={self.effectiveness_reference:.2f} "

@@ -52,6 +52,7 @@ class RecourseGapReport:
 
     @property
     def ratio(self) -> float:
+        """Protected-over-reference recourse cost ratio (1.0 = parity)."""
         if self.recourse_reference == 0:
             return float("inf") if self.recourse_protected > 0 else 1.0
         return self.recourse_protected / self.recourse_reference

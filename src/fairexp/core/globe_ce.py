@@ -32,6 +32,7 @@ class GlobalDirection:
     feature_names: list[str] = field(default_factory=list)
 
     def top_components(self, k: int = 3) -> list[tuple[str, float]]:
+        """The ``k`` features with the largest absolute direction weight."""
         order = np.argsort(-np.abs(self.direction))[:k]
         names = self.feature_names or [f"x{j}" for j in range(self.direction.shape[0])]
         return [(names[j], float(self.direction[j])) for j in order]
@@ -67,6 +68,7 @@ class GlobeCEResult:
         return self.protected.mean_cost - self.reference.mean_cost
 
     def as_dict(self) -> dict[str, float]:
+        """The result as a plain JSON-serializable dict."""
         return {
             "coverage_protected": self.protected.coverage,
             "coverage_reference": self.reference.coverage,

@@ -64,6 +64,7 @@ class EdgeSetExplanation:
 
     @property
     def bias_reduction(self) -> float:
+        """Bias removed by deleting the edge set (original minus rewired)."""
         return self.base_bias - self.bias_after_removal
 
 
@@ -234,6 +235,7 @@ class GNNUERSResult:
 
     @property
     def gap_reduction(self) -> float:
+        """Utility-gap reduction achieved by the explanation rewiring."""
         return self.base_gap - self.final_gap
 
 

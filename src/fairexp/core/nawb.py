@@ -52,6 +52,7 @@ class NAWBResult:
         return self.protected.nawb - self.reference.nawb
 
     def as_dict(self) -> dict[str, float]:
+        """The result as a plain JSON-serializable dict."""
         return {
             "nawb_protected": self.protected.nawb,
             "nawb_reference": self.reference.nawb,

@@ -40,6 +40,7 @@ class GroupDetection:
 
     @property
     def is_significant(self) -> bool:
+        """True when the under-representation is significant (p < 0.05)."""
         return self.p_value < 0.05 and self.representation_gap < 0
 
 
@@ -75,6 +76,7 @@ class DexerResult:
     evidence: list[AttributeEvidence]
 
     def top_attributes(self, k: int = 2) -> list[tuple[str, float]]:
+        """The ``k`` attributes with the strongest disparity evidence."""
         ranked = sorted(self.evidence, key=lambda e: -e.shapley_gap)
         return [(e.attribute, e.shapley_gap) for e in ranked[:k]]
 

@@ -54,6 +54,7 @@ class EdgeRemovalExplanation:
     exposure_change: float
 
     def describe(self) -> str:
+        """Human-readable one-line summary of the removed edges."""
         return (
             f"remove (user={self.user}, item={self.item}): "
             f"Δscore={self.score_change:+.4f}, Δexposure_disparity={self.exposure_change:+.4f}"
@@ -158,9 +159,11 @@ class CFairERResult:
 
     @property
     def improvement(self) -> float:
+        """Disparity removed by the explanation (base minus final)."""
         return self.base_disparity - self.final_disparity
 
     def describe(self) -> list[str]:
+        """Names of the attributes selected by the explanation."""
         return [self.attribute_names[a] for a in self.selected_attributes]
 
 
@@ -284,6 +287,7 @@ class CEFResult:
     base_ndcg: float
 
     def ranked(self) -> list[tuple[str, float]]:
+        """Explanations sorted by effect, strongest first."""
         order = np.argsort(-self.explainability_score)
         return [(self.feature_names[j], float(self.explainability_score[j])) for j in order]
 

@@ -38,6 +38,7 @@ class RecourseRule:
     mean_cost: float
 
     def describe(self, feature_names: Sequence[str]) -> str:
+        """Human-readable if/then rendering of the rule."""
         premise = " AND ".join(str(p) for p in self.descriptor) or "TRUE"
         return (
             f"IF {premise} THEN {self.action.describe(feature_names)} "
@@ -64,6 +65,7 @@ class TwoLevelRecourseSet:
         return self.coverage_reference - self.coverage_protected
 
     def describe(self) -> list[str]:
+        """Human-readable rendering of the full two-level rule set."""
         return [rule.describe(self.feature_names) for rule in self.rules]
 
 

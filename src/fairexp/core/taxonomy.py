@@ -36,11 +36,13 @@ class TaxonomyNode:
     children: list["TaxonomyNode"] = field(default_factory=list)
 
     def add(self, *names: str) -> "TaxonomyNode":
+        """Append child nodes named ``names``; returns ``self`` for chaining."""
         for name in names:
             self.children.append(TaxonomyNode(name))
         return self
 
     def find(self, name: str) -> "TaxonomyNode | None":
+        """The first node named ``name`` in this subtree, or ``None``."""
         if self.name == name:
             return self
         for child in self.children:
@@ -50,6 +52,7 @@ class TaxonomyNode:
         return None
 
     def leaves(self) -> list[str]:
+        """The names of every leaf under (or at) this node."""
         if not self.children:
             return [self.name]
         result = []
@@ -58,6 +61,7 @@ class TaxonomyNode:
         return result
 
     def size(self) -> int:
+        """Number of nodes in this subtree, including this one."""
         return 1 + sum(child.size() for child in self.children)
 
 

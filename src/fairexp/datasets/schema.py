@@ -115,18 +115,22 @@ class Dataset:
     # ------------------------------------------------------------ accessors
     @property
     def feature_names(self) -> list[str]:
+        """Names of the feature columns."""
         return [spec.name for spec in self.features]
 
     @property
     def n_samples(self) -> int:
+        """Number of rows."""
         return int(self.X.shape[0])
 
     @property
     def n_features(self) -> int:
+        """Number of feature columns."""
         return int(self.X.shape[1])
 
     @property
     def sensitive_index(self) -> int:
+        """Column index of the sensitive attribute."""
         return self.feature_names.index(self.sensitive)
 
     @property

@@ -29,10 +29,11 @@ against one shared backend (see
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
+
+from ..lint.tsan import guard_counters, make_lock
 
 __all__ = [
     "PredictBackend",
@@ -69,6 +70,7 @@ class PredictBackend(Protocol):
         ...
 
 
+@guard_counters("call_count", "row_count")
 class NumpyPredictBackend:
     """Default backend: vectorized in-process ``model.predict`` batches.
 
@@ -91,7 +93,7 @@ class NumpyPredictBackend:
         self.model = model
         self.call_count = 0
         self.row_count = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock()
 
     # Memo-less backends report zero hits so the adapter's counting
     # interface is uniform across the backend stack.
@@ -167,6 +169,7 @@ class CallablePredictBackend(NumpyPredictBackend):
         return np.asarray(self.fn(X))
 
 
+@guard_counters("cache_hit_count")
 class MemoizingPredictBackend:
     """Coalescing/memoizing wrapper around another backend.
 
@@ -201,7 +204,7 @@ class MemoizingPredictBackend:
         self.max_entries = max_entries
         self.cache_hit_count = 0
         self._memo: dict[tuple, np.ndarray] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock()
 
     # ------------------------------------------------------------ delegation
     @property

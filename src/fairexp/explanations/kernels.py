@@ -812,7 +812,7 @@ def _tf_batch_distance(X, candidates, *, scale=None, metric: str = "l1") -> np.n
     workers = min(4, os.cpu_count() or 1)
     if workers < 2 or n < _TURBO_FALLBACK_MIN_ROWS:
         return _np_batch_distance(X_arr, candidates, scale=scale, metric=metric)
-    from concurrent.futures import ThreadPoolExecutor
+    from .pool import ExecutorPool
 
     out = np.empty(n, dtype=float)
     chunk = -(-n // workers)
@@ -824,8 +824,8 @@ def _tf_batch_distance(X, candidates, *, scale=None, metric: str = "l1") -> np.n
             X_arr[start:stop], candidates[start:stop], scale=scale, metric=metric
         )
 
-    with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
-        list(pool.map(run_chunk, bounds))
+    with ExecutorPool(max_workers=len(bounds)) as pool:
+        pool.map("thread", run_chunk, bounds)
     return out
 
 

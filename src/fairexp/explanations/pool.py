@@ -53,12 +53,14 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..exceptions import ValidationError
+from ..lint.tsan import guard_counters, make_lock
 
 __all__ = ["ExecutorPool", "SharedExecutorPool"]
 
 _KINDS = ("thread", "process")
 
 
+@guard_counters("inflight", "pending", "peak_pending", lock_attr="_tsan_lock")
 class _ExecutorRecord:
     """One executor generation: the live executor plus its usage counters.
 
@@ -69,10 +71,15 @@ class _ExecutorRecord:
     zero, so resets never yank an executor from under a running pass.
     """
 
-    __slots__ = ("executor", "kind", "generation", "workers",
-                 "inflight", "pending", "peak_pending", "retired")
+    __slots__ = ("executor", "kind", "generation", "workers", "inflight",
+                 "pending", "peak_pending", "retired", "_tsan_lock",
+                 "__weakref__")
 
-    def __init__(self, executor, kind: str, generation: int, workers: int) -> None:
+    def __init__(self, executor, kind: str, generation: int, workers: int,
+                 lock=None) -> None:
+        # The owning pool's lock, exposed so the FAIREXP_TSAN counter guard
+        # can verify mutations happen under it (None outside tsan runs).
+        self._tsan_lock = lock
         self.executor = executor
         self.kind = kind
         self.generation = generation
@@ -115,7 +122,7 @@ class ExecutorPool:
         self._records: dict[str, _ExecutorRecord] = {}
         self.created_counts: dict[str, int] = {kind: 0 for kind in _KINDS}
         self._generation = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock()
         self._closed = False
 
     @staticmethod
@@ -181,7 +188,8 @@ class ExecutorPool:
                 workers = self.max_workers or os.cpu_count() or 1
                 self._generation += 1
                 record = _ExecutorRecord(self._factories[kind](max_workers=workers),
-                                         kind, self._generation, workers)
+                                         kind, self._generation, workers,
+                                         lock=self._lock)
                 self._records[kind] = record
                 self.created_counts[kind] += 1
             if lease:
@@ -331,7 +339,7 @@ class ExecutorPool:
         # belongs to the context manager / shutdown().
         try:
             self.shutdown(wait=False)
-        except Exception:
+        except Exception:  # fairexp: noqa[FX004] - __del__ must never raise
             pass
 
     def __enter__(self) -> "ExecutorPool":

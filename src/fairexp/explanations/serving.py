@@ -60,6 +60,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..lint.tsan import guard_counters, make_condition, make_lock
 from .backends import CallablePredictBackend, NumpyPredictBackend
 
 __all__ = [
@@ -419,6 +420,8 @@ def _decode_array(blob: bytes) -> np.ndarray:
 # ---------------------------------------------------------------------------
 # Scoring server
 # ---------------------------------------------------------------------------
+@guard_counters("request_count", "row_count", "shed_count", "pool_shed_count",
+                "peak_inflight", "_inflight")
 class ScoringServer:
     """Loopback HTTP scoring server hosting a fleet of scorers.
 
@@ -489,7 +492,7 @@ class ScoringServer:
         self._graph_stats: dict[str, dict] = {}
         self._anonymous = 0
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = make_lock()
         self._close_lock = threading.Lock()
         if isinstance(scorer, dict):
             for key, item in scorer.items():
@@ -830,6 +833,16 @@ class _ShedError(Exception):
         self.retry_after = retry_after
 
 
+def _retry_backoff_sleep(delay: float) -> None:
+    """Park the dispatching thread between shed retries.
+
+    The one sanctioned ``time.sleep`` on the client path (lint rule FX007):
+    naming the pause for its backoff role keeps it patchable in tests and
+    visibly scoped to the retry ladder.
+    """
+    time.sleep(delay)
+
+
 class _Lane:
     """One graph's dispatch lane: pending batches, leadership and window.
 
@@ -853,6 +866,8 @@ class _Lane:
         self.last_arrival: float | None = None
 
 
+@guard_counters("wire_call_count", "wire_row_count", "coalesced_count",
+                "shed_count", "retry_count", lock_attr="_cond")
 class CoalescingScoringClient:
     """Batched scoring client with per-graph cross-caller request coalescing.
 
@@ -929,7 +944,7 @@ class CoalescingScoringClient:
         self.shed_count = 0
         self.retry_count = 0
         self._lanes: dict[str | None, _Lane] = {}
-        self._cond = threading.Condition()
+        self._cond = make_condition()
 
     # ---------------------------------------------------------------- lanes
     @staticmethod
@@ -1083,7 +1098,7 @@ class CoalescingScoringClient:
                 # for longer than the overload it is riding out).
                 delay = min(max(shed.retry_after, self.backoff)
                             * (2.0 ** attempt), 1.0)
-                time.sleep(delay)
+                _retry_backoff_sleep(delay)
                 with self._cond:
                     self.retry_count += 1
                 attempt += 1

@@ -193,6 +193,7 @@ class GroupFairnessReport:
     extras: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, float]:
+        """The per-group metrics as a plain JSON-serializable dict."""
         out = {
             "statistical_parity_difference": self.statistical_parity_difference,
             "disparate_impact": self.disparate_impact,

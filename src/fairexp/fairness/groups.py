@@ -24,10 +24,12 @@ class GroupMasks:
 
     @property
     def n_protected(self) -> int:
+        """Number of rows in the protected group."""
         return int(self.protected.sum())
 
     @property
     def n_reference(self) -> int:
+        """Number of rows in the reference group."""
         return int(self.reference.sum())
 
 

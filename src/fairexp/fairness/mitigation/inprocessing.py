@@ -53,6 +53,7 @@ class FairLogisticRegression(BaseClassifier):
         self.intercept_: float = 0.0
 
     def fit(self, X, y, sensitive=None, sample_weight=None) -> "FairLogisticRegression":
+        """Fit with the fairness penalty active; returns ``self``."""
         if sensitive is None:
             raise ValidationError("FairLogisticRegression.fit requires the sensitive vector")
         X, y = self._validate_fit_input(X, y)
@@ -103,14 +104,17 @@ class FairLogisticRegression(BaseClassifier):
         return self
 
     def decision_function(self, X) -> np.ndarray:
+        """Signed decision scores for each row of ``X``."""
         X = self._validate_predict_input(X)
         return X @ self.coef_ + self.intercept_
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities for each row of ``X``."""
         positive = sigmoid(self.decision_function(X))
         return np.column_stack([1 - positive, positive])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         return (self.decision_function(X) >= 0).astype(int)
 
 
@@ -145,6 +149,7 @@ class RecourseRegularizedClassifier(BaseClassifier):
         self.intercept_: float = 0.0
 
     def fit(self, X, y, sensitive=None, sample_weight=None) -> "RecourseRegularizedClassifier":
+        """Fit with the recourse regularizer active; returns ``self``."""
         if sensitive is None:
             raise ValidationError(
                 "RecourseRegularizedClassifier.fit requires the sensitive vector"
@@ -203,14 +208,17 @@ class RecourseRegularizedClassifier(BaseClassifier):
         return self
 
     def decision_function(self, X) -> np.ndarray:
+        """Signed decision scores for each row of ``X``."""
         X = self._validate_predict_input(X)
         return X @ self.coef_ + self.intercept_
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities for each row of ``X``."""
         positive = sigmoid(self.decision_function(X))
         return np.column_stack([1 - positive, positive])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         return (self.decision_function(X) >= 0).astype(int)
 
     def distance_to_boundary(self, X) -> np.ndarray:

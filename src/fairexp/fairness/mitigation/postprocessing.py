@@ -48,6 +48,7 @@ class GroupThresholdOptimizer:
         self.threshold_reference_: float | None = None
 
     def fit(self, scores, y_true, sensitive, *, protected_value=1) -> "GroupThresholdOptimizer":
+        """Search per-group decision thresholds; returns ``self``."""
         scores = np.asarray(scores, dtype=float)
         y_true = np.asarray(y_true, dtype=int)
         masks = group_masks(sensitive, protected_value=protected_value)
@@ -86,6 +87,7 @@ class GroupThresholdOptimizer:
         return abs(tpr(pred_protected, y_protected) - tpr(pred_reference, y_reference))
 
     def predict(self, scores, sensitive, *, protected_value=1) -> np.ndarray:
+        """Labels thresholded with each row's group-specific cutoff."""
         if self.threshold_protected_ is None:
             raise NotFittedError("GroupThresholdOptimizer is not fitted")
         scores = np.asarray(scores, dtype=float)
@@ -111,6 +113,7 @@ class RejectOptionClassifier:
         self.margin = margin
 
     def predict(self, scores, sensitive, *, protected_value=1) -> np.ndarray:
+        """Labels with the critical-region band flipped toward fairness."""
         scores = np.asarray(scores, dtype=float)
         sensitive = np.asarray(sensitive)
         predictions = (scores >= 0.5).astype(int)

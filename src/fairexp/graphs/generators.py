@@ -52,6 +52,7 @@ class AttributedGraph:
 
     @property
     def n_nodes(self) -> int:
+        """Number of nodes in the graph."""
         return int(self.adjacency.shape[0])
 
     def edges(self) -> list[tuple[int, int]]:
@@ -60,6 +61,7 @@ class AttributedGraph:
         return list(zip(rows.tolist(), cols.tolist()))
 
     def degree(self) -> np.ndarray:
+        """Per-node degree vector."""
         return self.adjacency.sum(axis=1)
 
     def homophily(self) -> float:
@@ -85,6 +87,7 @@ class AttributedGraph:
         )
 
     def to_networkx(self) -> nx.Graph:
+        """The graph as a ``networkx.Graph`` with node attributes attached."""
         graph = nx.from_numpy_array(self.adjacency)
         for node in graph.nodes:
             graph.nodes[node]["group"] = int(self.groups[node])

@@ -119,6 +119,7 @@ class GCNClassifier:
         return (self.predict_proba(graph) >= 0.5).astype(int)
 
     def accuracy(self, graph: AttributedGraph, mask: np.ndarray | None = None) -> float:
+        """Label accuracy on ``graph``, optionally restricted to ``mask``."""
         predictions = self.predict(graph)
         labels = graph.labels
         if mask is not None:

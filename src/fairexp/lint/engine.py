@@ -1,0 +1,350 @@
+"""AST-walking rule engine behind ``fairexp lint``.
+
+The engine parses each file once, builds a :class:`FileContext` (parent
+map, ``# fairexp: noqa[...]`` table) and dispatches every AST node to the
+rules that subscribed to its type.  Rules are small classes — see
+:class:`Rule` — that yield :class:`Finding` objects; the engine filters
+suppressed findings and, when a :class:`Baseline` is supplied, separates
+grandfathered findings from fresh ones.
+
+Suppression syntax, on the offending line::
+
+    time.sleep(0.1)  # fairexp: noqa[FX007] poll cadence is the contract
+
+A bare ``# fairexp: noqa`` (no rule list) suppresses every rule on that
+line.  Baselines are JSON files keyed on ``path::rule::message`` with an
+occurrence count, so a baselined file can keep its historical findings
+while any *new* occurrence of the same message still fails the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable, Iterator, Sequence
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
+
+_NOQA_RE = re.compile(
+    r"#\s*fairexp:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> str:
+        """Baseline key: stable across line-number churn (no line/col)."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        """Human-readable ``path:line:col: RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        """Plain-dict form for ``fairexp lint --json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Per-file state shared by every rule: tree, parents, noqa table."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        """Parse-side bookkeeping for one file; built once per file."""
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._noqa = self._parse_noqa(self.lines)
+
+    @staticmethod
+    def _parse_noqa(lines: list[str]) -> dict[int, frozenset[str] | None]:
+        """Map 1-based line -> suppressed rule set (None = all rules)."""
+        table: dict[int, frozenset[str] | None] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                table[lineno] = None
+            else:
+                table[lineno] = frozenset(
+                    token.strip().upper()
+                    for token in rules.split(",")
+                    if token.strip()
+                )
+        return table
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True when ``line`` carries a noqa comment covering ``rule``."""
+        if line not in self._noqa:
+            return False
+        rules = self._noqa[line]
+        return rules is None or rule in rules
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``node``'s parents from nearest to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """Nearest enclosing function/method definition, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """Nearest enclosing class definition, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`code` / :attr:`summary`, declare the AST node
+    types they want via :attr:`node_types`, and implement :meth:`visit`.
+    The engine walks each file's tree exactly once and dispatches every
+    node to the rules subscribed to its type.
+    """
+
+    code: str = "FX000"
+    summary: str = ""
+    node_types: tuple[type, ...] = ()
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for one dispatched node (override in rules)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    def to_json(self, fresh: Sequence[Finding] | None = None) -> dict:
+        """JSON payload for ``fairexp lint --json``."""
+        payload = {
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "findings": [f.to_json() for f in self.findings],
+        }
+        if fresh is not None:
+            payload["fresh"] = [f.to_json() for f in fresh]
+        return payload
+
+
+class Baseline:
+    """Grandfathered findings, keyed on ``path::rule::message`` counts.
+
+    A finding is *fresh* when its key occurs more times in the current
+    report than the baseline allows — so a baselined file may keep its
+    historical debt while any new occurrence still fails the build.
+    """
+
+    def __init__(self, entries: dict[str, int] | None = None) -> None:
+        """Wrap a key -> allowed-occurrence-count mapping."""
+        self.entries: dict[str, int] = dict(entries or {})
+
+    def __len__(self) -> int:
+        """Total number of grandfathered occurrences."""
+        return sum(self.entries.values())
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> Baseline:
+        """Baseline that exactly covers ``findings`` (for ``write``)."""
+        entries: dict[str, int] = {}
+        for finding in findings:
+            entries[finding.key()] = entries.get(finding.key(), 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        """Load a baseline file; a missing file means an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"malformed baseline entries in {path}")
+        return cls({str(k): int(v) for k, v in entries.items()})
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def fresh(self, findings: Sequence[Finding]) -> list[Finding]:
+        """The findings not covered by this baseline, in input order."""
+        seen: dict[str, int] = {}
+        out: list[Finding] = []
+        for finding in findings:
+            key = finding.key()
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > self.entries.get(key, 0):
+                out.append(finding)
+        return out
+
+
+class LintEngine:
+    """Run a rule set over source strings or file trees."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        """Use ``rules`` (default: :data:`fairexp.lint.rules.ALL_RULES`)."""
+        if rules is None:
+            from .rules import ALL_RULES
+
+            rules = [rule_cls() for rule_cls in ALL_RULES]
+        self.rules = list(rules)
+        self._dispatch: dict[type, list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def lint_source(
+        self, source: str, path: str = "<string>"
+    ) -> tuple[list[Finding], int]:
+        """Lint one source string: ``(kept findings, suppressed count)``."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            finding = Finding(
+                rule="FX000",
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                message=f"syntax error: {error.msg}",
+            )
+            return [finding], 0
+        ctx = FileContext(path, source, tree)
+        raw: list[Finding] = []
+        for node in ast.walk(tree):
+            for rule in self._dispatch.get(type(node), ()):
+                raw.extend(rule.visit(node, ctx))
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in raw:
+            if ctx.suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return kept, suppressed
+
+    def lint_paths(
+        self, paths: Sequence[str | Path], root: str | Path | None = None
+    ) -> LintReport:
+        """Lint files and directory trees; paths in findings are relative
+        to ``root`` (default: the current working directory) when possible.
+        """
+        root = Path(root) if root is not None else Path.cwd()
+        report = LintReport()
+        for file_path in _iter_python_files(paths):
+            display = _display_path(file_path, root)
+            source = file_path.read_text(encoding="utf-8")
+            findings, suppressed = self.lint_source(source, path=display)
+            report.files += 1
+            report.suppressed += suppressed
+            for finding in findings:
+                if finding.rule == "FX000":
+                    report.parse_errors.append(finding)
+                report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _display_path(path: Path, root: Path) -> str:
+    """Posix path relative to ``root`` when under it, else as given."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint a source string with the full rule set (docs/test helper)."""
+    findings, _ = LintEngine().lint_source(source, path=path)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path], root: str | Path | None = None
+) -> LintReport:
+    """Lint files/trees with the full rule set (docs/test helper)."""
+    return LintEngine().lint_paths(paths, root=root)

@@ -1,0 +1,81 @@
+"""Helpers shared by the FX rule modules (path scoping, name resolution)."""
+
+from __future__ import annotations
+
+import ast
+
+_TEST_MARKERS = ("tests/", "benchmarks/", "examples/", "conftest")
+
+
+def is_test_path(path: str) -> bool:
+    """True for tests, benchmarks, examples and conftest files.
+
+    Library-code rules (FX001/FX002/FX004/FX007/FX008 …) do not apply
+    there: tests construct executors, benchmarks shell out, examples use
+    quick-and-dirty randomness by design.
+    """
+    posix = path.replace("\\", "/")
+    return any(marker in posix for marker in _TEST_MARKERS)
+
+
+def is_pool_module(path: str) -> bool:
+    """True for ``explanations/pool.py`` — the one sanctioned executor home."""
+    return path.replace("\\", "/").endswith("explanations/pool.py")
+
+
+def is_cli_module(path: str) -> bool:
+    """True for ``cli.py`` — the sanctioned process/environment boundary."""
+    posix = path.replace("\\", "/")
+    return posix.endswith("/cli.py") or posix == "cli.py"
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def class_constant_names(cls: ast.ClassDef, attr: str) -> frozenset[str] | None:
+    """The string elements of a class-level ``attr = ("a", "b")`` tuple.
+
+    Returns ``None`` when the class has no such declaration; accepts
+    tuple/list/set literals of string constants (plain or annotated
+    assignment).  Used for ``FINGERPRINT_INVARIANT`` (FX006) and
+    ``LOCK_HOLDING_METHODS`` (FX005).
+    """
+    for stmt in cls.body:
+        target = None
+        value = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name) and target.id == attr):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            names = set()
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names.add(element.value)
+            return frozenset(names)
+    return None
+
+
+def self_attribute(node: ast.AST) -> str | None:
+    """The attribute name of a ``self.<attr>`` expression, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

@@ -1,0 +1,90 @@
+"""FX002 — randomness flows through injected ``numpy.random.Generator``.
+
+Every experiment runner seeds a ``Generator`` via ``check_random_state``
+and threads it explicitly so populations are store-addressable (the
+fingerprint covers the seed).  Legacy ``np.random.*`` calls draw from the
+hidden global ``RandomState`` — invisible to fingerprints and racy under
+the thread pools — and any module-level RNG call creates global state at
+import time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from ..engine import Rule
+from .common import dotted_name, is_test_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from ..engine import FileContext, Finding
+
+# The seeded-Generator construction surface; everything else under
+# np.random is the legacy global-state API.
+_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+_NUMPY_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+def _np_random_member(name: str | None) -> str | None:
+    """The member name for ``np.random.<member>`` chains, else ``None``."""
+    if name is None:
+        return None
+    for prefix in _NUMPY_RANDOM_PREFIXES:
+        if name.startswith(prefix):
+            member = name[len(prefix) :]
+            if member and "." not in member:
+                return member
+    return None
+
+
+class LegacyRandomRule(Rule):
+    """Flag legacy and module-level ``np.random`` usage in library code."""
+
+    code = "FX002"
+    summary = (
+        "no module-level or legacy np.random.* calls; inject a seeded "
+        "numpy.random.Generator instead"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Flag legacy np.random calls, module-level RNG construction, and
+        legacy ``from numpy.random import`` names.
+        """
+        if is_test_path(ctx.path):
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _ALLOWED:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"legacy 'from numpy.random import {alias.name}' "
+                            "draws from hidden global RNG state; inject a "
+                            "seeded numpy.random.Generator",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        member = _np_random_member(dotted_name(node.func))
+        if member is None:
+            return
+        if member not in _ALLOWED:
+            yield self.finding(
+                ctx,
+                node,
+                f"legacy np.random.{member}() draws from hidden global RNG "
+                "state; inject a seeded numpy.random.Generator",
+            )
+        elif ctx.enclosing_function(node) is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"module-level np.random.{member}() creates global RNG state "
+                "at import time; construct Generators inside the code path "
+                "that receives the seed",
+            )

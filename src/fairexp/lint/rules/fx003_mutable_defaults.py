@@ -1,0 +1,64 @@
+"""FX003 — no mutable default arguments.
+
+A ``def f(xs=[])`` default is evaluated once and shared across calls —
+state leaks between engine runs and across threads.  Use ``None`` and
+materialise inside the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from ..engine import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from ..engine import FileContext, Finding
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+def _is_mutable(default: ast.AST) -> bool:
+    """True for list/dict/set literals, comprehensions and factory calls."""
+    if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(default, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(default, ast.Call) and isinstance(default.func, ast.Name):
+        return default.func.id in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """Flag mutable default argument values."""
+
+    code = "FX003"
+    summary = "mutable default argument (shared across calls)"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Flag each parameter whose default is a mutable literal/factory."""
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        positional = node.args.posonlyargs + node.args.args
+        for arg, default in zip(
+            positional[len(positional) - len(node.args.defaults) :],
+            node.args.defaults,
+        ):
+            if _is_mutable(default):
+                yield self._flag(ctx, default, node.name, arg.arg)
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if default is not None and _is_mutable(default):
+                yield self._flag(ctx, default, node.name, arg.arg)
+
+    def _flag(
+        self, ctx: FileContext, default: ast.AST, func: str, param: str
+    ) -> Finding:
+        """Build the finding for one mutable default."""
+        return self.finding(
+            ctx,
+            default,
+            f"mutable default {ast.unparse(default)!r} for parameter "
+            f"'{param}' of {func}() is shared across calls; default to None",
+        )

@@ -1,0 +1,132 @@
+"""FX005 — shared counters are mutated only under their owner's lock.
+
+Applies to classes that own a lock (any ``self.<name> = <call>`` where
+the attribute name contains ``lock`` or ``cond``): once a class carries a
+lock, its counter attributes (``*_count``/``*_counts``/``*_calls``/
+``rows_*``) may only be assigned inside a ``with self.<lock>`` block or
+in a method the class has whitelisted as lock-holding — the ``_locked``
+suffix convention from ``serving.py``, a ``LOCK_HOLDING_METHODS``
+declaration, or ``__init__`` (single-threaded construction).
+
+Lock-free classes (e.g. ``AuditSession``, which is documented as
+single-threaded) are out of scope: the dynamic sanitizer
+(:mod:`fairexp.lint.tsan`) covers the cross-object cases the static rule
+cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING
+
+from ..engine import Rule
+from .common import class_constant_names, is_test_path, self_attribute
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from ..engine import FileContext, Finding
+
+_COUNTER_RE = re.compile(r"(_counts?$|_calls$|^rows_)")
+_LOCK_NAME_RE = re.compile(r"(lock|cond)", re.IGNORECASE)
+
+
+def _is_counter(name: str) -> bool:
+    """True for ``*_count``/``*_counts``/``*_calls``/``rows_*`` names."""
+    return _COUNTER_RE.search(name) is not None
+
+
+class CounterLockRule(Rule):
+    """Flag unlocked counter mutation on lock-bearing classes."""
+
+    code = "FX005"
+    summary = (
+        "counter attributes on lock-bearing classes may only be mutated "
+        "under 'with self.<lock>' or in whitelisted lock-holding methods"
+    )
+    node_types = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Check every self.<counter> mutation inside one class."""
+        assert isinstance(node, ast.ClassDef)
+        if is_test_path(ctx.path):
+            return
+        lock_attrs = self._lock_attributes(node, ctx)
+        if not lock_attrs:
+            return
+        whitelisted = class_constant_names(node, "LOCK_HOLDING_METHODS") or (
+            frozenset()
+        )
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                continue
+            if ctx.enclosing_class(stmt) is not node:
+                continue  # belongs to a nested class; visited separately
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                attr = self_attribute(target)
+                if attr is None or not _is_counter(attr):
+                    continue
+                if self._mutation_is_guarded(
+                    stmt, ctx, node, lock_attrs, whitelisted
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"counter 'self.{attr}' of {node.name} mutated outside "
+                    f"'with self.<lock>'; guard it or whitelist the method "
+                    "via a '_locked' suffix or LOCK_HOLDING_METHODS",
+                )
+
+    def _lock_attributes(
+        self, cls: ast.ClassDef, ctx: FileContext
+    ) -> frozenset[str]:
+        """Attribute names holding locks: ``self.<*lock*|*cond*> = <call>``."""
+        names: set[str] = set()
+        for stmt in ast.walk(cls):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if ctx.enclosing_class(stmt) is not cls:
+                continue
+            if not isinstance(stmt.value, ast.Call):
+                continue
+            for target in stmt.targets:
+                attr = self_attribute(target)
+                if attr is not None and _LOCK_NAME_RE.search(attr):
+                    names.add(attr)
+        return frozenset(names)
+
+    def _mutation_is_guarded(
+        self,
+        stmt: ast.stmt,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        lock_attrs: frozenset[str],
+        whitelisted: frozenset[str],
+    ) -> bool:
+        """True when the mutation is whitelisted or under a lock's with."""
+        for ancestor in ctx.ancestors(stmt):
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        expr = expr.func
+                    attr = self_attribute(expr)
+                    if attr in lock_attrs:
+                        return True
+            elif isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if ctx.enclosing_class(ancestor) is not cls:
+                    continue
+                if (
+                    ancestor.name == "__init__"
+                    or ancestor.name.endswith("_locked")
+                    or ancestor.name in whitelisted
+                ):
+                    return True
+            elif isinstance(ancestor, ast.ClassDef):
+                break
+        return False

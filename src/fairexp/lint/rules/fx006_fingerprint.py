@@ -1,0 +1,156 @@
+"""FX006 — constructor parameters must be fingerprint-visible or declared.
+
+``generator_config`` (PR 2) fingerprints a generator by introspecting
+its ``__init__`` signature and reading the *same-named attributes* off
+the instance; the store's population fingerprints, the session memo and
+the sweep journals all build on it.  A keyword parameter that changes
+outputs but is never stored as ``self.<param>`` is therefore invisible
+to the fingerprint — the exact aliasing-bug class PRs 6 and 9 fixed by
+hand (schedules and kernel tiers silently aliasing store entries).
+
+The rule applies to generator-like classes (bases or name containing
+``CounterfactualGenerator``, or defining ``generate_batch_aligned``) and
+to the two orchestrators (``CounterfactualEngine``/``AuditSession``).
+Every ``__init__`` parameter must either be assigned to ``self.<param>``
+somewhere in the class or be listed in a class-level
+``FINGERPRINT_INVARIANT`` tuple — an explicit, reviewable declaration
+that the parameter cannot alter stored outputs::
+
+    class MyGenerator(BaseCounterfactualGenerator):
+        # verbose only changes logging, never the search trajectory
+        FINGERPRINT_INVARIANT = ("verbose",)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from ..engine import Rule
+from .common import class_constant_names, is_test_path, self_attribute
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from ..engine import FileContext, Finding
+
+_ORCHESTRATORS = frozenset({"CounterfactualEngine", "AuditSession"})
+# model/background are fingerprinted through dedicated channels (the
+# model dispatch token and the background data hash), not generator_config.
+_SKIP_PARAMS = frozenset({"self", "model", "background"})
+
+
+def _forwarded_to_super(init: ast.FunctionDef) -> frozenset[str]:
+    """Params passed same-named into ``super().__init__`` (stored there).
+
+    ``super().__init__(model, background, random_state=random_state)``
+    makes ``random_state`` fingerprint-visible through the base class, so
+    the subclass need not re-store it.
+    """
+    names: set[str] = set()
+    for call in ast.walk(init):
+        if not isinstance(call, ast.Call):
+            continue
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__init__"
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+        ):
+            continue
+        for arg in call.args:
+            if isinstance(arg, ast.Name):
+                names.add(arg.id)
+        for keyword in call.keywords:
+            if (
+                keyword.arg is not None
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id == keyword.arg
+            ):
+                names.add(keyword.arg)
+    return frozenset(names)
+
+
+def _is_target_class(cls: ast.ClassDef) -> bool:
+    """Generator-like classes plus the engine/session orchestrators."""
+    if cls.name in _ORCHESTRATORS or "CounterfactualGenerator" in cls.name:
+        return True
+    for base in cls.bases:
+        if "CounterfactualGenerator" in ast.unparse(base):
+            return True
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name == "generate_batch_aligned"
+        for stmt in cls.body
+    )
+
+
+class FingerprintCoverageRule(Rule):
+    """Flag constructor params invisible to the store fingerprint."""
+
+    code = "FX006"
+    summary = (
+        "generator/engine/session constructor params must be stored as "
+        "self.<param> or declared in FINGERPRINT_INVARIANT"
+    )
+    node_types = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Check one class's ``__init__`` parameters for coverage."""
+        assert isinstance(node, ast.ClassDef)
+        if is_test_path(ctx.path) or not _is_target_class(node):
+            return
+        init = next(
+            (
+                stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return  # inherited __init__: covered where it is defined
+        declared = class_constant_names(node, "FINGERPRINT_INVARIANT") or (
+            frozenset()
+        )
+        stored = self._stored_attributes(node, ctx) | _forwarded_to_super(init)
+        params = init.args.posonlyargs + init.args.args + init.args.kwonlyargs
+        for param in params:
+            name = param.arg
+            if name in _SKIP_PARAMS or name.startswith("_"):
+                continue
+            if name in stored or name in declared:
+                continue
+            yield self.finding(
+                ctx,
+                init,
+                f"constructor parameter '{name}' of {node.name} is neither "
+                f"stored as self.{name} (fingerprint-visible via "
+                "generator_config) nor declared in FINGERPRINT_INVARIANT",
+            )
+
+    @staticmethod
+    def _stored_attributes(cls: ast.ClassDef, ctx: FileContext) -> frozenset[str]:
+        """Every attribute assigned as ``self.<attr>`` within this class."""
+        names: set[str] = set()
+        for stmt in ast.walk(cls):
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            else:
+                continue
+            if ctx.enclosing_class(stmt) is not cls:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Tuple):
+                    elements = target.elts
+                else:
+                    elements = [target]
+                for element in elements:
+                    attr = self_attribute(element)
+                    if attr is not None:
+                        names.add(attr)
+        return frozenset(names)

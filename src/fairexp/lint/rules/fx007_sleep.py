@@ -1,0 +1,53 @@
+"""FX007 — no ``time.sleep`` in library code outside retry/backoff helpers.
+
+A sleep on a library code path stalls every caller sharing the thread —
+under the serving fleet that is a whole coalescing lane.  Deliberate
+pacing belongs in a helper whose name says so (``*retry*``, ``*backoff*``,
+``*poll*``, ``*wait*``, ``*sleep*``, ``*throttle*``), which both documents
+the intent and gives the scheduler one place to patch in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from ..engine import Rule
+from .common import dotted_name, is_test_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from ..engine import FileContext, Finding
+
+_PACING_MARKERS = ("retry", "backoff", "poll", "wait", "sleep", "throttle")
+
+
+class SleepRule(Rule):
+    """Flag ``time.sleep`` outside named pacing helpers."""
+
+    code = "FX007"
+    summary = "time.sleep in library code outside retry/backoff helpers"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Flag time.sleep calls whose enclosing functions are not pacing."""
+        assert isinstance(node, ast.Call)
+        if is_test_path(ctx.path):
+            return
+        if dotted_name(node.func) != "time.sleep":
+            return
+        current: ast.AST = node
+        while True:
+            function = ctx.enclosing_function(current)
+            if function is None:
+                break
+            if any(marker in function.name.lower() for marker in _PACING_MARKERS):
+                return
+            current = function
+        yield self.finding(
+            ctx,
+            node,
+            "time.sleep() in library code; move the pause into a helper "
+            "named for its pacing role (*retry*/*backoff*/*poll*/*wait*)",
+        )

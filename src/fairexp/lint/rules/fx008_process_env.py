@@ -1,0 +1,93 @@
+"""FX008 — process and environment mutation stay at the CLI boundary.
+
+``subprocess`` use and ``os.environ`` writes inside the library make
+behaviour depend on ambient process state that fingerprints never see,
+and leak into every other thread sharing the interpreter.  ``cli.py``
+(and tests/benchmarks) are the sanctioned boundary; library code reads
+configuration through explicit parameters — reading ``os.environ`` is
+fine, mutating it is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from ..engine import Rule
+from .common import dotted_name, is_cli_module, is_test_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+    from ..engine import FileContext, Finding
+
+_ENV_MUTATORS = frozenset(
+    {
+        "os.environ.setdefault",
+        "os.environ.pop",
+        "os.environ.update",
+        "os.environ.clear",
+        "os.putenv",
+        "os.unsetenv",
+    }
+)
+
+
+def _is_environ_subscript(node: ast.AST) -> bool:
+    """True for ``os.environ[...]`` targets."""
+    return (
+        isinstance(node, ast.Subscript)
+        and dotted_name(node.value) == "os.environ"
+    )
+
+
+class ProcessEnvRule(Rule):
+    """Flag subprocess use and os.environ mutation in library code."""
+
+    code = "FX008"
+    summary = (
+        "subprocess/os.environ mutation outside cli.py, tests and benchmarks"
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Call, ast.Assign, ast.Delete)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Flag subprocess imports and environment writes."""
+        if is_cli_module(ctx.path) or is_test_path(ctx.path):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "subprocess":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "subprocess imported in library code; process "
+                        "spawning belongs in cli.py, tests or benchmarks",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[0] == "subprocess":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "subprocess imported in library code; process spawning "
+                    "belongs in cli.py, tests or benchmarks",
+                )
+            return
+        if isinstance(node, ast.Call):
+            if dotted_name(node.func) in _ENV_MUTATORS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "os.environ mutated in library code; pass configuration "
+                    "explicitly instead of writing process state",
+                )
+            return
+        targets = node.targets
+        for target in targets:
+            if _is_environ_subscript(target):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "os.environ mutated in library code; pass configuration "
+                    "explicitly instead of writing process state",
+                )

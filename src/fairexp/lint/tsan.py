@@ -1,0 +1,167 @@
+"""Opt-in thread sanitizer for the shared-counter discipline.
+
+``FAIREXP_TSAN=1`` swaps the lock primitives in ``backends.py`` /
+``pool.py`` / ``serving.py`` (each constructs through :func:`make_lock` /
+:func:`make_condition`) for instrumented wrappers, and arms the
+:func:`guard_counters` class decorator those modules carry.  The guard
+intercepts writes to the declared counter attributes and records which
+thread last wrote each one:
+
+* write while holding the owning lock — always legal (the lock serialises
+  the transition, whichever thread performs it);
+* unlocked write by the same thread that wrote last (or the first write,
+  e.g. ``__init__``) — legal single-thread mutation;
+* unlocked write by a *different* thread — a real data race; raises
+  :class:`TsanError` at the mutation site, not wherever the corrupted
+  count is eventually read.
+
+With the variable unset every helper returns the plain ``threading``
+primitive and the decorator leaves ``__setattr__`` untouched, so the
+production hot path pays nothing.  Stdlib-only on purpose: the
+explanations modules import this one, never the other way around.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+_ENV_VAR = "FAIREXP_TSAN"
+_override: bool | None = None
+
+# Last-writer idents per (object, counter): the transition log the guard
+# checks unlocked writes against.  WeakKey so guarded objects stay
+# collectable; the module lock keeps the registry itself race-free.
+_owners: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+_owners_lock = threading.Lock()
+
+
+class TsanError(AssertionError):
+    """An unlocked cross-thread mutation of a guarded counter."""
+
+
+def tsan_enabled() -> bool:
+    """True when the sanitizer is armed (env var or explicit override)."""
+    if _override is not None:
+        return _override
+    return os.environ.get(_ENV_VAR, "") not in ("", "0")
+
+
+def set_enabled(value: bool | None) -> None:
+    """Force the sanitizer on/off (tests); ``None`` returns to the env var."""
+    global _override
+    _override = value
+
+
+class TsanLock:
+    """A ``threading.Lock`` that knows which thread holds it."""
+
+    __slots__ = ("_lock", "_owner")
+
+    def __init__(self) -> None:
+        """Wrap a fresh non-reentrant lock with owner tracking."""
+        self._lock = threading.Lock()
+        self._owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the underlying lock, recording the owning thread."""
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+        return acquired
+
+    def release(self) -> None:
+        """Release the underlying lock, clearing the owner first."""
+        self._owner = None
+        self._lock.release()
+
+    def locked(self) -> bool:
+        """True while any thread holds the lock."""
+        return self._lock.locked()
+
+    def held_by_current_thread(self) -> bool:
+        """True when the calling thread is the current owner."""
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        """``with lock:`` support."""
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """``with lock:`` support."""
+        self.release()
+
+
+def make_lock():
+    """A mutex: :class:`TsanLock` when armed, plain ``threading.Lock`` not."""
+    return TsanLock() if tsan_enabled() else threading.Lock()
+
+
+def make_condition() -> threading.Condition:
+    """A condition variable for guarded counters.
+
+    ``threading.Condition`` already tracks ownership through its backing
+    RLock (``_is_owned``), so the same object serves both modes; the
+    guard asks it directly via :func:`held_by_current_thread`.
+    """
+    return threading.Condition()
+
+
+def held_by_current_thread(lock: object) -> bool:
+    """True when the calling thread holds ``lock`` (TsanLock or Condition)."""
+    if isinstance(lock, threading.Condition):
+        return lock._is_owned()
+    if isinstance(lock, TsanLock):
+        return lock.held_by_current_thread()
+    return False
+
+
+def _check_write(obj: object, name: str, lock_attr: str) -> None:
+    """Validate one guarded-counter write; raise :class:`TsanError` on a race."""
+    ident = threading.get_ident()
+    lock = getattr(obj, lock_attr, None)
+    with _owners_lock:
+        try:
+            owners = _owners.setdefault(obj, {})
+        except TypeError:  # non-weakrefable object: nothing to track against
+            return
+        if held_by_current_thread(lock):
+            owners[name] = ident
+            return
+        last = owners.get(name)
+        if last is None or last == ident:
+            owners[name] = ident
+            return
+    raise TsanError(
+        f"unlocked cross-thread write to {type(obj).__name__}.{name}: "
+        f"last written by thread {last}, now thread {ident} without "
+        f"holding {lock_attr!r} (set under FAIREXP_TSAN=1)"
+    )
+
+
+def guard_counters(*names: str, lock_attr: str = "_lock"):
+    """Class decorator: sanitize writes to ``names`` when TSAN is armed.
+
+    The decorated class must keep its lock (or condition) in
+    ``lock_attr``.  Writes made while holding it are always legal;
+    unlocked writes are legal only while single-threaded (see the module
+    docstring).  With the sanitizer off the per-write cost is one dict
+    lookup and one env-var check.
+    """
+    guarded = frozenset(names)
+
+    def decorate(cls):
+        base_setattr = cls.__setattr__
+
+        def __setattr__(self, name, value):
+            if name in guarded and tsan_enabled():
+                _check_write(self, name, lock_attr)
+            base_setattr(self, name, value)
+
+        cls.__setattr__ = __setattr__
+        cls._tsan_guarded = guarded
+        cls._tsan_lock_attr = lock_attr
+        return cls
+
+    return decorate

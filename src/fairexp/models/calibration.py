@@ -22,6 +22,7 @@ class PlattCalibrator:
         self.b_: float | None = None
 
     def fit(self, scores, y) -> "PlattCalibrator":
+        """Fit the sigmoid parameters on scores vs. labels; returns ``self``."""
         scores = np.clip(np.asarray(scores, dtype=float), 1e-6, 1 - 1e-6)
         y = np.asarray(y, dtype=float)
         logits = np.log(scores / (1 - scores))
@@ -37,6 +38,7 @@ class PlattCalibrator:
         return self
 
     def transform(self, scores) -> np.ndarray:
+        """Calibrated probabilities for raw positive-class scores."""
         if self.a_ is None:
             raise NotFittedError("PlattCalibrator is not fitted")
         scores = np.clip(np.asarray(scores, dtype=float), 1e-6, 1 - 1e-6)
@@ -54,6 +56,7 @@ class CalibratedClassifier(BaseClassifier):
         self.calibrator_ = PlattCalibrator(n_iter=n_iter)
 
     def fit(self, X, y, sample_weight=None) -> "CalibratedClassifier":
+        """Fit the base model (if needed) and its calibrator; returns ``self``."""
         if not getattr(self.base_model, "_fitted", False):
             self.base_model.fit(X, y)
         scores = self.base_model.predict_proba(X)[:, 1]
@@ -63,6 +66,7 @@ class CalibratedClassifier(BaseClassifier):
         return self
 
     def predict_proba(self, X) -> np.ndarray:
+        """Platt-calibrated class-membership probabilities for ``X``."""
         self._check_fitted()
         scores = self.base_model.predict_proba(X)[:, 1]
         positive = self.calibrator_.transform(scores)

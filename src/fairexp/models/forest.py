@@ -48,6 +48,7 @@ class RandomForestClassifier(BaseClassifier):
         self.feature_importances_: np.ndarray | None = None
 
     def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
+        """Fit the bootstrapped trees on ``X``/``y``; returns ``self``."""
         X, y = self._validate_fit_input(X, y)
         rng = check_random_state(self.random_state)
         n_samples = X.shape[0]
@@ -76,6 +77,7 @@ class RandomForestClassifier(BaseClassifier):
         return self
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities averaged over the trees."""
         X = self._validate_predict_input(X)
         n_classes = self.classes_.shape[0]
         total = np.zeros((X.shape[0], n_classes))

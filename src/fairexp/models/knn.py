@@ -42,6 +42,7 @@ class KNeighborsClassifier(BaseClassifier):
         self._y: np.ndarray | None = None
 
     def fit(self, X, y, sample_weight=None) -> "KNeighborsClassifier":
+        """Store the training set (lazy learner); returns ``self``."""
         X, y = self._validate_fit_input(X, y)
         if self.n_neighbors > X.shape[0]:
             raise ValidationError("n_neighbors larger than the training set")
@@ -61,6 +62,7 @@ class KNeighborsClassifier(BaseClassifier):
         return distances[row_idx, indices], indices
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities from the neighbour vote."""
         distances, indices = self.kneighbors(X)
         n_classes = self.classes_.shape[0]
         proba = np.zeros((indices.shape[0], n_classes))

@@ -59,6 +59,7 @@ class LogisticRegression(BaseClassifier):
 
     # ------------------------------------------------------------------ fit
     def fit(self, X, y, sample_weight=None) -> "LogisticRegression":
+        """Fit by batch gradient descent; returns ``self``."""
         X, y = self._validate_fit_input(X, y)
         if set(np.unique(y)) - {0, 1}:
             raise ValidationError("LogisticRegression supports binary 0/1 labels only")
@@ -117,14 +118,17 @@ class LogisticRegression(BaseClassifier):
 
     # ------------------------------------------------------------- predict
     def decision_function(self, X) -> np.ndarray:
+        """Signed decision scores for each row of ``X``."""
         X = self._validate_predict_input(X)
         return X @ self.coef_ + self.intercept_
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities for each row of ``X``."""
         positive = sigmoid(self.decision_function(X))
         return np.column_stack([1 - positive, positive])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         return (self.decision_function(X) >= 0).astype(int)
 
     # ------------------------------------------------------------ gradients

@@ -62,6 +62,7 @@ class MLPClassifier(BaseClassifier):
 
     # ------------------------------------------------------------------ fit
     def fit(self, X, y, sample_weight=None) -> "MLPClassifier":
+        """Train the network on ``X``/``y``; returns ``self``."""
         X, y = self._validate_fit_input(X, y)
         rng = check_random_state(self.random_state)
         n_samples, n_features = X.shape
@@ -134,6 +135,7 @@ class MLPClassifier(BaseClassifier):
 
     # ------------------------------------------------------------- predict
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities for each row of ``X``."""
         X = self._validate_predict_input(X)
         X = (X - self._mean) / self._scale
         activations, _ = self._forward(X)

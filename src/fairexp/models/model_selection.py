@@ -89,6 +89,7 @@ class GridSearch:
             yield dict(zip(keys, values))
 
     def fit(self, X, y) -> "GridSearch":
+        """Cross-validate every parameter combination; keeps the best model."""
         X = np.asarray(X, dtype=float)
         y = np.asarray(y)
         self.results_ = []

@@ -27,6 +27,7 @@ class GaussianNaiveBayes(BaseClassifier):
         self.class_prior_: np.ndarray | None = None
 
     def fit(self, X, y, sample_weight=None) -> "GaussianNaiveBayes":
+        """Estimate per-class Gaussian parameters; returns ``self``."""
         X, y = self._validate_fit_input(X, y)
         n_classes = self.classes_.shape[0]
         n_features = X.shape[1]
@@ -64,6 +65,7 @@ class GaussianNaiveBayes(BaseClassifier):
         return joint
 
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities for each row of ``X``."""
         X = self._validate_predict_input(X)
         joint = self._joint_log_likelihood(X)
         joint -= joint.max(axis=1, keepdims=True)

@@ -26,6 +26,7 @@ class StandardScaler:
         self.scale_: np.ndarray | None = None
 
     def fit(self, X) -> "StandardScaler":
+        """Learn per-feature mean and scale; returns ``self``."""
         X = check_array(X, ndim=2, name="X")
         self.mean_ = X.mean(axis=0)
         scale = X.std(axis=0)
@@ -34,15 +35,18 @@ class StandardScaler:
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Standardize ``X`` with the fitted mean and scale."""
         if self.mean_ is None or self.scale_ is None:
             raise NotFittedError("StandardScaler is not fitted")
         X = check_array(X, ndim=2, name="X")
         return (X - self.mean_) / self.scale_
 
     def fit_transform(self, X) -> np.ndarray:
+        """Fit on ``X`` and return its standardized values."""
         return self.fit(X).transform(X)
 
     def inverse_transform(self, X) -> np.ndarray:
+        """Map standardized values back to the original scale."""
         if self.mean_ is None or self.scale_ is None:
             raise NotFittedError("StandardScaler is not fitted")
         X = check_array(X, ndim=2, name="X")
@@ -57,6 +61,7 @@ class MinMaxScaler:
         self.range_: np.ndarray | None = None
 
     def fit(self, X) -> "MinMaxScaler":
+        """Learn per-feature minima and ranges; returns ``self``."""
         X = check_array(X, ndim=2, name="X")
         self.min_ = X.min(axis=0)
         data_range = X.max(axis=0) - self.min_
@@ -65,15 +70,18 @@ class MinMaxScaler:
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Scale ``X`` into the unit interval feature-wise."""
         if self.min_ is None or self.range_ is None:
             raise NotFittedError("MinMaxScaler is not fitted")
         X = check_array(X, ndim=2, name="X")
         return (X - self.min_) / self.range_
 
     def fit_transform(self, X) -> np.ndarray:
+        """Fit on ``X`` and return its scaled values."""
         return self.fit(X).transform(X)
 
     def inverse_transform(self, X) -> np.ndarray:
+        """Map unit-interval values back to the original range."""
         if self.min_ is None or self.range_ is None:
             raise NotFittedError("MinMaxScaler is not fitted")
         X = check_array(X, ndim=2, name="X")
@@ -87,10 +95,12 @@ class LabelEncoder:
         self.classes_: np.ndarray | None = None
 
     def fit(self, y) -> "LabelEncoder":
+        """Learn the sorted label vocabulary; returns ``self``."""
         self.classes_ = np.unique(np.asarray(y))
         return self
 
     def transform(self, y) -> np.ndarray:
+        """Integer codes for ``y`` under the fitted vocabulary."""
         if self.classes_ is None:
             raise NotFittedError("LabelEncoder is not fitted")
         y = np.asarray(y)
@@ -100,9 +110,11 @@ class LabelEncoder:
         return np.searchsorted(self.classes_, y)
 
     def fit_transform(self, y) -> np.ndarray:
+        """Fit on ``y`` and return its integer codes."""
         return self.fit(y).transform(y)
 
     def inverse_transform(self, codes) -> np.ndarray:
+        """Original labels for the given integer codes."""
         if self.classes_ is None:
             raise NotFittedError("LabelEncoder is not fitted")
         return self.classes_[np.asarray(codes, dtype=int)]
@@ -119,6 +131,7 @@ class OneHotEncoder:
         self.categories_: list[np.ndarray] | None = None
 
     def fit(self, X) -> "OneHotEncoder":
+        """Learn per-column category vocabularies; returns ``self``."""
         X = np.asarray(X)
         if X.ndim != 2:
             raise ValidationError("OneHotEncoder expects a 2-D array")
@@ -126,6 +139,7 @@ class OneHotEncoder:
         return self
 
     def transform(self, X) -> np.ndarray:
+        """One-hot encode ``X`` with the fitted vocabularies."""
         if self.categories_ is None:
             raise NotFittedError("OneHotEncoder is not fitted")
         X = np.asarray(X)
@@ -140,6 +154,7 @@ class OneHotEncoder:
         return np.hstack(blocks)
 
     def fit_transform(self, X) -> np.ndarray:
+        """Fit on ``X`` and return its one-hot encoding."""
         return self.fit(X).transform(X)
 
     def feature_names(self, input_names: Sequence[str] | None = None) -> list[str]:

@@ -32,9 +32,11 @@ class TreeNode:
 
     @property
     def is_leaf(self) -> bool:
+        """True when this node has no children."""
         return self.feature is None
 
     def predict_one(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities at the leaf reached by sample ``x``."""
         node = self
         while not node.is_leaf:
             node = node.left if x[node.feature] <= node.threshold else node.right
@@ -95,6 +97,7 @@ class DecisionTreeClassifier(BaseClassifier):
 
     # ------------------------------------------------------------------ fit
     def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        """Grow the tree on ``X``/``y``; returns ``self``."""
         X, y = self._validate_fit_input(X, y)
         y = y.astype(int)
         if self.classes_.shape[0] < 2:
@@ -189,10 +192,12 @@ class DecisionTreeClassifier(BaseClassifier):
 
     # ------------------------------------------------------------- predict
     def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities for each row of ``X``."""
         X = self._validate_predict_input(X)
         return np.vstack([self.root_.predict_one(x) for x in X])
 
     def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X``."""
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 

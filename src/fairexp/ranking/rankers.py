@@ -44,6 +44,7 @@ class RankedCandidates:
 
     @property
     def n_candidates(self) -> int:
+        """Number of ranked candidates."""
         return int(self.X.shape[0])
 
     def ranked_groups(self) -> np.ndarray:
@@ -66,6 +67,7 @@ class ScoreRanker:
         self.weights = np.asarray(weights, dtype=float)
 
     def score(self, X: np.ndarray) -> np.ndarray:
+        """Ranking scores for each candidate row of ``X``."""
         X = np.asarray(X, dtype=float)
         if X.shape[1] != self.weights.shape[0]:
             raise ValidationError("weight / feature dimension mismatch")

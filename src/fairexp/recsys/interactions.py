@@ -50,10 +50,12 @@ class InteractionMatrix:
 
     @property
     def n_users(self) -> int:
+        """Number of users (rows)."""
         return int(self.matrix.shape[0])
 
     @property
     def n_items(self) -> int:
+        """Number of items (columns)."""
         return int(self.matrix.shape[1])
 
     def item_popularity(self) -> np.ndarray:

@@ -23,6 +23,7 @@ class BaseRecommender:
         self.interactions_: InteractionMatrix | None = None
 
     def fit(self, interactions: InteractionMatrix) -> "BaseRecommender":
+        """Fit on the interaction matrix; returns ``self``."""
         raise NotImplementedError
 
     def score(self, user: int) -> np.ndarray:
@@ -90,6 +91,7 @@ class MatrixFactorization(BaseRecommender):
         self.item_factors_: np.ndarray | None = None
 
     def fit(self, interactions: InteractionMatrix) -> "MatrixFactorization":
+        """Learn the user/item factors; returns ``self``."""
         rng = check_random_state(self.random_state)
         self.interactions_ = interactions
         R = interactions.matrix
@@ -117,6 +119,7 @@ class MatrixFactorization(BaseRecommender):
         return self
 
     def score(self, user: int) -> np.ndarray:
+        """Preference scores of every item for ``user``."""
         self._check_fitted()
         return self.user_factors_[user] @ self.item_factors_.T
 
@@ -130,6 +133,7 @@ class ItemKNNRecommender(BaseRecommender):
         self.similarity_: np.ndarray | None = None
 
     def fit(self, interactions: InteractionMatrix) -> "ItemKNNRecommender":
+        """Build the item-item similarity model; returns ``self``."""
         self.interactions_ = interactions
         R = interactions.matrix
         norms = np.linalg.norm(R, axis=0)
@@ -145,6 +149,7 @@ class ItemKNNRecommender(BaseRecommender):
         return self
 
     def score(self, user: int) -> np.ndarray:
+        """Preference scores of every item for ``user``."""
         self._check_fitted()
         return self.interactions_.matrix[user] @ self.similarity_
 
@@ -200,6 +205,7 @@ class RecWalkRecommender(BaseRecommender):
         return transition
 
     def fit(self, interactions: InteractionMatrix) -> "RecWalkRecommender":
+        """Build the RecWalk transition model; returns ``self``."""
         self.interactions_ = interactions
         self.transition_ = self._build_transition(interactions)
         return self
@@ -214,6 +220,7 @@ class RecWalkRecommender(BaseRecommender):
         return clone.fit(modified)
 
     def score(self, user: int) -> np.ndarray:
+        """Preference scores of every item for ``user``."""
         self._check_fitted()
         n_users = self.interactions_.n_users
         n = self.transition_.shape[0]

@@ -29,7 +29,7 @@ def test_docs_pages_exist():
     assert {"docs/architecture.md", "docs/api/session.md", "docs/api/engine.md",
             "docs/api/schedules.md", "docs/api/kernels.md", "docs/api/pool.md",
             "docs/api/backends.md", "docs/api/store.md",
-            "docs/api/sweep.md"} <= names
+            "docs/api/sweep.md", "docs/api/lint.md"} <= names
 
 
 @pytest.mark.parametrize(

@@ -331,12 +331,16 @@ class TestProcessExecutor:
         """A pool that breaks at run time (spawn-method rebuild failures,
         BrokenProcessPool) must degrade to thread shards, not crash audits."""
         from fairexp.explanations import engine as engine_module
+        from fairexp.explanations.pool import ExecutorPool
 
-        class ExplodingPool:
-            def __init__(self, *args, **kwargs):
+        real_map = ExecutorPool.map
+
+        def exploding_map(self, kind, fn, *iterables):
+            if kind == "process":
                 raise RuntimeError("worker bootstrap failed")
+            return real_map(self, kind, fn, *iterables)
 
-        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", ExplodingPool)
+        monkeypatch.setattr(engine_module.ExecutorPool, "map", exploding_map)
         model, background, constraints, rejected = loan_workload
         sequential = CounterfactualEngine(
             GrowingSpheresCounterfactual(model, background, constraints=constraints,

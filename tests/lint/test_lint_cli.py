@@ -1,0 +1,91 @@
+"""Exit-code, JSON and baseline-workflow tests for ``fairexp lint``."""
+
+import json
+import textwrap
+
+import pytest
+
+from fairexp.cli import main
+
+VIOLATING = textwrap.dedent("""
+    import numpy as np
+
+
+    def sample(n, items=[]):
+        items.append(np.random.rand(n))
+        return items
+""")
+
+CLEAN = textwrap.dedent("""
+    import numpy as np
+
+
+    def sample(n, random_state):
+        rng = np.random.default_rng(random_state)
+        return rng.random(n)
+""")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A tiny lintable tree with one violating and one clean module."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(VIOLATING)
+    (pkg / "good.py").write_text(CLEAN)
+    return pkg
+
+
+def test_fresh_findings_exit_1(tree, capsys):
+    assert main(["lint", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "FX002" in out and "FX003" in out
+    assert "2 fresh findings" in out
+
+
+def test_clean_tree_exits_0(tree, capsys):
+    assert main(["lint", str(tree / "good.py")]) == 0
+    assert "0 fresh findings" in capsys.readouterr().out
+
+
+def test_json_report_shape(tree, capsys):
+    assert main(["lint", str(tree), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files"] == 2
+    assert payload["baseline_size"] == 0
+    rules = sorted(f["rule"] for f in payload["fresh"])
+    assert rules == ["FX002", "FX003"]
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+
+
+def test_baseline_write_then_check_roundtrip(tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(tree), "--baseline", "write",
+                 "--baseline-file", str(baseline)]) == 0
+    assert "2 findings grandfathered" in capsys.readouterr().out
+    # Grandfathered debt no longer fails the build ...
+    assert main(["lint", str(tree), "--baseline", "check",
+                 "--baseline-file", str(baseline)]) == 0
+    # ... but a NEW violation beyond the baseline does.
+    (tree / "worse.py").write_text("import subprocess\n")
+    assert main(["lint", str(tree), "--baseline", "check",
+                 "--baseline-file", str(baseline)]) == 1
+    out = capsys.readouterr().out.splitlines()
+    assert any("FX008" in line for line in out)
+    assert any("2 baselined" in line for line in out)
+
+
+def test_baseline_check_with_missing_file_means_empty(tree, tmp_path):
+    assert main(["lint", str(tree), "--baseline", "check",
+                 "--baseline-file", str(tmp_path / "absent.json")]) == 1
+
+
+def test_noqa_suppression_reaches_exit_code(tmp_path, capsys):
+    module = tmp_path / "mod.py"
+    module.write_text(
+        "import time\n\n\ndef tick():\n"
+        "    time.sleep(0.1)  # fairexp: noqa[FX007] cadence is the contract\n"
+    )
+    assert main(["lint", str(module)]) == 0
+    assert "1 suppressed" in capsys.readouterr().out
